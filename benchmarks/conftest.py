@@ -1,0 +1,80 @@
+"""Shared fixtures and caches for the experiment benchmarks.
+
+Every paper table/figure has one module here.  Expensive artifacts
+(the generated compiler, the full-suite measurement sweep) are built
+once per session and shared; each benchmark then reports its slice of
+the results in the paper's format.
+
+Set ``REPRO_BENCH_FULL=1`` for the larger kernel grid (slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import run_suite
+from repro.compiler.diospyros import DiospyrosCompiler
+from repro.core.pregen import default_compiler
+from repro.isa import fusion_g3_spec
+from repro.kernels import default_suite
+
+FULL = bool(os.environ.get("REPRO_BENCH_FULL"))
+
+# The benchmark kernel grid (paper Fig. 4's x-axis, scaled — see
+# EXPERIMENTS.md for the size mapping).
+CONV2D_SIZES = (
+    [(3, 3, 2, 2), (3, 3, 3, 3), (4, 4, 2, 2), (4, 4, 3, 3),
+     (6, 6, 3, 3), (8, 8, 3, 3)]
+    if FULL
+    else [(3, 3, 2, 2), (3, 3, 3, 3), (4, 4, 2, 2), (4, 4, 3, 3)]
+)
+MATMUL_SIZES = (
+    [(2, 2, 2), (2, 3, 3), (3, 3, 3), (4, 4, 4), (5, 5, 5), (6, 6, 6)]
+    if FULL
+    else [(2, 2, 2), (2, 3, 3), (3, 3, 3), (4, 4, 4)]
+)
+QR_SIZES = [3, 4] if FULL else [3]
+
+# Ablation experiments use a small, fast subset.
+ABLATION_CONV_SIZES = [(3, 3, 2, 2), (3, 3, 3, 3), (4, 4, 2, 2)]
+
+
+def bench_suite():
+    return default_suite(
+        conv2d_sizes=CONV2D_SIZES,
+        matmul_sizes=MATMUL_SIZES,
+        qr_sizes=QR_SIZES,
+    )
+
+
+@pytest.fixture(scope="session")
+def spec():
+    return fusion_g3_spec()
+
+
+@pytest.fixture(scope="session")
+def isaria(spec):
+    return default_compiler(spec)
+
+
+@pytest.fixture(scope="session")
+def diospyros(spec):
+    return DiospyrosCompiler(spec)
+
+
+_RESULTS_CACHE: dict = {}
+
+
+def suite_results(spec, isaria, diospyros):
+    """Fig. 4/5's full measurement sweep, computed once per session."""
+    if "rows" not in _RESULTS_CACHE:
+        _RESULTS_CACHE["rows"] = run_suite(
+            bench_suite(),
+            spec,
+            isaria=isaria,
+            diospyros=diospyros,
+            systems=("scalar", "slp", "nature"),
+        )
+    return _RESULTS_CACHE["rows"]

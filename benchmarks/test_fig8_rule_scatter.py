@@ -1,0 +1,85 @@
+"""Figure 8: the synthesized rules by aggregate cost and differential.
+
+The paper plots all 294 synthesized rules in the (aggregate cost,
+cost differential) plane and observes clean clusters: expansion rules
+at moderate aggregate and small differential, optimization rules at
+tiny aggregate, and compilation rules far out on both axes (the Vec
+literal's construction cost, ~4 digits).  This benchmark computes the
+same scatter for our rule set and checks the cluster geometry.
+"""
+
+from __future__ import annotations
+
+from repro.bench import print_table
+from repro.phases import (
+    aggregate_cost,
+    assign_phase,
+    cost_differential,
+    default_params,
+    Phase,
+)
+
+
+def test_fig8_rule_scatter(benchmark, spec, isaria):
+    cost_model = isaria.cost_model
+    params = default_params(spec)
+
+    def experiment():
+        points = []
+        for rule in isaria.ruleset.all_rules():
+            points.append(
+                (
+                    aggregate_cost(cost_model, rule),
+                    cost_differential(cost_model, rule),
+                    assign_phase(cost_model, rule, params),
+                )
+            )
+        return points
+
+    points = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    summary = []
+    for phase in Phase:
+        cluster = [(ca, cd) for ca, cd, p in points if p is phase]
+        if not cluster:
+            continue
+        cas = sorted(ca for ca, _ in cluster)
+        cds = sorted(cd for _, cd in cluster)
+        summary.append(
+            [
+                phase.value,
+                len(cluster),
+                f"{cas[0]:.0f}..{cas[-1]:.0f}",
+                f"{cds[0]:.0f}..{cds[-1]:.0f}",
+            ]
+        )
+    print_table(
+        ["phase", "rules", "aggregate cost range",
+         "cost differential range"],
+        summary,
+        title=(
+            f"Figure 8: {len(points)} rules by cost metrics "
+            f"(alpha={params.alpha}, beta={params.beta}; paper: 294 "
+            "rules, alpha=15, beta=12)"
+        ),
+    )
+
+    expansion = [(ca, cd) for ca, cd, p in points if p is Phase.EXPANSION]
+    compilation = [
+        (ca, cd) for ca, cd, p in points if p is Phase.COMPILATION
+    ]
+    optimization = [
+        (ca, cd) for ca, cd, p in points if p is Phase.OPTIMIZATION
+    ]
+    # All three phases are populated.
+    assert expansion and compilation and optimization
+    # Cluster geometry (the paper's Fig. 8 shape):
+    # optimization rules live at small aggregate cost...
+    assert max(ca for ca, _ in optimization) <= params.beta
+    # ...expansion rules above beta with bounded differential...
+    assert min(ca for ca, _ in expansion) > params.beta
+    assert all(cd <= params.alpha for _, cd in expansion)
+    # ...and compilation rules have a huge differential (the Vec
+    # literal's ~1000/lane construction cost).
+    assert min(cd for _, cd in compilation) > params.alpha
+    assert max(cd for _, cd in compilation) > 1000

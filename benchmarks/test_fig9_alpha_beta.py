@@ -1,0 +1,67 @@
+"""Figure 9 / §5.5: sensitivity to the alpha/beta phase thresholds.
+
+The paper sweeps alpha x beta on one 2D convolution kernel and plots
+estimated cycles: a wide dark (good) region — the thresholds are easy
+to choose — bounded by bad corners, e.g. top-right where every rule
+lands in the optimization phase and compilation reduces to a single
+timed-out saturation.
+
+We sweep a scaled grid on a scaled conv kernel and report the
+extraction cost (the paper's "estimated cycles") per cell.
+"""
+
+from __future__ import annotations
+
+from repro.bench import print_table
+from repro.kernels import conv2d_kernel
+from repro.phases import PhaseParams, assign_phases
+
+ALPHAS = (5.0, 25.0, 200.0, 10_000.0)
+BETAS = (4.0, 12.0, 60.0, 10_000.0)
+
+
+def test_fig9_alpha_beta(benchmark, spec, isaria):
+    instance = conv2d_kernel(3, 3, 2, 2)
+    rules = isaria.ruleset.all_rules()
+    cost_model = isaria.cost_model
+
+    def experiment():
+        from repro.compiler.compile import compile_term
+
+        grid = {}
+        for alpha in ALPHAS:
+            for beta in BETAS:
+                ruleset = assign_phases(
+                    cost_model, rules, PhaseParams(alpha=alpha, beta=beta)
+                )
+                _term, report = compile_term(
+                    instance.program.term,
+                    ruleset,
+                    cost_model,
+                    isaria.options,
+                )
+                grid[(alpha, beta)] = report.final_cost
+        return grid
+
+    grid = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    table = []
+    for alpha in ALPHAS:
+        table.append(
+            [f"alpha={alpha:g}"]
+            + [f"{grid[(alpha, beta)]:.0f}" for beta in BETAS]
+        )
+    print_table(
+        ["(estimated cost)"] + [f"beta={b:g}" for b in BETAS],
+        table,
+        title="Figure 9: alpha/beta sweep on 2dconv-3x3-2x2 "
+        "(lower is better; paper highlights alpha=15, beta=12)",
+    )
+
+    default_cell = grid[(25.0, 12.0)]
+    degenerate = grid[(10_000.0, 10_000.0)]
+    # The default-region cell vectorizes...
+    assert default_cell < 2_000, default_cell
+    # ...and the everything-is-optimization corner does not (the
+    # paper's top-right gray/timeout region).
+    assert degenerate > default_cell * 2, (default_cell, degenerate)

@@ -1,0 +1,58 @@
+"""A miniature of the paper's Figure 9: sweep the phase thresholds.
+
+Re-assigns the pregenerated rule set to phases under a grid of
+(alpha, beta) values and compiles one convolution kernel per cell,
+printing the extraction cost.  The broad plateau of good cells around
+the defaults — and the failure of the degenerate corner where every
+rule becomes an optimization rule — is the paper's §5.5 observation.
+
+Run:  python examples/alpha_beta_sweep.py   (a few minutes)
+"""
+
+from repro.bench import print_table
+from repro.compiler.compile import compile_term
+from repro.core import default_compiler
+from repro.kernels import conv2d_kernel
+from repro.phases import PhaseParams, assign_phases
+
+ALPHAS = (5.0, 25.0, 10_000.0)
+BETAS = (4.0, 12.0, 10_000.0)
+
+
+def main() -> None:
+    compiler = default_compiler()
+    rules = compiler.ruleset.all_rules()
+    instance = conv2d_kernel(3, 3, 2, 2)
+
+    rows = []
+    for alpha in ALPHAS:
+        row = [f"alpha={alpha:g}"]
+        for beta in BETAS:
+            ruleset = assign_phases(
+                compiler.cost_model, rules,
+                PhaseParams(alpha=alpha, beta=beta),
+            )
+            _term, report = compile_term(
+                instance.program.term,
+                ruleset,
+                compiler.cost_model,
+                compiler.options,
+            )
+            counts = ruleset.counts()
+            row.append(
+                f"{report.final_cost:.0f} "
+                f"(e{counts['expansion']}/c{counts['compilation']}"
+                f"/o{counts['optimization']})"
+            )
+        rows.append(row)
+
+    print_table(
+        ["cost (phase sizes)"] + [f"beta={b:g}" for b in BETAS],
+        rows,
+        title="alpha/beta sweep on 2dconv-3x3-2x2 (lower cost is "
+        "better)",
+    )
+
+
+if __name__ == "__main__":
+    main()

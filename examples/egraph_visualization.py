@@ -1,0 +1,60 @@
+"""Visualize equality saturation on the paper's §2.1 example.
+
+Writes three Graphviz files you can render with ``dot -Tsvg``:
+
+- ``egraph_0_initial.dot`` — the scalar program as first inserted;
+- ``egraph_1_expanded.dot`` — after the expansion phase;
+- ``egraph_2_compiled.dot`` — after the compilation phase, when the
+  vectorized form lives in the root class.
+
+Run:  python examples/egraph_visualization.py [out_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core import default_compiler
+from repro.egraph import EGraph, run_saturation, to_dot
+from repro.egraph.extract import Extractor
+from repro.lang.parser import parse, to_sexpr
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    compiler = default_compiler()
+
+    program = parse(
+        "(List (Vec (+ (Get x 0) (Get y 0)) (+ (Get x 1) (Get y 1))"
+        " (+ (Get x 2) (Get y 2)) (Get x 3)))"
+    )
+    egraph = EGraph()
+    root = egraph.add_term(program)
+    stages = {"egraph_0_initial.dot": to_dot(egraph)}
+
+    run_saturation(
+        egraph,
+        list(compiler.ruleset.expansion),
+        compiler.options.expansion_limits,
+    )
+    stages["egraph_1_expanded.dot"] = to_dot(egraph, max_classes=60)
+
+    run_saturation(
+        egraph,
+        list(compiler.ruleset.compilation),
+        compiler.options.compilation_limits,
+        frontier=True,
+    )
+    stages["egraph_2_compiled.dot"] = to_dot(egraph, max_classes=60)
+
+    for name, dot in stages.items():
+        path = out_dir / name
+        path.write_text(dot)
+        print(f"wrote {path}")
+
+    cost, best = Extractor(egraph, compiler.cost_model).best(root)
+    print(f"\nextracted (cost {cost:.0f}): {to_sexpr(best)}")
+    print("render with: dot -Tsvg egraph_2_compiled.dot -o out.svg")
+
+
+if __name__ == "__main__":
+    main()

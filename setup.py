@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The modern build path (PEP 660 editable installs) requires the
+``wheel`` package; on fully offline machines without it, use
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+
+which goes through this shim instead.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,23 @@
+"""Isaria reproduction: automatic generation of vectorizing compilers
+for customizable digital signal processors (ASPLOS 2024).
+
+Public API highlights:
+
+- :class:`repro.isa.IsaSpec` / :func:`repro.isa.fusion_g3_spec` — the
+  executable ISA specification (Isaria's input);
+- :class:`repro.core.IsariaFramework` — the offline workflow: rule
+  synthesis, phase discovery, compiler generation;
+- :class:`repro.core.GeneratedCompiler` — the generated compiler:
+  scalar DSL program in, vectorized machine code out;
+- :mod:`repro.kernels` — the benchmark kernel suite (2D convolution,
+  matrix multiply, QR decomposition, quaternion product);
+- :mod:`repro.machine` — the cycle-level DSP simulator the evaluation
+  measures on.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Evaluation baselines (paper Fig. 4's comparison systems).
+
+- :mod:`repro.baselines.scalar` — naive scalar code generation: the
+  "Clang with auto-vectorization disabled" baseline everything is
+  normalized to;
+- :mod:`repro.baselines.slp` — a superword-level-parallelism
+  auto-vectorizer in the style of Clang/LLVM's SLP pass (greedy
+  packing, no search), including LLVM's alternating add/sub packs;
+- :mod:`repro.baselines.nature` — hand-written, loop-based,
+  size-generic library kernels in the style of the Tensilica "Nature"
+  SDK library (good loops, not size-specialized, no coverage of
+  irregular kernels like QR — matching the paper's note that Nature
+  omits some kernels).
+"""
+
+from repro.baselines.scalar import compile_scalar
+from repro.baselines.slp import compile_slp
+from repro.baselines.nature import nature_program, has_nature_kernel
+
+__all__ = [
+    "compile_scalar",
+    "compile_slp",
+    "nature_program",
+    "has_nature_kernel",
+]

@@ -1,0 +1,276 @@
+"""Nature-style library kernels: hand-written, loop-based, size-generic.
+
+The Tensilica SDK's "Nature" library provides expertly hand-vectorized
+routines that work for *any* size: they loop instead of unrolling, and
+they pay fixed costs — copying operands into stride-padded scratch
+buffers so vector loads never cross row boundaries, loop bookkeeping,
+and a copy-back pass.  That is why the paper finds library kernels
+strong on large regular sizes but 1-6.9x slower than searched
+size-specialized code on small and irregular kernels, and why the
+library simply omits some kernels (no QR here, matching §5.1's note).
+
+``nature_program`` returns the machine program plus the scratch arrays
+it needs (the harness zero-allocates them).
+"""
+
+from __future__ import annotations
+
+from repro.isa.spec import IsaSpec
+from repro.kernels.specs import KernelInstance
+from repro.machine.program import Program, ProgramBuilder
+
+
+def has_nature_kernel(instance: KernelInstance) -> bool:
+    """Nature covers conv2d, matmul, and quaternion product — not QR."""
+    return instance.family in ("2DConv", "MatMul", "QP")
+
+
+def nature_program(
+    instance: KernelInstance, spec: IsaSpec
+) -> tuple[Program, dict]:
+    """Library code + scratch arrays for one kernel instance."""
+    if instance.family == "MatMul":
+        return _matmul(instance, spec)
+    if instance.family == "2DConv":
+        return _conv2d(instance, spec)
+    if instance.family == "QP":
+        return _qprod(instance, spec)
+    raise ValueError(
+        f"the Nature library has no {instance.family} kernel "
+        f"(instance {instance.key})"
+    )
+
+
+def _pad(value: int, width: int) -> int:
+    return ((value + width - 1) // width) * width
+
+
+def _counted_loop(builder: ProgramBuilder, bound_reg: str, label: str):
+    """Start a zero-overhead hardware loop; returns (counter, one).
+
+    The counter register still increments per iteration (loop bodies
+    use it for addressing), but the backedge itself is free —
+    Tensilica-class DSPs provide exactly this (LOOP/LEND), and library
+    code leans on it.  ``label`` is kept for readability only.
+    """
+    counter = builder.s_const(0)
+    one = builder.s_const(1)
+    builder.loop_begin(bound_reg)
+    return counter, one
+
+
+def _loop_end(
+    builder: ProgramBuilder,
+    counter: str,
+    one: str,
+    bound_reg: str,
+    label: str,
+) -> None:
+    builder.s_op_into(counter, "+", counter, one)
+    builder.loop_end()
+
+
+def _copy_strided(
+    builder: ProgramBuilder,
+    src: str,
+    src_stride: int,
+    dst: str,
+    dst_stride: int,
+    rows: int,
+    cols: int,
+    dst_row0: int = 0,
+    dst_col0: int = 0,
+) -> None:
+    """Row-by-row scalar copy between differently strided buffers.
+
+    Rows iterate in a machine loop; columns are unrolled (library code
+    unrolls short fixed inner loops).
+    """
+    row_bound = builder.s_const(rows)
+    src_stride_reg = builder.s_const(src_stride)
+    dst_stride_reg = builder.s_const(dst_stride)
+    label = builder.fresh_label("copy")
+    row, one = _counted_loop(builder, row_bound, label)
+    src_base = builder.s_op("*", row, src_stride_reg)
+    dst_base = builder.s_op("*", row, dst_stride_reg)
+    for col in range(cols):
+        value = builder.s_load(src, col, index=src_base)
+        builder.s_store(
+            dst,
+            dst_row0 * dst_stride + dst_col0 + col,
+            value,
+            index=dst_base,
+        )
+    _loop_end(builder, row, one, row_bound, label)
+
+
+def _matmul(instance: KernelInstance, spec: IsaSpec):
+    """Row loop; full vector blocks over columns, scalar tail columns.
+
+    The classic library structure: the vector loop covers
+    ``floor(n / W) * W`` columns with splat-MAC accumulation directly
+    on the caller's row-major buffers, and the awkward tail columns
+    fall back to scalar dot products — which is why small or odd
+    ``n`` pays disproportionate overhead.
+    """
+    m = instance.params["m"]
+    k = instance.params["k"]
+    n = instance.params["n"]
+    width = spec.vector_width
+    n_full = (n // width) * width
+    out = instance.program.output
+
+    builder = ProgramBuilder()
+    i_bound = builder.s_const(m)
+    k_imm = builder.s_const(k)
+    n_imm = builder.s_const(n)
+    wstep = builder.s_const(width)
+
+    i_label = builder.fresh_label("mm_i")
+    i_reg, one = _counted_loop(builder, i_bound, i_label)
+    a_row = builder.s_op("*", i_reg, k_imm)
+    out_row = builder.s_op("*", i_reg, n_imm)
+
+    if n_full:
+        j_trips = builder.s_const(n_full // width)
+        jb = builder.s_const(0)
+        builder.loop_begin(j_trips)
+        acc = builder.v_const((0.0,) * width)
+        for kk in range(k):
+            a_elem = builder.s_load("A", kk, index=a_row)
+            a_splat = builder.v_splat(a_elem)
+            b_vec = builder.v_load("B", kk * n, index=jb)
+            builder.v_op_into(acc, "VecMAC", acc, a_splat, b_vec)
+        out_addr = builder.s_op("+", out_row, jb)
+        builder.v_store(out, 0, acc, index=out_addr)
+        builder.s_op_into(jb, "+", jb, wstep)
+        builder.loop_end()
+
+    # Scalar tail columns (unrolled: there are fewer than W of them).
+    for j in range(n_full, n):
+        acc_s = builder.s_const(0.0)
+        for kk in range(k):
+            a_elem = builder.s_load("A", kk, index=a_row)
+            b_elem = builder.s_load("B", kk * n + j)
+            builder.s_op_into(acc_s, "mac", acc_s, a_elem, b_elem)
+        builder.s_store(out, j, acc_s, index=out_row)
+
+    _loop_end(builder, i_reg, one, i_bound, i_label)
+    builder.halt()
+    return builder.build(), {}
+
+
+def _conv2d(instance: KernelInstance, spec: IsaSpec):
+    """Padded-image convolution: vector column blocks + scalar tail.
+
+    The image is first copied into a zero-bordered scratch buffer so
+    the tap loop needs no boundary tests (the fixed library tax).  The
+    compute loop then covers full vector blocks of each output row
+    directly, with scalar code for the tail columns.
+    """
+    rows = instance.params["rows"]
+    cols = instance.params["cols"]
+    frows = instance.params["frows"]
+    fcols = instance.params["fcols"]
+    width = spec.vector_width
+
+    out_rows = rows + frows - 1
+    out_cols = cols + fcols - 1
+    out_full = (out_cols // width) * width
+    out = instance.program.output
+    # Zero-padded image: (frows-1)/(fcols-1) borders plus extra right
+    # margin so vector loads at any tap offset stay in bounds.
+    p_cols = cols + 2 * (fcols - 1) + width
+    p_rows = rows + 2 * (frows - 1)
+
+    builder = ProgramBuilder()
+    p_total = _pad(p_rows * p_cols, width)
+    scratch = {"nat_P": p_total}
+
+    # Stage 0: clear the padded buffer (the zero border is load-bearing;
+    # a real library memsets its workspace rather than trusting the
+    # allocator).
+    zero_vec = builder.v_const((0.0,) * width)
+    clear_trips = builder.s_const(p_total // width)
+    clear_step = builder.s_const(width)
+    clear_idx = builder.s_const(0)
+    builder.loop_begin(clear_trips)
+    builder.v_store("nat_P", 0, zero_vec, index=clear_idx)
+    builder.s_op_into(clear_idx, "+", clear_idx, clear_step)
+    builder.loop_end()
+
+    # Stage 1: copy the image into the padded buffer.
+    _copy_strided(
+        builder, "I", cols, "nat_P", p_cols, rows, cols,
+        dst_row0=frows - 1, dst_col0=fcols - 1,
+    )
+
+    # Stage 2: r over output rows (loop); c over full vector blocks
+    # (loop) with the filter taps unrolled; scalar tail columns.
+    r_bound = builder.s_const(out_rows)
+    pcols_imm = builder.s_const(p_cols)
+    ocols_imm = builder.s_const(out_cols)
+    wstep = builder.s_const(width)
+
+    r_label = builder.fresh_label("cv_r")
+    r_reg, one = _counted_loop(builder, r_bound, r_label)
+    p_row = builder.s_op("*", r_reg, pcols_imm)
+    o_row = builder.s_op("*", r_reg, ocols_imm)
+
+    if out_full:
+        c_trips = builder.s_const(out_full // width)
+        cb = builder.s_const(0)
+        builder.loop_begin(c_trips)
+        acc = builder.v_const((0.0,) * width)
+        base = builder.s_op("+", p_row, cb)
+        for i in range(frows):
+            for j in range(fcols):
+                tap = builder.s_load("F", i * fcols + j)
+                tap_splat = builder.v_splat(tap)
+                offset = (frows - 1 - i) * p_cols + (fcols - 1 - j)
+                window = builder.v_load("nat_P", offset, index=base)
+                builder.v_op_into(acc, "VecMAC", acc, tap_splat, window)
+        out_addr = builder.s_op("+", o_row, cb)
+        builder.v_store(out, 0, acc, index=out_addr)
+        builder.s_op_into(cb, "+", cb, wstep)
+        builder.loop_end()
+
+    for c in range(out_full, out_cols):
+        acc_s = builder.s_const(0.0)
+        for i in range(frows):
+            for j in range(fcols):
+                tap = builder.s_load("F", i * fcols + j)
+                offset = (
+                    (frows - 1 - i) * p_cols + (fcols - 1 - j) + c
+                )
+                pixel = builder.s_load("nat_P", offset, index=p_row)
+                builder.s_op_into(acc_s, "mac", acc_s, tap, pixel)
+        builder.s_store(out, c, acc_s, index=o_row)
+
+    _loop_end(builder, r_reg, one, r_bound, r_label)
+    builder.halt()
+    return builder.build(), scratch
+
+
+def _qprod(instance: KernelInstance, spec: IsaSpec):
+    """Library quaternion product: shuffles + sign masks + MACs."""
+    width = spec.vector_width
+    if width != 4:
+        raise ValueError("the library quaternion product is 4-wide")
+    builder = ProgramBuilder()
+
+    q = builder.v_load("q", 0)
+    acc = builder.v_op("VecMul", builder.v_splat(builder.s_load("p", 0)), q)
+    plans = [
+        (1, (1, 0, 3, 2), (-1.0, 1.0, -1.0, 1.0)),
+        (2, (2, 3, 0, 1), (-1.0, 1.0, 1.0, -1.0)),
+        (3, (3, 2, 1, 0), (-1.0, -1.0, 1.0, 1.0)),
+    ]
+    for lane, pattern, signs in plans:
+        shuffled = builder.v_shuffle(q, q, pattern)
+        signed = builder.v_op("VecMul", shuffled, builder.v_const(signs))
+        p_splat = builder.v_splat(builder.s_load("p", lane))
+        acc = builder.v_op("VecMAC", acc, p_splat, signed)
+    builder.v_store(instance.program.output, 0, acc)
+    builder.halt()
+    return builder.build(), {}

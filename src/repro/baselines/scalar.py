@@ -1,0 +1,60 @@
+"""Naive scalar code generation (the normalization baseline).
+
+Computes every output element with scalar instructions, sharing common
+subexpressions (a compiler without vectorization still does CSE).
+This is the stand-in for the paper's "xt-clang with auto-vectorization
+disabled" C++ baseline that Fig. 4 normalizes against.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.frontend import KernelProgram, scalar_outputs
+from repro.isa.spec import IsaSpec
+from repro.lang import term as T
+from repro.lang.ops import OpKind
+from repro.lang.term import Term
+from repro.machine.program import Program, ProgramBuilder
+
+
+class _ScalarGen:
+    def __init__(self, spec: IsaSpec):
+        self._builder = ProgramBuilder()
+        self._memo: dict[Term, str] = {}
+        self._kinds = {i.name: i.kind for i in spec.instructions}
+
+    def lower(self, term: Term) -> str:
+        reg = self._memo.get(term)
+        if reg is not None:
+            return reg
+        builder = self._builder
+        if T.is_const(term):
+            reg = builder.s_const(float(term.payload))
+        elif T.is_get(term):
+            array, index = term.payload
+            reg = builder.s_load(array, index)
+        elif self._kinds.get(term.op) is OpKind.SCALAR:
+            args = [self.lower(arg) for arg in term.args]
+            reg = builder.s_op(term.op, *args)
+        else:
+            raise ValueError(
+                f"scalar codegen cannot lower operator {term.op!r}"
+            )
+        self._memo[term] = reg
+        return reg
+
+    def finish(self) -> Program:
+        self._builder.halt()
+        return self._builder.build()
+
+    @property
+    def builder(self) -> ProgramBuilder:
+        return self._builder
+
+
+def compile_scalar(program: KernelProgram, spec: IsaSpec) -> Program:
+    """Emit purely scalar machine code for a traced kernel."""
+    gen = _ScalarGen(spec)
+    for i, term in enumerate(scalar_outputs(program, source=True)):
+        reg = gen.lower(term)
+        gen.builder.s_store(program.output, i, reg)
+    return gen.finish()

@@ -1,0 +1,157 @@
+"""A superword-level-parallelism auto-vectorizer (the Clang baseline).
+
+Greedy SLP in the style of LLVM's pass (Larsen & Amarasinghe, PLDI
+2000): group each run of ``W`` consecutive output elements into a pack
+and try to vectorize it bottom-up —
+
+- identical lanes become a splat;
+- all-constant lanes become a vector constant;
+- a contiguous ascending run of loads becomes a vector load;
+- isomorphic operations pack lane-wise if their operands pack;
+- mixed ``+``/``-`` lanes use LLVM's *alternating opcode* trick:
+  compute both the add and subtract vectors and blend with a shuffle.
+
+No search, no reassociation: when a pack fails, the whole group falls
+back to scalar code.  That fixed strategy is exactly why this baseline
+does well on regular kernels (matrix multiply, quaternion product) and
+poorly on irregular ones (convolution boundaries, QR) — the shape
+paper Fig. 4 reports for the Tensilica auto-vectorizer.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.scalar import _ScalarGen
+from repro.compiler.frontend import KernelProgram, scalar_outputs
+from repro.isa.spec import IsaSpec
+from repro.lang import term as T
+from repro.lang.ops import OpKind
+from repro.lang.term import Term
+from repro.machine.program import Program
+
+
+class _SlpGen:
+    def __init__(self, spec: IsaSpec):
+        self._spec = spec
+        self._width = spec.vector_width
+        self._scalar = _ScalarGen(spec)
+        self._builder = self._scalar.builder
+        self._pack_memo: dict[tuple[Term, ...], str | None] = {}
+
+    # -- packing -------------------------------------------------------------
+
+    def pack(self, lanes: tuple[Term, ...]) -> str | None:
+        """Vector register computing ``lanes``, or None if unpackable."""
+        cached = self._pack_memo.get(lanes, "miss")
+        if cached != "miss":
+            return cached
+        reg = self._pack_uncached(lanes)
+        self._pack_memo[lanes] = reg
+        return reg
+
+    def _pack_uncached(self, lanes: tuple[Term, ...]) -> str | None:
+        builder = self._builder
+
+        if all(T.is_const(lane) for lane in lanes):
+            return builder.v_const(
+                tuple(float(lane.payload) for lane in lanes)
+            )
+        if len(set(lanes)) == 1:
+            return builder.v_splat(self._scalar.lower(lanes[0]))
+        if all(T.is_get(lane) for lane in lanes):
+            return self._pack_loads(lanes)
+
+        ops = {lane.op for lane in lanes}
+        if len(ops) == 1:
+            return self._pack_isomorphic(lanes)
+        if ops == {"+", "-"}:
+            return self._pack_altop(lanes)
+        return None
+
+    def _pack_loads(self, lanes: tuple[Term, ...]) -> str | None:
+        """Contiguous loads, or a permuted load within one window."""
+        arrays = {lane.payload[0] for lane in lanes}
+        if len(arrays) != 1:
+            return None
+        array = lanes[0].payload[0]
+        indices = [lane.payload[1] for lane in lanes]
+        if indices == list(range(indices[0], indices[0] + len(indices))):
+            return self._builder.v_load(array, indices[0])
+        # LLVM's SLP also handles a shuffled load when all lanes fall in
+        # one vector-sized window.
+        width = self._width
+        window = (min(indices) // width) * width
+        if any(not window <= i < window + width for i in indices):
+            return None
+        loaded = self._builder.v_load(array, window)
+        pattern = tuple(i - window for i in indices)
+        return self._builder.v_shuffle(loaded, loaded, pattern)
+
+    def _pack_isomorphic(self, lanes: tuple[Term, ...]) -> str | None:
+        op = lanes[0].op
+        if not self._spec.has_instruction(op):
+            return None
+        instr = self._spec.instruction(op)
+        if instr.kind is not OpKind.SCALAR:
+            return None
+        vector_op = self._spec.vector_counterpart(op)
+        if vector_op is None:
+            return None
+        arity = instr.arity
+        if any(len(lane.args) != arity for lane in lanes):
+            return None
+        operand_regs = []
+        for j in range(arity):
+            operand = self.pack(tuple(lane.args[j] for lane in lanes))
+            if operand is None:
+                return None
+            operand_regs.append(operand)
+        return self._builder.v_op(vector_op, *operand_regs)
+
+    def _pack_altop(self, lanes: tuple[Term, ...]) -> str | None:
+        """LLVM's alternating add/sub pack.
+
+        ``left ± right`` per lane is one fused op on a MAC machine:
+        ``left + signs * right`` with a constant sign vector (the
+        addsub idiom).
+        """
+        if any(len(lane.args) != 2 for lane in lanes):
+            return None
+        left = self.pack(tuple(lane.args[0] for lane in lanes))
+        if left is None:
+            return None
+        right = self.pack(tuple(lane.args[1] for lane in lanes))
+        if right is None:
+            return None
+        signs = self._builder.v_const(
+            tuple(1.0 if lane.op == "+" else -1.0 for lane in lanes)
+        )
+        return self._builder.v_op("VecMAC", left, signs, right)
+
+    # -- driver ----------------------------------------------------------------
+
+    def compile(self, program: KernelProgram) -> Program:
+        width = self._width
+        outputs = scalar_outputs(program, source=True)
+        padded = list(outputs)
+        while len(padded) % width:
+            padded.append(T.const(0))
+        for start in range(0, len(padded), width):
+            group = tuple(padded[start : start + width])
+            reg = self.pack(group)
+            if reg is not None:
+                self._builder.v_store(program.output, start, reg)
+                continue
+            # Fall back to scalar for this group (skip padding lanes).
+            for offset, lane in enumerate(group):
+                index = start + offset
+                if index >= program.output_len:
+                    break
+                self._builder.s_store(
+                    program.output, index, self._scalar.lower(lane)
+                )
+        return self._scalar.finish()
+
+
+def compile_slp(program: KernelProgram, spec: IsaSpec) -> Program:
+    """Auto-vectorize a traced kernel with greedy SLP packing."""
+    return _SlpGen(spec).compile(program)

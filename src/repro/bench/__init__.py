@@ -1,0 +1,40 @@
+"""Experiment harness: run kernels on every system, print paper tables.
+
+- :mod:`repro.bench.harness` — measure one kernel on one or all
+  systems (scalar / SLP / Nature / Diospyros / Isaria): cycles from
+  the simulator, correctness against the numpy reference, compile
+  time;
+- :mod:`repro.bench.tables` — fixed-width table and series printers
+  matching the rows/series of the paper's figures;
+- :mod:`repro.bench.loc` — the Table 1 lines-of-code inventory.
+"""
+
+from repro.bench.harness import (
+    Measurement,
+    SuiteRow,
+    measure_baseline,
+    measure_compiled,
+    run_suite,
+)
+from repro.bench.tables import format_table, print_table, format_speedup
+from repro.bench.loc import component_loc
+from repro.bench.report import (
+    compile_time_table_md,
+    speedup_table_md,
+    suite_report_md,
+)
+
+__all__ = [
+    "Measurement",
+    "SuiteRow",
+    "measure_baseline",
+    "measure_compiled",
+    "run_suite",
+    "format_table",
+    "print_table",
+    "format_speedup",
+    "component_loc",
+    "compile_time_table_md",
+    "speedup_table_md",
+    "suite_report_md",
+]

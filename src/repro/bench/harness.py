@@ -1,0 +1,186 @@
+"""Measurement harness for the evaluation."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.nature import has_nature_kernel, nature_program
+from repro.baselines.scalar import compile_scalar
+from repro.baselines.slp import compile_slp
+from repro.compiler.diospyros import DiospyrosCompiler
+from repro.core.framework import GeneratedCompiler
+from repro.isa.spec import IsaSpec
+from repro.kernels.specs import (
+    KernelInstance,
+    padded_memory,
+    run_reference,
+)
+from repro.machine.program import Program
+from repro.machine.simulator import Machine
+
+_RTOL = 1e-4
+_ATOL = 1e-5
+
+
+@dataclass
+class Measurement:
+    """One kernel on one system."""
+
+    system: str
+    cycles: int
+    correct: bool
+    compile_time: float = 0.0
+    n_instructions: int = 0
+    error: str | None = None
+
+
+@dataclass
+class SuiteRow:
+    """One kernel across all measured systems."""
+
+    key: str
+    family: str
+    measurements: dict = field(default_factory=dict)
+
+    def cycles(self, system: str) -> int | None:
+        m = self.measurements.get(system)
+        return m.cycles if m and m.error is None else None
+
+    def speedup(self, system: str, baseline: str = "scalar") -> float | None:
+        """Speedup of ``system`` over ``baseline`` (paper Fig. 4's y-axis)."""
+        top = self.cycles(baseline)
+        bottom = self.cycles(system)
+        if top is None or bottom is None or bottom == 0:
+            return None
+        return top / bottom
+
+
+def _simulate(
+    spec: IsaSpec,
+    program: Program,
+    instance: KernelInstance,
+    inputs: dict,
+    extra_arrays: dict | None = None,
+) -> tuple[int, int, bool]:
+    from repro.machine.schedule import schedule_program
+
+    machine = Machine(spec)
+    # Every measured system gets the toolchain's instruction scheduler
+    # (see repro.machine.schedule) — comparisons stay fair.
+    program = schedule_program(program, machine)
+    memory = padded_memory(instance, inputs)
+    for name, size in (extra_arrays or {}).items():
+        memory[name] = [0.0] * size
+    result = machine.run(program, memory)
+    got = result.array(instance.program.output)[: instance.output_len]
+    want = run_reference(instance, inputs)
+    correct = bool(np.allclose(got, want, rtol=_RTOL, atol=_ATOL))
+    return result.cycles, result.n_instructions, correct
+
+
+def measure_baseline(
+    system: str,
+    instance: KernelInstance,
+    spec: IsaSpec,
+    inputs: dict | None = None,
+) -> Measurement:
+    """Measure one of the non-eqsat systems: scalar / slp / nature."""
+    inputs = inputs or instance.make_inputs()
+    extra: dict = {}
+    t0 = time.monotonic()
+    try:
+        if system == "scalar":
+            program = compile_scalar(instance.program, spec)
+        elif system == "slp":
+            program = compile_slp(instance.program, spec)
+        elif system == "nature":
+            if not has_nature_kernel(instance):
+                return Measurement(
+                    system, 0, False, error="no library kernel"
+                )
+            program, extra = nature_program(instance, spec)
+        else:
+            raise ValueError(f"unknown baseline {system!r}")
+    except Exception as exc:  # pragma: no cover - surfaced in tables
+        return Measurement(system, 0, False, error=str(exc))
+    compile_time = time.monotonic() - t0
+    cycles, n_instr, correct = _simulate(
+        spec, program, instance, inputs, extra
+    )
+    return Measurement(
+        system,
+        cycles,
+        correct,
+        compile_time=compile_time,
+        n_instructions=n_instr,
+    )
+
+
+def measure_compiled(
+    system: str,
+    compiler: GeneratedCompiler | DiospyrosCompiler,
+    instance: KernelInstance,
+    inputs: dict | None = None,
+) -> Measurement:
+    """Measure an equality-saturation compiler (isaria / diospyros)."""
+    inputs = inputs or instance.make_inputs()
+    t0 = time.monotonic()
+    try:
+        if isinstance(compiler, DiospyrosCompiler):
+            from repro.compiler.lowering import lower_program
+
+            compiled, _report = compiler.compile(instance.program.term)
+            program = lower_program(
+                compiled,
+                compiler.spec,
+                instance.program.arrays,
+                output=instance.program.output,
+            )
+            spec = compiler.spec
+        else:
+            kernel = compiler.compile_kernel(instance)
+            program = kernel.machine_program
+            spec = compiler.spec
+    except Exception as exc:  # pragma: no cover - surfaced in tables
+        return Measurement(system, 0, False, error=str(exc))
+    compile_time = time.monotonic() - t0
+    cycles, n_instr, correct = _simulate(spec, program, instance, inputs)
+    return Measurement(
+        system,
+        cycles,
+        correct,
+        compile_time=compile_time,
+        n_instructions=n_instr,
+    )
+
+
+def run_suite(
+    instances: list[KernelInstance],
+    spec: IsaSpec,
+    isaria: GeneratedCompiler | None = None,
+    diospyros: DiospyrosCompiler | None = None,
+    systems: tuple = ("scalar", "slp", "nature"),
+    seed: int = 0,
+) -> list[SuiteRow]:
+    """Measure every kernel on every requested system."""
+    rows: list[SuiteRow] = []
+    for instance in instances:
+        inputs = instance.make_inputs(seed)
+        row = SuiteRow(key=instance.key, family=instance.family)
+        for system in systems:
+            row.measurements[system] = measure_baseline(
+                system, instance, spec, inputs
+            )
+        if diospyros is not None:
+            row.measurements["diospyros"] = measure_compiled(
+                "diospyros", diospyros, instance, inputs
+            )
+        if isaria is not None:
+            row.measurements["isaria"] = measure_compiled(
+                "isaria", isaria, instance, inputs
+            )
+        rows.append(row)
+    return rows

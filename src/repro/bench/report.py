@@ -1,0 +1,91 @@
+"""Markdown report generation for measurement sweeps.
+
+Turns :class:`~repro.bench.harness.SuiteRow` results into the tables
+EXPERIMENTS.md records, so a fresh machine can regenerate the document
+body from its own runs (``python -m repro.tools.report``).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import SuiteRow
+
+
+def speedup_table_md(
+    rows: list[SuiteRow],
+    systems: tuple = ("slp", "nature", "diospyros", "isaria"),
+    baseline: str = "scalar",
+) -> str:
+    """A Markdown table of speedups over ``baseline``."""
+    header = (
+        "| kernel | "
+        + f"{baseline} cycles | "
+        + " | ".join(systems)
+        + " |"
+    )
+    rule = "| --- | --- |" + " --- |" * len(systems)
+    lines = [header, rule]
+    for row in rows:
+        cells = [row.key, str(row.cycles(baseline))]
+        for system in systems:
+            speedup = row.speedup(system, baseline)
+            cells.append("-" if speedup is None else f"{speedup:.2f}x")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def compile_time_table_md(
+    rows: list[SuiteRow],
+    systems: tuple = ("diospyros", "isaria"),
+) -> str:
+    """A Markdown table of compile times."""
+    header = "| kernel | " + " | ".join(systems) + " |"
+    rule = "| --- |" + " --- |" * len(systems)
+    lines = [header, rule]
+    for row in rows:
+        cells = [row.key]
+        for system in systems:
+            m = row.measurements.get(system)
+            if m is None or m.error is not None:
+                cells.append("-")
+            else:
+                cells.append(f"{m.compile_time:.1f}s")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def correctness_summary(rows: list[SuiteRow]) -> tuple[int, int, list]:
+    """``(n_checked, n_correct, failures)`` across all measurements."""
+    checked = correct = 0
+    failures = []
+    for row in rows:
+        for system, m in row.measurements.items():
+            if m.error is not None:
+                continue
+            checked += 1
+            if m.correct:
+                correct += 1
+            else:
+                failures.append((row.key, system))
+    return checked, correct, failures
+
+
+def suite_report_md(rows: list[SuiteRow], title: str) -> str:
+    """A complete Markdown section for one sweep."""
+    checked, correct, failures = correctness_summary(rows)
+    parts = [
+        f"## {title}",
+        "",
+        "### Speedup over the scalar baseline",
+        "",
+        speedup_table_md(rows),
+        "",
+        "### Compile times (equality-saturation compilers)",
+        "",
+        compile_time_table_md(rows),
+        "",
+        f"Correctness: {correct}/{checked} measurements match the "
+        "numpy references.",
+    ]
+    if failures:
+        parts.append(f"Failures: {failures}")
+    return "\n".join(parts) + "\n"

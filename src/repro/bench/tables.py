@@ -1,0 +1,43 @@
+"""Fixed-width table printers for the experiment reports."""
+
+from __future__ import annotations
+
+
+def format_speedup(value: float | None) -> str:
+    """Render a speedup ratio ("2.50x"), with "-" for unmeasured."""
+    if value is None:
+        return "-"
+    return f"{value:.2f}x"
+
+
+def format_table(
+    headers: list[str], rows: list[list], title: str | None = None
+) -> str:
+    """Render rows as an aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: list[str], rows: list[list], title: str | None = None
+) -> None:
+    """Print an aligned text table preceded by a blank line."""
+    print()
+    print(format_table(headers, rows, title=title))

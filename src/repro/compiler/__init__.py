@@ -1,0 +1,52 @@
+"""The compile-time half of Isaria, plus front end and back end.
+
+- :mod:`repro.compiler.frontend` — symbolic evaluation of imperative
+  Python kernels into scalar DSL programs (the Diospyros front end the
+  paper reuses);
+- :mod:`repro.compiler.compile` — the ``Compile`` algorithm of paper
+  Fig. 3: phased equality saturation with greedy pruning;
+- :mod:`repro.compiler.lowering` — lowering extracted vector DSL terms
+  onto machine code, selecting data movement for ``Vec`` literals
+  (vector load / shuffle / lane insert);
+- :mod:`repro.compiler.codegen` — a C-with-intrinsics pretty printer
+  for compiled kernels (what Diospyros emits for the Xtensa toolchain);
+- :mod:`repro.compiler.diospyros` — the hand-written-rules baseline
+  compiler Diospyros represents in the evaluation.
+"""
+
+from repro.compiler.frontend import (
+    SymScalar,
+    SymArray,
+    trace_kernel,
+    program_from_outputs,
+    KernelProgram,
+)
+from repro.compiler.compile import (
+    CompileOptions,
+    CompileReport,
+    RoundReport,
+    compile_term,
+)
+from repro.compiler.lowering import LoweringError, lower_program
+from repro.compiler.codegen import emit_c
+from repro.compiler.diospyros import (
+    diospyros_rules,
+    DiospyrosCompiler,
+)
+
+__all__ = [
+    "SymScalar",
+    "SymArray",
+    "trace_kernel",
+    "program_from_outputs",
+    "KernelProgram",
+    "CompileOptions",
+    "CompileReport",
+    "RoundReport",
+    "compile_term",
+    "LoweringError",
+    "lower_program",
+    "emit_c",
+    "diospyros_rules",
+    "DiospyrosCompiler",
+]

@@ -1,0 +1,117 @@
+"""C-with-intrinsics pretty printer.
+
+Diospyros emits C sprinkled with Xtensa intrinsics for the Tensilica
+toolchain; this module emits the equivalent for our machine model so
+compiled kernels can be read, diffed, and pasted into reports.  The
+text is presentation-only — execution happens in
+:mod:`repro.machine.simulator`.
+"""
+
+from __future__ import annotations
+
+from repro.machine.program import Instr, Program
+
+_INTRINSIC = {
+    "VecAdd": "vec_add",
+    "VecMinus": "vec_sub",
+    "VecMul": "vec_mul",
+    "VecDiv": "vec_div",
+    "VecNeg": "vec_neg",
+    "VecSgn": "vec_sgn",
+    "VecSqrt": "vec_sqrt",
+    "VecMAC": "vec_mac",
+    "VecMulSub": "vec_mulsub",
+    "VecSqrtSgn": "vec_sqrtsgn",
+}
+
+_SCALAR_FMT = {
+    "+": "{0} + {1}",
+    "-": "{0} - {1}",
+    "*": "{0} * {1}",
+    "/": "{0} / {1}",
+    "neg": "-{0}",
+    "sgn": "sgnf({0})",
+    "sqrt": "sqrtf({0})",
+    "mac": "{0} + {1} * {2}",
+    "mulsub": "{0} - {1} * {2}",
+    "sqrtsgn": "sqrtf({0}) * sgnf(-{1})",
+}
+
+
+def _emit_instr(instr: Instr) -> str | None:
+    opcode = instr.opcode
+    if opcode == "s.const":
+        return f"float {instr.dst} = {float(instr.imm)}f;"
+    if opcode == "s.load":
+        return f"float {instr.dst} = {instr.array}[{instr.offset}];"
+    if opcode == "s.store":
+        return f"{instr.array}[{instr.offset}] = {instr.srcs[0]};"
+    if opcode == "s.op":
+        fmt = _SCALAR_FMT.get(instr.op, None)
+        if fmt is None:
+            args = ", ".join(instr.srcs)
+            return f"float {instr.dst} = {instr.op}({args});"
+        return f"float {instr.dst} = {fmt.format(*instr.srcs)};"
+    if opcode == "v.const":
+        lanes = ", ".join(f"{float(x)}f" for x in instr.imm)
+        return f"vecf {instr.dst} = vec_literal({lanes});"
+    if opcode == "v.splat":
+        return f"vecf {instr.dst} = vec_splat({instr.srcs[0]});"
+    if opcode == "v.load":
+        return (
+            f"vecf {instr.dst} = vec_load(&{instr.array}[{instr.offset}]);"
+        )
+    if opcode == "v.store":
+        return f"vec_store(&{instr.array}[{instr.offset}], {instr.srcs[0]});"
+    if opcode == "v.op":
+        name = _INTRINSIC.get(instr.op, instr.op.lower())
+        args = ", ".join(instr.srcs)
+        return f"vecf {instr.dst} = {name}({args});"
+    if opcode == "v.insert":
+        vec, scalar = instr.srcs
+        return (
+            f"vecf {instr.dst} = vec_insert({vec}, {instr.imm}, {scalar});"
+        )
+    if opcode == "v.extract":
+        return (
+            f"float {instr.dst} = vec_extract({instr.srcs[0]}, {instr.imm});"
+        )
+    if opcode == "v.shuffle":
+        pattern = ", ".join(str(i) for i in instr.imm)
+        a, b = instr.srcs
+        return (
+            f"vecf {instr.dst} = vec_shuffle({a}, {b}, {{{pattern}}});"
+        )
+    if opcode == "label":
+        return f"{instr.target}:"
+    if opcode == "jump":
+        return f"goto {instr.target};"
+    if opcode == "bnez":
+        return f"if ({instr.srcs[0]} != 0) goto {instr.target};"
+    if opcode == "blt":
+        return f"if ({instr.srcs[0]} < {instr.srcs[1]}) goto {instr.target};"
+    if opcode == "loop.begin":
+        return f"for (int n = {instr.srcs[0]}; n > 0; --n) {{  /* hw loop */"
+    if opcode == "loop.end":
+        return "}"
+    if opcode == "halt":
+        return "return;"
+    return f"/* {instr} */"
+
+
+def emit_c(program: Program, name: str = "kernel", arrays: dict | None = None,
+           output: str = "out") -> str:
+    """Render a machine program as a C-like kernel function."""
+    params = []
+    for array in sorted(arrays or {}):
+        params.append(f"const float *{array}")
+    params.append(f"float *{output}")
+    lines = [f"void {name}({', '.join(params)}) {{"]
+    for instr in program.instrs:
+        text = _emit_instr(instr)
+        if text is None:
+            continue
+        indent = "" if text.endswith(":") else "  "
+        lines.append(f"{indent}{text}")
+    lines.append("}")
+    return "\n".join(lines)

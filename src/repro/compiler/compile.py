@@ -1,0 +1,241 @@
+"""The Compile algorithm (paper Fig. 3).
+
+``compile_term`` vectorizes a scalar program by scheduled equality
+saturation:
+
+1. loop: saturate with **expansion** rules, then **compilation** rules
+   (each a separate bounded ``EqSat`` call), extract the cheapest
+   program, and — if it improved — *prune*: throw the e-graph away and
+   restart from the extracted program alone;
+2. when extraction stops improving, run one **optimization** phase and
+   extract the final program.
+
+Both of the paper's §5.2 ablations are switchable here: ``phased=False``
+replaces the schedule with a single saturation over all rules (the
+configuration that exhausts memory in the paper), and ``pruning=False``
+keeps the e-graph across loop rounds instead of restarting from the
+extracted program.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.extract import Extractor
+from repro.egraph.runner import RunnerLimits, RunnerReport, run_saturation
+from repro.lang.term import Term
+from repro.phases.cost import CostModel
+from repro.phases.ruleset import PhasedRuleSet
+
+_EPSILON = 1e-9
+
+# The pruning loop stops when a round fails to improve extraction cost
+# meaningfully; requiring a small relative improvement avoids burning
+# rounds (and EqSat calls) on sub-0.1% scalar tweaks.
+_MIN_RELATIVE_GAIN = 0.002
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Knobs for one compilation."""
+
+    phased: bool = True
+    pruning: bool = True
+    max_rounds: int = 8
+    # Round index at which the expansion phase starts participating.
+    # Round 0 runs compilation rules alone: the front end's aligned
+    # chunks lift deterministically, and polluting the e-graph with
+    # scalar variants *before* the first lift pass starves the lift
+    # chains of match budget (measured: 40x worse extraction).  Later
+    # rounds explore variants of the already-vectorized program.
+    expansion_start_round: int = 1
+    # Expansion explores scalar variants; with hundreds of synthesized
+    # rules its match budget must stay small or the e-graph explodes
+    # before compilation rules ever run (§2.3).
+    expansion_limits: RunnerLimits = RunnerLimits(
+        max_iterations=2,
+        max_nodes=5_000,
+        time_limit=4.0,
+        match_limit=100,
+        ban_length=1,
+        match_work=40_000,
+    )
+    # Compilation lifts one Vec level per iteration, so deep scalar
+    # chains need many *small* iterations: low per-rule match/work
+    # budgets keep each iteration fast enough that the chain completes
+    # within the time limit.
+    compilation_limits: RunnerLimits = RunnerLimits(
+        max_iterations=30,
+        max_nodes=30_000,
+        time_limit=25.0,
+        match_limit=80,
+        ban_length=3,
+        match_work=25_000,
+    )
+    optimization_limits: RunnerLimits = RunnerLimits(
+        max_iterations=6,
+        max_nodes=15_000,
+        time_limit=8.0,
+        match_limit=300,
+        ban_length=2,
+    )
+    # Used only by the phased=False ablation.
+    unphased_limits: RunnerLimits = RunnerLimits(
+        max_iterations=10, max_nodes=120_000, time_limit=60.0
+    )
+
+
+@dataclass
+class RoundReport:
+    """One trip around the Fig. 3 loop."""
+
+    index: int
+    expansion: RunnerReport | None
+    compilation: RunnerReport | None
+    extracted_cost: float
+    n_nodes: int
+    n_classes: int
+
+
+@dataclass
+class CompileReport:
+    """Everything that happened during one compilation."""
+
+    initial_cost: float
+    final_cost: float
+    rounds: list[RoundReport] = field(default_factory=list)
+    optimization: RunnerReport | None = None
+    elapsed: float = 0.0
+    peak_nodes: int = 0
+
+    @property
+    def n_eqsat_calls(self) -> int:
+        calls = sum(
+            (r.expansion is not None) + (r.compilation is not None)
+            for r in self.rounds
+        )
+        return calls + (self.optimization is not None)
+
+    @property
+    def speedup_estimate(self) -> float:
+        """Abstract-cost improvement ratio (not measured cycles)."""
+        if self.final_cost <= 0:
+            return float("inf")
+        return self.initial_cost / self.final_cost
+
+
+def _extract(egraph: EGraph, root: int, cost_model: CostModel):
+    extractor = Extractor(egraph, cost_model)
+    return extractor.best(root)
+
+
+def compile_term(
+    program: Term,
+    ruleset: PhasedRuleSet,
+    cost_model: CostModel,
+    options: CompileOptions | None = None,
+) -> tuple[Term, CompileReport]:
+    """Vectorize ``program``; returns the compiled term and a report."""
+    options = options or CompileOptions()
+    start = time.monotonic()
+    initial_cost = cost_model.term_cost(program)
+    report = CompileReport(initial_cost=initial_cost, final_cost=initial_cost)
+
+    if not options.phased:
+        compiled = _compile_unphased(program, ruleset, cost_model, options,
+                                     report)
+        report.elapsed = time.monotonic() - start
+        return compiled, report
+
+    # --- the Fig. 3 loop -------------------------------------------------
+    current = program
+    cost_old = initial_cost
+    egraph: EGraph | None = None
+    root: int | None = None
+
+    for index in range(options.max_rounds):
+        if options.pruning or egraph is None:
+            egraph = EGraph()
+            root = egraph.add_term(current)
+        exp_report = None
+        if index >= options.expansion_start_round:
+            exp_report = run_saturation(
+                egraph, list(ruleset.expansion), options.expansion_limits
+            )
+        # Frontier matching: compilation rules chain (each lift mints
+        # the Vec literal the next lift fires on), so after the first
+        # sweep the budget goes to newly created structure instead of
+        # re-matching the expansion phase's variants.
+        comp_report = run_saturation(
+            egraph,
+            list(ruleset.compilation),
+            options.compilation_limits,
+            frontier=True,
+        )
+        cost_new, extracted = _extract(egraph, root, cost_model)
+        report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
+        report.rounds.append(
+            RoundReport(
+                index=index,
+                expansion=exp_report,
+                compilation=comp_report,
+                extracted_cost=cost_new,
+                n_nodes=egraph.n_nodes,
+                n_classes=egraph.n_classes,
+            )
+        )
+        threshold = max(_EPSILON, cost_old * _MIN_RELATIVE_GAIN)
+        if cost_new >= cost_old - threshold:
+            if cost_new < cost_old:
+                cost_old = cost_new
+                current = extracted  # keep the small win anyway
+            # Never give up before the expansion phase has had at
+            # least one round to expose new structure.
+            if index >= options.expansion_start_round:
+                break
+            continue
+        cost_old = cost_new
+        current = extracted
+
+    # --- final optimization phase ------------------------------------------
+    egraph = EGraph()
+    root = egraph.add_term(current)
+    report.optimization = run_saturation(
+        egraph, list(ruleset.optimization), options.optimization_limits
+    )
+    final_cost, compiled = _extract(egraph, root, cost_model)
+    report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
+    report.final_cost = final_cost
+    report.elapsed = time.monotonic() - start
+    return compiled, report
+
+
+def _compile_unphased(
+    program: Term,
+    ruleset: PhasedRuleSet,
+    cost_model: CostModel,
+    options: CompileOptions,
+    report: CompileReport,
+) -> Term:
+    """The §5.2 no-phasing ablation: one saturation over all rules."""
+    egraph = EGraph()
+    root = egraph.add_term(program)
+    sat_report = run_saturation(
+        egraph, ruleset.all_rules(), options.unphased_limits
+    )
+    cost, compiled = _extract(egraph, root, cost_model)
+    report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
+    report.rounds.append(
+        RoundReport(
+            index=0,
+            expansion=None,
+            compilation=sat_report,
+            extracted_cost=cost,
+            n_nodes=egraph.n_nodes,
+            n_classes=egraph.n_classes,
+        )
+    )
+    report.final_cost = cost
+    return compiled

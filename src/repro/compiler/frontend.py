@@ -1,0 +1,214 @@
+"""The compiler front end: imperative kernels → scalar DSL programs.
+
+Diospyros (and therefore Isaria) lifts imperative DSP kernels into a
+pure expression language by symbolic evaluation: variables and control
+flow disappear, leaving one expression per output element (paper §2.1).
+Here kernels are Python functions over :class:`SymArray` inputs;
+running them *is* the symbolic evaluation — Python executes the loops
+and branches, and the operator overloads on :class:`SymScalar` record
+the dataflow as DSL terms.
+
+The traced outputs are packed into width-``W`` ``Vec`` chunks (padding
+the tail with zeros) to form the scalar program ``(List chunk...)``
+that equality saturation vectorizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.lang import builders as B
+from repro.lang.term import Term
+
+
+class SymScalar:
+    """A scalar value being traced; wraps a DSL term."""
+
+    __slots__ = ("term",)
+
+    def __init__(self, term: Term):
+        if not isinstance(term, Term):
+            raise TypeError(f"SymScalar wraps a Term, got {term!r}")
+        self.term = term
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def lift(value) -> "SymScalar":
+        if isinstance(value, SymScalar):
+            return value
+        if isinstance(value, (int, float)):
+            return SymScalar(B.const(value))
+        raise TypeError(f"cannot lift {value!r} into a traced scalar")
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other):
+        return SymScalar(B.add(self.term, SymScalar.lift(other).term))
+
+    def __radd__(self, other):
+        return SymScalar(B.add(SymScalar.lift(other).term, self.term))
+
+    def __sub__(self, other):
+        return SymScalar(B.sub(self.term, SymScalar.lift(other).term))
+
+    def __rsub__(self, other):
+        return SymScalar(B.sub(SymScalar.lift(other).term, self.term))
+
+    def __mul__(self, other):
+        return SymScalar(B.mul(self.term, SymScalar.lift(other).term))
+
+    def __rmul__(self, other):
+        return SymScalar(B.mul(SymScalar.lift(other).term, self.term))
+
+    def __truediv__(self, other):
+        return SymScalar(B.div(self.term, SymScalar.lift(other).term))
+
+    def __rtruediv__(self, other):
+        return SymScalar(B.div(SymScalar.lift(other).term, self.term))
+
+    def __neg__(self):
+        return SymScalar(B.neg(self.term))
+
+    def sqrt(self) -> "SymScalar":
+        return SymScalar(B.sqrt(self.term))
+
+    def sgn(self) -> "SymScalar":
+        return SymScalar(B.sgn(self.term))
+
+    def __repr__(self) -> str:
+        return f"SymScalar({self.term!r})"
+
+
+def sym_sqrt(value) -> SymScalar:
+    return SymScalar.lift(value).sqrt()
+
+
+def sym_sgn(value) -> SymScalar:
+    return SymScalar.lift(value).sgn()
+
+
+class SymArray:
+    """A named input array being traced; indexing yields ``Get`` terms."""
+
+    def __init__(self, name: str, length: int):
+        self.name = name
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __getitem__(self, index: int) -> SymScalar:
+        if not 0 <= index < self.length:
+            raise IndexError(
+                f"{self.name}[{index}] out of range (len {self.length})"
+            )
+        return SymScalar(B.get(self.name, index))
+
+
+@dataclass(frozen=True)
+class KernelProgram:
+    """A traced kernel ready for compilation.
+
+    ``term`` is ``(List chunk...)`` with each chunk a width-``W``
+    ``Vec`` of scalar expressions; ``output_len`` is the unpadded
+    output length; ``arrays`` maps each input array to its length.
+
+    ``raw_term`` preserves the un-normalized trace: the equality-
+    saturation compilers consume the canonicalized ``term`` (that is
+    part of the Diospyros front end), while the Clang-like baselines
+    see the program as written, like real Clang does.
+    """
+
+    name: str
+    term: Term
+    output: str
+    output_len: int
+    arrays: dict
+    width: int
+    raw_term: Term | None = None
+
+    @property
+    def padded_len(self) -> int:
+        return len(self.term.args) * self.width
+
+    @property
+    def source_term(self) -> Term:
+        """The un-normalized program (falls back to ``term``)."""
+        return self.raw_term if self.raw_term is not None else self.term
+
+
+def program_from_outputs(
+    outputs: Sequence[Term], width: int, align: bool = False
+) -> Term:
+    """Pack scalar output expressions into the chunked List program.
+
+    ``align`` applies per-chunk lane alignment (see
+    :func:`repro.compiler.normalize.align_chunk_lanes`).
+    """
+    if not outputs:
+        raise ValueError("kernel produced no outputs")
+    chunks: list[Term] = []
+    padded = list(outputs)
+    while len(padded) % width:
+        padded.append(B.const(0))
+    for i in range(0, len(padded), width):
+        lanes = padded[i : i + width]
+        if align:
+            from repro.compiler.normalize import align_chunk_lanes
+
+            lanes = align_chunk_lanes(lanes)
+        chunks.append(B.vec(*lanes))
+    return B.prog(*chunks)
+
+
+def trace_kernel(
+    name: str,
+    fn: Callable,
+    arrays: dict,
+    width: int,
+    output: str = "out",
+    normalize: bool = True,
+) -> KernelProgram:
+    """Symbolically evaluate ``fn`` into a :class:`KernelProgram`.
+
+    ``fn`` receives one :class:`SymArray` per entry of ``arrays`` (in
+    dict order) and returns the list of output scalars (``SymScalar``
+    or plain numbers), one per element of the output array.
+
+    ``normalize`` applies the Diospyros-style canonicalization of
+    additive structure (see :mod:`repro.compiler.normalize`).
+    """
+    sym_arrays = [SymArray(arr, length) for arr, length in arrays.items()]
+    outputs = fn(*sym_arrays)
+    raw = [SymScalar.lift(value).term for value in outputs]
+    terms = raw
+    if normalize:
+        from repro.compiler.normalize import normalize as canon
+
+        terms = [canon(term) for term in raw]
+    return KernelProgram(
+        name=name,
+        term=program_from_outputs(terms, width, align=normalize),
+        output=output,
+        output_len=len(terms),
+        arrays=dict(arrays),
+        width=width,
+        raw_term=program_from_outputs(raw, width),
+    )
+
+
+def scalar_outputs(program: KernelProgram, source: bool = False) -> list[Term]:
+    """The unpadded scalar output expressions of a traced kernel.
+
+    ``source=True`` reads the un-normalized trace (what non-eqsat
+    baselines compile).
+    """
+    term = program.source_term if source else program.term
+    outputs: list[Term] = []
+    for chunk in term.args:
+        if chunk.op != "Vec":
+            raise ValueError("kernel program chunks must be Vec literals")
+        outputs.extend(chunk.args)
+    return outputs[: program.output_len]

@@ -1,0 +1,249 @@
+"""Lowering compiled DSL terms onto the machine (the back end).
+
+``Vec`` terms abstract data movement during equality saturation (paper
+§2.1); lowering makes the movement concrete, choosing per literal:
+
+1. all-constant lanes → one ``v.const``;
+2. a contiguous ascending ``Get`` run of one array → one ``v.load``;
+3. arbitrary ``Get`` lanes drawn from at most two aligned windows →
+   vector loads + one ``v.shuffle``;
+4. identical computed lanes → ``v.splat``;
+5. otherwise → compute each lane as a scalar and ``v.insert`` it —
+   the expensive path the cost model steers extraction away from.
+
+Lowering is memoized over interned terms, so common subexpressions are
+computed once (the CSE the fully-unrolled kernels rely on).
+"""
+
+from __future__ import annotations
+
+from repro.isa.spec import IsaSpec
+from repro.lang import term as T
+from repro.lang.ops import OpKind
+from repro.lang.term import Term
+from repro.machine.program import Program, ProgramBuilder
+
+
+class LoweringError(ValueError):
+    """The term cannot be realized on this machine."""
+
+
+def _padded_len(length: int, width: int) -> int:
+    return ((length + width - 1) // width) * width
+
+
+class _Lowerer:
+    def __init__(self, spec: IsaSpec, arrays: dict, output: str):
+        self._spec = spec
+        self._width = spec.vector_width
+        self._arrays = dict(arrays)
+        self._output = output
+        self._builder = ProgramBuilder()
+        self._scalar_memo: dict[Term, str] = {}
+        self._vector_memo: dict[Term, str] = {}
+        self._kinds = {i.name: i.kind for i in spec.instructions}
+
+    # -- entry ---------------------------------------------------------------
+
+    def lower_program(self, program: Term) -> Program:
+        if program.op != "List":
+            raise LoweringError("expected a (List ...) program at top level")
+        width = self._width
+        for i, chunk in enumerate(program.args):
+            reg = self.lower_vector(chunk)
+            self._builder.v_store(self._output, i * width, reg)
+        self._builder.halt()
+        return self._builder.build()
+
+    # -- scalar lowering ---------------------------------------------------
+
+    def lower_scalar(self, term: Term) -> str:
+        reg = self._scalar_memo.get(term)
+        if reg is not None:
+            return reg
+        builder = self._builder
+        if T.is_const(term):
+            reg = builder.s_const(float(term.payload))
+        elif T.is_get(term):
+            array, index = term.payload
+            self._check_bounds(array, index, 1)
+            reg = builder.s_load(array, index)
+        elif T.is_symbol(term):
+            raise LoweringError(
+                f"free variable {term.payload!r}: kernels must read "
+                "inputs through arrays (Get)"
+            )
+        elif self._kinds.get(term.op) is OpKind.SCALAR:
+            args = [self.lower_scalar(arg) for arg in term.args]
+            reg = builder.s_op(term.op, *args)
+        else:
+            raise LoweringError(
+                f"operator {term.op!r} is not a scalar at this position"
+            )
+        self._scalar_memo[term] = reg
+        return reg
+
+    # -- vector lowering ---------------------------------------------------
+
+    def lower_vector(self, term: Term) -> str:
+        reg = self._vector_memo.get(term)
+        if reg is not None:
+            return reg
+        if term.op == "Vec":
+            reg = self._lower_vec_literal(term)
+        elif term.op == "Concat":
+            raise LoweringError(
+                "Concat produces a double-width vector; the machine is "
+                f"{self._width}-wide"
+            )
+        elif self._kinds.get(term.op) is OpKind.VECTOR:
+            args = [self.lower_vector(arg) for arg in term.args]
+            reg = self._builder.v_op(term.op, *args)
+        else:
+            raise LoweringError(
+                f"operator {term.op!r} is not vector-valued; the "
+                "compiled program left a scalar where a vector is needed"
+            )
+        self._vector_memo[term] = reg
+        return reg
+
+    def _lower_vec_literal(self, term: Term) -> str:
+        lanes = term.args
+        if len(lanes) != self._width:
+            raise LoweringError(
+                f"Vec of width {len(lanes)} on a {self._width}-wide machine"
+            )
+        builder = self._builder
+
+        if all(T.is_const(lane) for lane in lanes):
+            return builder.v_const(
+                tuple(float(lane.payload) for lane in lanes)
+            )
+
+        if all(T.is_get(lane) for lane in lanes):
+            reg = self._try_loads_and_shuffle(lanes)
+            if reg is not None:
+                return reg
+
+        if all(T.is_get(lane) or T.is_const(lane) for lane in lanes):
+            reg = self._try_load_and_const_shuffle(lanes)
+            if reg is not None:
+                return reg
+
+        if len(set(lanes)) == 1 and not T.is_const(lanes[0]):
+            return builder.v_splat(self.lower_scalar(lanes[0]))
+
+        # General case: build the vector one lane at a time.
+        reg = builder.v_const((0.0,) * self._width)
+        for i, lane in enumerate(lanes):
+            if T.is_const(lane) and float(lane.payload) == 0.0:
+                continue  # already zero
+            reg = builder.v_insert(reg, i, self.lower_scalar(lane))
+        return reg
+
+    def _try_loads_and_shuffle(self, lanes: tuple[Term, ...]) -> str | None:
+        """Cover all-Get lanes with <=2 aligned vector loads + shuffle."""
+        width = self._width
+
+        # A strictly consecutive run is one (possibly unaligned) load,
+        # even when it straddles aligned windows.
+        arrays = {lane.payload[0] for lane in lanes}
+        if len(arrays) == 1:
+            (array,) = arrays
+            indices = [lane.payload[1] for lane in lanes]
+            start = indices[0]
+            if indices == list(range(start, start + width)):
+                padded = _padded_len(self._array_len(array), width)
+                if 0 <= start and start + width <= padded:
+                    return self._builder.v_load(array, start)
+
+        windows: list[tuple[str, int]] = []
+        lane_slots: list[tuple[int, int]] = []  # (window idx, offset)
+        for lane in lanes:
+            array, index = lane.payload
+            window = (array, (index // width) * width)
+            if window not in windows:
+                windows.append(window)
+            lane_slots.append((windows.index(window), index % width))
+        if len(windows) > 2:
+            return None
+        for array, start in windows:
+            if not self._window_in_bounds(array, start):
+                return None
+
+        builder = self._builder
+        # Contiguous single load: the common fast path.
+        if len(windows) == 1:
+            array, start = windows[0]
+            indices = [lane.payload[1] for lane in lanes]
+            if indices == list(range(start, start + width)):
+                return builder.v_load(array, start)
+        regs = [builder.v_load(array, start) for array, start in windows]
+        if len(regs) == 1:
+            regs.append(regs[0])
+        pattern = tuple(
+            w * width + offset for w, offset in lane_slots
+        )
+        return builder.v_shuffle(regs[0], regs[1], pattern)
+
+    def _try_load_and_const_shuffle(
+        self, lanes: tuple[Term, ...]
+    ) -> str | None:
+        """Mixed Get/const lanes: one load + one constant vector, shuffled."""
+        width = self._width
+        window: tuple[str, int] | None = None
+        const_lanes = [0.0] * width
+        pattern: list[int] = []
+        for i, lane in enumerate(lanes):
+            if T.is_const(lane):
+                const_lanes[i] = float(lane.payload)
+                pattern.append(width + i)
+                continue
+            array, index = lane.payload
+            lane_window = (array, (index // width) * width)
+            if window is None:
+                window = lane_window
+            elif window != lane_window:
+                return None
+            pattern.append(index % width)
+        if window is None or not self._window_in_bounds(*window):
+            return None
+        builder = self._builder
+        loaded = builder.v_load(window[0], window[1])
+        consts = builder.v_const(tuple(const_lanes))
+        return builder.v_shuffle(loaded, consts, tuple(pattern))
+
+    # -- bounds ----------------------------------------------------------------
+
+    def _array_len(self, array: str) -> int:
+        length = self._arrays.get(array)
+        if length is None:
+            raise LoweringError(f"unknown input array {array!r}")
+        return length
+
+    def _check_bounds(self, array: str, index: int, span: int) -> None:
+        padded = _padded_len(self._array_len(array), self._width)
+        if not 0 <= index <= padded - span:
+            raise LoweringError(
+                f"access {array}[{index}..{index + span - 1}] out of the "
+                f"padded bounds (0..{padded - 1})"
+            )
+
+    def _window_in_bounds(self, array: str, start: int) -> bool:
+        padded = _padded_len(self._array_len(array), self._width)
+        return 0 <= start and start + self._width <= padded
+
+
+def lower_program(
+    program: Term,
+    spec: IsaSpec,
+    arrays: dict,
+    output: str = "out",
+) -> Program:
+    """Lower a compiled ``(List ...)`` term to a machine program.
+
+    ``arrays`` maps input array names to their (unpadded) lengths; the
+    machine memory must be padded to the vector width (the kernel
+    harness does this), since vector loads read whole aligned windows.
+    """
+    return _Lowerer(spec, arrays, output).lower_program(program)

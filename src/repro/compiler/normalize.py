@@ -1,0 +1,157 @@
+"""Front-end canonicalization of traced scalar expressions.
+
+Diospyros's symbolic evaluation does not emit raw syntax trees: lifted
+expressions come out in a normal form.  We reproduce that as a
+separate pass: every maximal additive subtree is flattened into a list
+of signed terms and re-emitted as
+
+    (- (sum of positive terms) (sum of negative terms))
+
+with left-associated sums (or just the sum when one side is empty).
+Negations are pushed into the sign bookkeeping, so ``neg`` disappears
+from additive contexts.
+
+This matters for vectorization of irregular kernels: the quaternion
+product's four lanes have different +/- interleavings as raw trees,
+but all four share the ``(- P N)`` root shape after normalization —
+exactly the alignment the lift rules need (§2.3's discussion of lane
+alignment).
+"""
+
+from __future__ import annotations
+
+from repro.lang import builders as B
+from repro.lang import term as T
+from repro.lang.term import Term
+
+_ADDITIVE = ("+", "-", "neg")
+
+
+def _sum_terms(terms: list[Term]) -> Term:
+    acc = terms[0]
+    for term in terms[1:]:
+        acc = B.add(acc, term)
+    return acc
+
+
+def signed_decomposition(term: Term) -> tuple[tuple, tuple]:
+    """``(positives, negatives)`` of a normalized term's additive root.
+
+    Non-additive terms decompose as ``((term,), ())``; a zero constant
+    as ``((), ())``.
+    """
+    if T.is_const(term) and term.payload == 0:
+        return (), ()
+    if term.op == "+":
+        lp, ln = signed_decomposition(term.args[0])
+        rp, rn = signed_decomposition(term.args[1])
+        return lp + rp, ln + rn
+    if term.op == "-":
+        lp, ln = signed_decomposition(term.args[0])
+        rp, rn = signed_decomposition(term.args[1])
+        return lp + rn, ln + rp
+    if term.op == "neg":
+        p, n = signed_decomposition(term.args[0])
+        return n, p
+    return (term,), ()
+
+
+def align_chunk_lanes(lanes: list[Term]) -> list[Term]:
+    """Give every lane of a chunk the same additive shape.
+
+    Each lane's signed decomposition is padded with ``(* 0 0)`` terms
+    to the chunk's maximum positive/negative counts and re-emitted as
+    the same left-associated ``(- P N)`` (or ``P``-only) skeleton.
+    Structurally isomorphic lanes are what the scalar→vector lift
+    rules need; the paper reaches this alignment through expansion-
+    phase rewrites like ``a ~> (+ a 0)`` (§2.1), which a Rust e-graph
+    can afford to search for and a Python one cannot — see DESIGN.md.
+    The padding is semantically free and the zero lanes vanish into
+    constant vector literals after lifting.
+    """
+    decomps = [signed_decomposition(normalize(lane)) for lane in lanes]
+    max_p = max(len(p) for p, _ in decomps)
+    max_n = max(len(n) for _, n in decomps)
+    # Pad with a term shaped like the real summands: a zero *product*
+    # when the lanes sum products (so the multiply lift sees uniform
+    # lanes), a plain zero when they sum leaves.
+    all_leaves = all(
+        not term.args
+        for p, n in decomps
+        for term in (*p, *n)
+    )
+    zero_product = (
+        B.const(0) if all_leaves else B.mul(B.const(0), B.const(0))
+    )
+
+    rebuilt: list[Term] = []
+    for positives, negatives in decomps:
+        pos = list(positives) + [zero_product] * (max_p - len(positives))
+        neg = list(negatives) + [zero_product] * (max_n - len(negatives))
+        if not pos and not neg:
+            rebuilt.append(B.const(0))
+        elif not neg:
+            rebuilt.append(_sum_terms(pos))
+        elif not pos:
+            rebuilt.append(B.neg(_sum_terms(neg)))
+        else:
+            rebuilt.append(B.sub(_sum_terms(pos), _sum_terms(neg)))
+    return rebuilt
+
+
+def normalize(term: Term) -> Term:
+    """Canonicalize additive structure throughout ``term``."""
+    memo: dict[Term, Term] = {}
+    signed_memo: dict[Term, tuple] = {}
+
+    def canon(t: Term) -> Term:
+        cached = memo.get(t)
+        if cached is not None:
+            return cached
+        if t.op in _ADDITIVE:
+            result = rebuild(signed(t))
+        elif not t.args:
+            result = t
+        else:
+            result = T.make(
+                t.op, *(canon(arg) for arg in t.args), payload=t.payload
+            )
+        memo[t] = result
+        return result
+
+    def signed(t: Term) -> tuple:
+        """Flatten to (positive terms, negative terms), canonical."""
+        cached = signed_memo.get(t)
+        if cached is not None:
+            return cached
+        if t.op == "+":
+            lp, ln = signed(t.args[0])
+            rp, rn = signed(t.args[1])
+            result = (lp + rp, ln + rn)
+        elif t.op == "-":
+            lp, ln = signed(t.args[0])
+            rp, rn = signed(t.args[1])
+            result = (lp + rn, ln + rp)
+        elif t.op == "neg":
+            p, n = signed(t.args[0])
+            result = (n, p)
+        elif T.is_const(t) and t.payload == 0:
+            result = ((), ())
+        else:
+            result = ((canon(t),), ())
+        signed_memo[t] = result
+        return result
+
+    def rebuild(parts: tuple) -> Term:
+        positives, negatives = parts
+        if not positives and not negatives:
+            return B.const(0)
+        if not negatives:
+            return _sum_terms(list(positives))
+        if not positives:
+            return B.neg(_sum_terms(list(negatives)))
+        return B.sub(
+            _sum_terms(list(positives)), _sum_terms(list(negatives))
+        )
+
+    return canon(term)

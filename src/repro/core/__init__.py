@@ -1,0 +1,25 @@
+"""The Isaria framework driver (paper Fig. 2).
+
+:class:`IsariaFramework` runs the offline stage — rule synthesis from
+the ISA spec, then cost-based phase discovery — and emits a
+:class:`GeneratedCompiler`, which performs the compile-time stage:
+phased, pruned equality saturation followed by lowering to machine
+code.
+"""
+
+from repro.core.framework import (
+    CompiledKernel,
+    GeneratedCompiler,
+    IsariaFramework,
+    ValidationError,
+)
+from repro.core.pregen import default_compiler, load_pregenerated_rules
+
+__all__ = [
+    "CompiledKernel",
+    "GeneratedCompiler",
+    "IsariaFramework",
+    "ValidationError",
+    "default_compiler",
+    "load_pregenerated_rules",
+]

@@ -1,0 +1,90 @@
+"""Incremental offline synthesis for custom instructions (§5.4).
+
+``synthesize_custom_rules`` runs a focused Ruler pass around a new
+instruction's operator neighbourhood and returns only the rules that
+mention the new operators, ready to merge with a base rule set.
+
+Two deliberate differences from the main pipeline (see DESIGN.md):
+
+- **size-6 terms, restricted operators**: the interesting bridges
+  (e.g. ``(* (sqrt a) (neg (sgn b))) ~> (sqrtsgn a b)``) are 6-node
+  terms, intractable to enumerate over the full ISA in Python;
+- **no minimization**: derivability is judged by one-pot equality
+  saturation, but at compile time rules are phase-separated, so a
+  "derivable" bridge may not be derivable *operationally*.  Custom-op
+  rules are few after filtering, so keeping them all is cheap.
+"""
+
+from __future__ import annotations
+
+from repro.egraph.rewrite import Rewrite
+from repro.isa.spec import IsaSpec
+from repro.lang.term import subterms, term_size
+from repro.ruler.synthesize import SynthesisConfig, synthesize_rules
+
+# Base operators worth exploring around a custom instruction.
+DEFAULT_NEIGHBOURHOOD = ("+", "-", "*", "neg", "sqrt", "sgn", "mac")
+
+
+def _mentions(rule: Rewrite, ops: set[str]) -> bool:
+    return any(
+        sub.op in ops
+        for side in (rule.lhs, rule.rhs)
+        for sub in subterms(side)
+    )
+
+
+def synthesize_custom_rules(
+    spec: IsaSpec,
+    custom_ops: tuple,
+    neighbourhood: tuple = DEFAULT_NEIGHBOURHOOD,
+    max_term_size: int = 6,
+    time_budget: float | None = 240.0,
+    max_rules: int = 250,
+) -> list[Rewrite]:
+    """Focused rules mentioning ``custom_ops``, most general first.
+
+    Ordering prefers rules without constant leaves (the reusable
+    bridges like ``(* (sqrt ?a) (sgn ?b)) ~> (sqrtsgn ?a (neg ?b))``)
+    over constant-specialized variants, then smaller rules.
+    """
+    config = SynthesisConfig(
+        max_term_size=max_term_size,
+        op_allowlist=tuple(neighbourhood) + tuple(custom_ops),
+        time_budget=time_budget,
+        minimize=False,
+    )
+    result = synthesize_rules(spec, config)
+    wanted = set(custom_ops)
+    rules = [r for r in result.rules if _mentions(r, wanted)]
+
+    def order(rule: Rewrite):
+        from repro.lang.term import subterms
+
+        n_consts = sum(
+            1
+            for side in (rule.lhs, rule.rhs)
+            for sub in subterms(side)
+            if sub.op == "Const"
+        )
+        return (
+            n_consts,
+            term_size(rule.lhs) + term_size(rule.rhs),
+            str(rule),
+        )
+
+    rules.sort(key=order)
+    return rules[:max_rules]
+
+
+def merge_rules(
+    base: list[Rewrite], extra: list[Rewrite]
+) -> list[Rewrite]:
+    """Union of rule lists, deduplicated by pattern text."""
+    seen = {str(rule) for rule in base}
+    merged = list(base)
+    for rule in extra:
+        if str(rule) not in seen:
+            seen.add(str(rule))
+            merged.append(rule)
+    return merged

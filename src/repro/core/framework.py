@@ -1,0 +1,219 @@
+"""End-to-end framework: offline generation + the generated compiler."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.compiler.codegen import emit_c
+from repro.compiler.compile import (
+    CompileOptions,
+    CompileReport,
+    compile_term,
+)
+from repro.compiler.frontend import KernelProgram
+from repro.compiler.lowering import lower_program
+from repro.interp.value import values_equal
+from repro.isa.spec import IsaSpec
+from repro.kernels.specs import KernelInstance
+from repro.lang.term import Term
+from repro.machine.program import Program
+from repro.phases.assign import PhaseParams, assign_phases, default_params
+from repro.phases.cost import CostModel
+from repro.phases.ruleset import PhasedRuleSet
+from repro.ruler.synthesize import (
+    SynthesisConfig,
+    SynthesisResult,
+    synthesize_rules,
+)
+
+
+class ValidationError(AssertionError):
+    """Translation validation failed: compiled term is not equivalent."""
+
+
+@dataclass
+class CompiledKernel:
+    """The output of compiling one kernel."""
+
+    name: str
+    scalar_term: Term
+    compiled_term: Term
+    machine_program: Program
+    report: CompileReport
+    arrays: dict
+    output: str
+    spec: IsaSpec | None = None
+
+    def c_source(self) -> str:
+        """The kernel rendered as C with vector intrinsics."""
+        return emit_c(
+            self.machine_program,
+            name=self.name.replace("-", "_"),
+            arrays=self.arrays,
+            output=self.output,
+        )
+
+    def run(self, inputs: dict, schedule: bool = True):
+        """Execute the kernel on the cycle-level simulator.
+
+        ``inputs`` maps input array names to number sequences
+        (unpadded); the output buffer is allocated automatically.
+        Returns the :class:`~repro.machine.simulator.SimResult`.
+        """
+        if self.spec is None:
+            raise ValueError("CompiledKernel.run needs a spec")
+        from repro.machine.schedule import schedule_program
+        from repro.machine.simulator import Machine
+
+        machine = Machine(self.spec)
+        program = self.machine_program
+        if schedule:
+            program = schedule_program(program, machine)
+        width = self.spec.vector_width
+        memory = {}
+        for name, length in self.arrays.items():
+            data = [float(x) for x in inputs[name]]
+            if len(data) != length:
+                raise ValueError(
+                    f"input {name!r} has {len(data)} values, expected "
+                    f"{length}"
+                )
+            while len(data) % width:
+                data.append(0.0)
+            memory[name] = data
+        n_stores = sum(
+            1
+            for instr in self.machine_program.instrs
+            if instr.opcode == "v.store" and instr.array == self.output
+        )
+        memory[self.output] = [0.0] * max(n_stores * width, width)
+        return machine.run(program, memory)
+
+
+@dataclass
+class GeneratedCompiler:
+    """A vectorizing compiler generated from an ISA specification.
+
+    Holds everything the offline stage produced: the phased rule set,
+    the cost model, and (for inspection) the synthesis result.
+    """
+
+    spec: IsaSpec
+    cost_model: CostModel
+    ruleset: PhasedRuleSet
+    options: CompileOptions = field(default_factory=CompileOptions)
+    synthesis: SynthesisResult | None = None
+
+    def compile_term(
+        self, term: Term, options: CompileOptions | None = None
+    ) -> tuple[Term, CompileReport]:
+        """Vectorize a DSL term (paper Fig. 3)."""
+        return compile_term(
+            term, self.ruleset, self.cost_model, options or self.options
+        )
+
+    def compile_kernel(
+        self,
+        kernel: KernelProgram | KernelInstance,
+        options: CompileOptions | None = None,
+        validate: bool = True,
+    ) -> CompiledKernel:
+        """Compile a traced kernel down to machine code."""
+        program = (
+            kernel.program if isinstance(kernel, KernelInstance) else kernel
+        )
+        compiled, report = self.compile_term(program.term, options)
+        if validate:
+            self.validate_equivalence(program.term, compiled)
+        machine = lower_program(
+            compiled, self.spec, program.arrays, output=program.output
+        )
+        return CompiledKernel(
+            name=program.name,
+            scalar_term=program.term,
+            compiled_term=compiled,
+            machine_program=machine,
+            report=report,
+            arrays=dict(program.arrays),
+            output=program.output,
+            spec=self.spec,
+        )
+
+    def validate_equivalence(
+        self, original: Term, compiled: Term, n_samples: int = 8,
+        seed: int = 7,
+    ) -> None:
+        """Translation validation: both terms agree on random inputs.
+
+        A direct consequence of rule soundness, but checked anyway —
+        it would catch bugs in the e-graph or extraction, not just in
+        the rules.
+        """
+        from repro.interp.env import term_inputs
+
+        interpreter = self.spec.interpreter()
+        rng = random.Random(seed)
+        inputs = sorted(
+            set(term_inputs(original)) | set(term_inputs(compiled))
+        )
+        for _ in range(n_samples):
+            env = {atom: rng.uniform(-3.0, 3.0) for atom in inputs}
+            left = interpreter.evaluate(original, env)
+            right = interpreter.evaluate(compiled, env)
+            if not values_equal(left, right):
+                raise ValidationError(
+                    f"compiled program differs from source on {env}: "
+                    f"{left!r} != {right!r}"
+                )
+
+
+class IsariaFramework:
+    """The offline workflow: ISA spec + cost model in, compiler out."""
+
+    def __init__(
+        self,
+        spec: IsaSpec,
+        synthesis_config: SynthesisConfig | None = None,
+        phase_params: PhaseParams | None = None,
+        compile_options: CompileOptions | None = None,
+    ):
+        self.spec = spec
+        self.synthesis_config = synthesis_config or SynthesisConfig(
+            max_term_size=4
+        )
+        self.cost_model = CostModel(spec)
+        self.phase_params = phase_params or default_params(spec)
+        self.compile_options = compile_options or CompileOptions()
+
+    def generate_compiler(self, cache: bool = False) -> GeneratedCompiler:
+        """Run rule synthesis + phase discovery (paper Fig. 2, offline).
+
+        With ``cache=True`` the synthesized rules are looked up in /
+        stored to the on-disk cache keyed by the ISA spec and config,
+        amortizing the offline stage across processes (§5.3's
+        once-per-instruction-set argument made literal).
+        """
+        from repro.core import cache as rule_cache
+
+        synthesis = None
+        rules = None
+        if cache:
+            rules = rule_cache.load_cached_rules(
+                self.spec, self.synthesis_config
+            )
+        if rules is None:
+            synthesis = synthesize_rules(self.spec, self.synthesis_config)
+            rules = synthesis.rules
+            if cache:
+                rule_cache.store_cached_rules(
+                    self.spec, self.synthesis_config, rules
+                )
+        ruleset = assign_phases(self.cost_model, rules, self.phase_params)
+        return GeneratedCompiler(
+            spec=self.spec,
+            cost_model=self.cost_model,
+            ruleset=ruleset,
+            options=self.compile_options,
+            synthesis=synthesis,
+        )

@@ -1,0 +1,63 @@
+"""Pregenerated rule sets shipped with the package.
+
+The offline stage for the base Fusion-G3-like ISA takes a few minutes;
+its output is deterministic, so the repository ships it under
+``repro/data/`` and the default compiler loads it instantly.  Custom
+ISAs (and the rule-budget experiments) still run synthesis live.
+
+Regenerate after changing the ISA spec or the synthesis pipeline with
+``python -m repro.tools.regen_rules``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.compiler.compile import CompileOptions
+from repro.core.cache import rules_from_text
+from repro.core.framework import GeneratedCompiler
+from repro.egraph.rewrite import Rewrite
+from repro.isa.fusion_g3 import fusion_g3_spec
+from repro.isa.spec import IsaSpec
+from repro.phases.assign import PhaseParams, assign_phases, default_params
+from repro.phases.cost import CostModel
+
+_DATA_DIR = Path(__file__).resolve().parents[1] / "data"
+DEFAULT_RULES_FILE = _DATA_DIR / "fusion_g3_rules.txt"
+
+
+def load_pregenerated_rules(
+    path: Path = DEFAULT_RULES_FILE,
+) -> list[Rewrite]:
+    """The shipped full-width rule set for the base ISA."""
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no pregenerated rules at {path}; run "
+            "`python -m repro.tools.regen_rules`"
+        )
+    return rules_from_text(path.read_text())
+
+
+def default_compiler(
+    spec: IsaSpec | None = None,
+    phase_params: PhaseParams | None = None,
+    compile_options: CompileOptions | None = None,
+) -> GeneratedCompiler:
+    """An Isaria compiler for the base ISA from the shipped rules.
+
+    This is the quickstart entry point: identical to running
+    ``IsariaFramework(fusion_g3_spec()).generate_compiler()`` but
+    skipping the minutes-long offline stage.
+    """
+    spec = spec or fusion_g3_spec()
+    cost_model = CostModel(spec)
+    rules = load_pregenerated_rules()
+    ruleset = assign_phases(
+        cost_model, rules, phase_params or default_params(spec)
+    )
+    return GeneratedCompiler(
+        spec=spec,
+        cost_model=cost_model,
+        ruleset=ruleset,
+        options=compile_options or CompileOptions(),
+    )

@@ -1,0 +1,77 @@
+"""Graphviz export for e-graphs.
+
+Debugging equality saturation means looking at e-graphs; the paper's
+§1 even describes "manually examining E-graphs with millions of nodes"
+as part of the rule-writing workflow Isaria replaces.  This exporter
+renders each e-class as a cluster of its e-nodes, with edges from
+e-node argument ports to child classes — the layout egg's own dot
+output uses.
+"""
+
+from __future__ import annotations
+
+from repro.egraph.egraph import EGraph
+
+
+def _node_label(op: str, payload) -> str:
+    if op == "Const":
+        return str(payload)
+    if op == "Symbol":
+        return str(payload)
+    if op == "Wild":
+        return f"?{payload}"
+    if op == "Get":
+        array, index = payload
+        return f"{array}[{index}]"
+    return op
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(egraph: EGraph, max_classes: int | None = None) -> str:
+    """Render the e-graph as Graphviz DOT text.
+
+    ``max_classes`` truncates large graphs (a comment notes the cut);
+    rendering a million-node e-graph defeats the purpose.
+    """
+    lines = [
+        "digraph egraph {",
+        "  compound=true;",
+        "  node [shape=box, fontsize=10];",
+    ]
+    classes = sorted(egraph.classes(), key=lambda c: c.id)
+    truncated = False
+    if max_classes is not None and len(classes) > max_classes:
+        classes = classes[:max_classes]
+        truncated = True
+    shown = {eclass.id for eclass in classes}
+
+    anchors: dict[int, str] = {}
+    edges: list[str] = []
+    for eclass in classes:
+        lines.append(f"  subgraph cluster_{eclass.id} {{")
+        lines.append(f'    label="e{eclass.id}"; style=dotted;')
+        for j, (op, payload, children) in enumerate(eclass.nodes):
+            name = f"n{eclass.id}_{j}"
+            if j == 0:
+                anchors[eclass.id] = name
+            label = _escape(_node_label(op, payload))
+            lines.append(f'    {name} [label="{label}"];')
+            for child in children:
+                child_id = egraph.find(child)
+                if child_id in shown:
+                    edges.append(
+                        f"  n{eclass.id}_{j} -> n{child_id}_0 "
+                        f"[lhead=cluster_{child_id}];"
+                    )
+        lines.append("  }")
+    lines.extend(edges)
+    if truncated:
+        lines.append(
+            f"  // truncated to {len(classes)} of "
+            f"{egraph.n_classes} classes"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""The e-graph: e-classes of e-nodes with deferred congruence repair.
+
+An e-node is a plain tuple ``(op, payload, children)`` where children
+are e-class ids; plain tuples keep hashing fast, which dominates
+e-graph performance in Python.  The implementation follows the egg
+paper's rebuilding algorithm: ``union`` only merges classes and enqueues
+them, and ``rebuild`` restores the hashcons and congruence invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.egraph.unionfind import UnionFind
+from repro.lang.term import Term
+
+# (op, payload, child class ids)
+ENode = tuple
+
+
+def make_enode(op: str, payload, children: tuple[int, ...]) -> ENode:
+    return (op, payload, children)
+
+
+class EClass:
+    """One equivalence class of e-nodes."""
+
+    __slots__ = ("id", "nodes", "parents")
+
+    def __init__(self, class_id: int):
+        self.id = class_id
+        # Canonical e-nodes in this class.
+        self.nodes: list[ENode] = []
+        # (parent enode as constructed, parent class id) pairs; repaired
+        # lazily during rebuild.
+        self.parents: list[tuple[ENode, int]] = []
+
+
+class EGraph:
+    """A congruence-closed term graph supporting equality saturation."""
+
+    def __init__(self):
+        self._uf = UnionFind()
+        self._classes: dict[int, EClass] = {}
+        self._hashcons: dict[ENode, int] = {}
+        self._worklist: list[int] = []
+        self._n_unions = 0
+        self._n_adds = 0
+        self._touched: set[int] = set()
+
+    # -- basic queries -----------------------------------------------------
+
+    def find(self, class_id: int) -> int:
+        return self._uf.find(class_id)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self._classes)
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(len(c.nodes) for c in self._classes.values())
+
+    @property
+    def n_nodes_fast(self) -> int:
+        """Upper bound on node count, O(1).
+
+        Counts every e-node ever created (dedup during rebuild can
+        shrink the true count); used for cheap mid-iteration limit
+        checks where an overestimate is safe.
+        """
+        return self._n_adds
+
+    @property
+    def n_unions(self) -> int:
+        """Total successful unions ever performed (progress metric)."""
+        return self._n_unions
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no rebuild work is pending."""
+        return not self._worklist
+
+    def classes(self) -> Iterator[EClass]:
+        """All canonical e-classes."""
+        return iter(self._classes.values())
+
+    def eclass(self, class_id: int) -> EClass:
+        return self._classes[self.find(class_id)]
+
+    def canonicalize(self, node: ENode) -> ENode:
+        op, payload, children = node
+        find = self._uf.find
+        new_children = tuple(find(c) for c in children)
+        if new_children == children:
+            return node
+        return (op, payload, new_children)
+
+    # -- construction --------------------------------------------------------
+
+    def add_enode(self, op: str, payload, children: tuple[int, ...]) -> int:
+        """Add an e-node (children are e-class ids); returns its class."""
+        find = self._uf.find
+        node = (op, payload, tuple(find(c) for c in children))
+        existing = self._hashcons.get(node)
+        if existing is not None:
+            return find(existing)
+        class_id = self._uf.make_set()
+        self._n_adds += 1
+        eclass = EClass(class_id)
+        eclass.nodes.append(node)
+        self._classes[class_id] = eclass
+        self._hashcons[node] = class_id
+        self._touched.add(class_id)
+        for child in node[2]:
+            self._classes[find(child)].parents.append((node, class_id))
+        return class_id
+
+    def add_term(self, term: Term) -> int:
+        """Add a ground term bottom-up; returns the root's class id.
+
+        Iterative and memoized over the term DAG, so heavily shared
+        kernels (QR) insert in time proportional to their DAG size.
+        """
+        from repro.lang.term import fold_term
+
+        return fold_term(
+            term,
+            lambda t, child_ids: self.add_enode(t.op, t.payload, child_ids),
+        )
+
+    def union(self, a: int, b: int) -> bool:
+        """Assert a = b.  Returns True if the graph changed.
+
+        Congruence is restored by the next :meth:`rebuild`.
+        """
+        a, b = self._uf.find(a), self._uf.find(b)
+        if a == b:
+            return False
+        # Keep the class with more parents as the survivor: less parent
+        # list copying over the life of the graph.
+        ca, cb = self._classes[a], self._classes[b]
+        if len(ca.parents) < len(cb.parents):
+            a, b = b, a
+            ca, cb = cb, ca
+        self._uf.union(a, b)
+        ca.nodes.extend(cb.nodes)
+        ca.parents.extend(cb.parents)
+        del self._classes[b]
+        self._worklist.append(a)
+        self._n_unions += 1
+        self._touched.add(a)
+        return True
+
+    # -- rebuilding (deferred congruence closure) ---------------------------
+
+    def rebuild(self) -> int:
+        """Restore hashcons/congruence invariants; returns repair count."""
+        n_repairs = 0
+        while self._worklist:
+            todo = {self._uf.find(c) for c in self._worklist}
+            self._worklist.clear()
+            for class_id in todo:
+                if class_id in self._classes:
+                    self._repair(class_id)
+                    n_repairs += 1
+        return n_repairs
+
+    def _repair(self, class_id: int) -> None:
+        find = self._uf.find
+        eclass = self._classes.get(find(class_id))
+        if eclass is None:  # merged away by a congruence union
+            return
+
+        # Re-canonicalize parent e-nodes; equal canonical parents in
+        # different classes witness a congruence and get unioned.
+        new_parents: dict[ENode, int] = {}
+        for pnode, pclass in eclass.parents:
+            self._hashcons.pop(pnode, None)
+            canon = self.canonicalize(pnode)
+            pclass = find(pclass)
+            previous = new_parents.get(canon)
+            if previous is not None and previous != pclass:
+                self.union(previous, pclass)
+                pclass = find(pclass)
+            new_parents[canon] = pclass
+        for canon, pclass in new_parents.items():
+            self._hashcons[canon] = pclass
+        eclass.parents = list(new_parents.items())
+
+        # Dedupe this class's own nodes under canonicalization.
+        seen: dict[ENode, None] = {}
+        for node in eclass.nodes:
+            seen.setdefault(self.canonicalize(node), None)
+        eclass.nodes = list(seen)
+
+    # -- pattern instantiation ----------------------------------------------
+
+    def add_instantiation(self, pattern: Term, binding: dict[str, int]) -> int:
+        """Add ``pattern`` with wildcards bound to e-class ids."""
+        if pattern.op == "Wild":
+            return self._uf.find(binding[pattern.payload])
+        children = tuple(
+            self.add_instantiation(arg, binding) for arg in pattern.args
+        )
+        return self.add_enode(pattern.op, pattern.payload, children)
+
+    def take_touched(self) -> set[int]:
+        """Canonical ids of classes changed since the last call.
+
+        Supports frontier (incremental) matching: a saturation
+        iteration can restrict pattern roots to recently changed
+        classes, focusing match budgets on new structure.
+        """
+        find = self._uf.find
+        touched = {
+            find(c) for c in self._touched if find(c) in self._classes
+        }
+        self._touched.clear()
+        return touched
+
+    # -- indexes --------------------------------------------------------------
+
+    def op_index(self) -> dict[str, list[tuple[int, ENode]]]:
+        """Map op -> [(class id, e-node)] over the clean graph.
+
+        Built once per saturation iteration and shared by all rules'
+        matching passes.
+        """
+        index: dict[str, list[tuple[int, ENode]]] = {}
+        for eclass in self._classes.values():
+            for node in eclass.nodes:
+                index.setdefault(node[0], []).append((eclass.id, node))
+        return index
+
+    # -- equality queries -----------------------------------------------------
+
+    def equivalent(self, a: int, b: int) -> bool:
+        return self._uf.find(a) == self._uf.find(b)
+
+    def lookup_term(self, term: Term) -> int | None:
+        """Class id of ``term`` if it is represented, else None."""
+        children = []
+        for arg in term.args:
+            child = self.lookup_term(arg)
+            if child is None:
+                return None
+            children.append(child)
+        node = (term.op, term.payload, tuple(children))
+        found = self._hashcons.get(self.canonicalize(node))
+        return self._uf.find(found) if found is not None else None

@@ -1,0 +1,188 @@
+"""E-matching: finding all instances of a pattern in an e-graph.
+
+Matching a pattern against an e-class yields bindings from wildcard
+names to e-class ids.  The matcher is the classic backtracking
+relational walk (egg's "machine-free" formulation): for compound
+patterns it scans the candidate class's e-nodes with the right operator
+and recursively matches children; wildcards bind to (canonical) class
+ids; leaves require the exact leaf e-node to be present.
+
+Binding lists are *capped* (``limit``): patterns with sibling
+subpatterns over large classes produce a cross product of bindings,
+and without a cap a single class can yield millions of matches — the
+E-graph explosion of paper §2.3 showing up inside one match call.
+Truncation keeps the earliest bindings, which follow e-node insertion
+order and therefore favour the original program structure.
+
+``ematch`` additionally restricts root candidates with a per-op index
+so each rule only visits classes that can possibly match.
+"""
+
+from __future__ import annotations
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.lang.ops import WILD
+from repro.lang.term import Term
+
+Binding = dict
+
+# Hard default cap on bindings produced while matching one pattern.
+DEFAULT_MATCH_CAP = 20_000
+
+# Default budget of e-node visits for one ematch call.  Binding caps
+# bound the *output*, but a pattern can scan enormous products that
+# fail late; the work budget bounds the scan itself, keeping every
+# rule application O(budget) regardless of graph shape.
+DEFAULT_MATCH_WORK = 100_000
+
+
+class _Matcher:
+    """One pattern-matching context over a (clean) e-graph.
+
+    Holds direct references to the union-find and class table — the
+    matcher is the saturation hot path, and attribute/method lookups
+    per node measurably dominate otherwise.
+    """
+
+    __slots__ = ("_find", "_classes", "_cap", "work")
+
+    def __init__(self, egraph: EGraph, cap: int, work: int = DEFAULT_MATCH_WORK):
+        self._find = egraph._uf.find
+        self._classes = egraph._classes
+        self._cap = cap
+        self.work = work
+
+    @property
+    def exhausted(self) -> bool:
+        return self.work <= 0
+
+    def match(
+        self, pattern: Term, class_id: int, bindings: list[Binding]
+    ) -> list[Binding]:
+        if self.work <= 0:
+            return []
+        find = self._find
+        class_id = find(class_id)
+
+        if pattern.op == WILD:
+            name = pattern.payload
+            out: list[Binding] = []
+            append = out.append
+            for binding in bindings:
+                bound = binding.get(name)
+                if bound is None:
+                    extended = dict(binding)
+                    extended[name] = class_id
+                    append(extended)
+                elif find(bound) == class_id:
+                    append(binding)
+            return out
+
+        nodes = self._classes[class_id].nodes
+        pat_args = pattern.args
+
+        if not pat_args and pattern.is_leaf:
+            # Leaf pattern: the exact leaf e-node must be present.
+            target = (pattern.op, pattern.payload, ())
+            for node in nodes:
+                if node == target:
+                    return bindings
+            return []
+
+        op = pattern.op
+        payload = pattern.payload
+        n_args = len(pat_args)
+        cap = self._cap
+        out = []
+        self.work -= len(nodes)
+        for node in nodes:
+            if node[0] != op or node[1] != payload:
+                continue
+            if self.work <= 0:
+                break
+            children = node[2]
+            if len(children) != n_args:
+                continue
+            extended = bindings
+            for pat, child in zip(pat_args, children):
+                extended = self.match(pat, child, extended)
+                if not extended:
+                    break
+            if extended:
+                out.extend(extended)
+                if len(out) >= cap:
+                    del out[cap:]
+                    break
+        return out
+
+
+def match_in_class(
+    egraph: EGraph,
+    pattern: Term,
+    class_id: int,
+    cap: int = DEFAULT_MATCH_CAP,
+) -> list[Binding]:
+    """Bindings under which ``pattern`` matches class ``class_id``."""
+    return _Matcher(egraph, cap).match(pattern, class_id, [{}])
+
+
+def ematch(
+    egraph: EGraph,
+    pattern: Term,
+    op_index: dict[str, list[tuple[int, ENode]]] | None = None,
+    limit: int | None = None,
+    work_budget: int = DEFAULT_MATCH_WORK,
+    roots: set[int] | None = None,
+) -> list[tuple[int, Binding]]:
+    """All ``(root class id, binding)`` matches of ``pattern``.
+
+    ``op_index`` (from :meth:`EGraph.op_index`) restricts root
+    candidates; pass the same index to every rule in an iteration.
+    ``limit`` caps the total matches returned (the backoff scheduler's
+    knob) and also bounds the per-class binding cross product;
+    ``work_budget`` bounds the total e-nodes scanned, making one rule
+    application O(budget) on any graph.  ``roots`` (canonical class
+    ids) restricts the match roots — frontier matching.
+    """
+    results: list[tuple[int, Binding]] = []
+    cap = min(limit, DEFAULT_MATCH_CAP) if limit else DEFAULT_MATCH_CAP
+
+    if pattern.op == WILD:
+        # A bare-wildcard LHS matches every class once.
+        for eclass in egraph.classes():
+            if roots is not None and eclass.id not in roots:
+                continue
+            results.append((eclass.id, {pattern.payload: eclass.id}))
+            if limit is not None and len(results) >= limit:
+                break
+        return results
+
+    matcher = _Matcher(egraph, cap, work_budget)
+    if op_index is not None:
+        candidates = op_index.get(pattern.op, ())
+        seen: set[int] = set()
+        for class_id, _node in candidates:
+            root = egraph.find(class_id)
+            if root in seen:
+                continue
+            seen.add(root)
+            if roots is not None and root not in roots:
+                continue
+            for binding in matcher.match(pattern, root, [{}]):
+                results.append((root, binding))
+            if limit is not None and len(results) >= limit:
+                break
+            if matcher.exhausted:
+                break
+        return results
+
+    for eclass in egraph.classes():
+        if roots is not None and eclass.id not in roots:
+            continue
+        for binding in matcher.match(pattern, eclass.id, [{}]):
+            results.append((eclass.id, binding))
+        if limit is not None and len(results) >= limit:
+            break
+        if matcher.exhausted:
+            break
+    return results

@@ -1,0 +1,195 @@
+"""Minimum-cost term extraction from a saturated e-graph.
+
+Extraction assigns each e-class its cheapest representative by a
+worklist fixpoint: when a class's best cost improves, only the classes
+holding a parent e-node are re-examined.  With a strictly monotonic
+cost function (Definition 2) the fixpoint converges to the true
+minimum per class, and the chosen-node pointers are acyclic so the
+final term can be materialized by walking them.
+
+The cost function is *structural*: choosing an e-node costs
+
+    node_cost(op, payload, chosen_children) + sum(child costs)
+
+where the node cost may inspect the chosen children's *heads* (their
+root op/payload) — the Isaria cost model needs this because a ``Vec``
+of computed lanes is far more expensive than one of loadable leaves
+(§3.2).  Cost functions may implement the fast head-based protocol
+(``node_cost_heads``); plain callables over child terms are adapted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.egraph.egraph import EGraph
+from repro.lang.term import Term, make
+
+# A head is the (op, payload) pair of a chosen child node.
+Head = tuple
+
+
+class _TermCostAdapter:
+    """Wrap a child-term cost function into the head protocol.
+
+    Builds tiny one-level dummy terms so legacy/structural cost
+    callables keep working; the dummies only expose op/payload/leafness,
+    which is all a structural cost function may rely on.
+    """
+
+    def __init__(self, fn: Callable):
+        self._fn = fn
+
+    def node_cost_heads(self, op: str, payload, child_heads) -> float:
+        child_terms = tuple(
+            _dummy_term(c_op, c_payload) for c_op, c_payload in child_heads
+        )
+        return self._fn(op, payload, child_terms)
+
+
+_DUMMY_CHILD = None
+
+
+def _dummy_term(op: str, payload) -> Term:
+    global _DUMMY_CHILD
+    if op in ("Const", "Symbol", "Get", "Wild"):
+        return make(op, payload=payload)
+    if _DUMMY_CHILD is None:
+        _DUMMY_CHILD = make("Symbol", payload="•dummy")
+    return make(op, _DUMMY_CHILD, payload=payload)
+
+
+def _head_cost_fn(cost):
+    if hasattr(cost, "node_cost_heads"):
+        return cost.node_cost_heads
+    if hasattr(cost, "node_cost"):
+        return _TermCostAdapter(cost.node_cost).node_cost_heads
+    return _TermCostAdapter(cost).node_cost_heads
+
+
+class Extractor:
+    """Worklist-based bottom-up extractor over one e-graph."""
+
+    def __init__(self, egraph: EGraph, cost):
+        self._egraph = egraph
+        self._node_cost = _head_cost_fn(cost)
+        # class id -> (total cost, chosen node)
+        self._best: dict[int, tuple[float, tuple]] = {}
+        self._solve()
+
+    def _solve(self) -> None:
+        egraph = self._egraph
+        best = self._best
+        node_cost = self._node_cost
+        find = egraph.find
+
+        # parent map: child class -> classes containing a parent node
+        classes = list(egraph.classes())
+        parents: dict[int, set[int]] = {}
+        for eclass in classes:
+            for _op, _payload, children in eclass.nodes:
+                for child in children:
+                    parents.setdefault(find(child), set()).add(eclass.id)
+
+        pending = set()
+        worklist = [c.id for c in classes]
+        in_list = set(worklist)
+
+        while worklist:
+            class_id = worklist.pop()
+            in_list.discard(class_id)
+            eclass = egraph.eclass(class_id)
+            entry = best.get(class_id)
+            current = entry[0] if entry is not None else None
+            improved = False
+            for node in eclass.nodes:
+                children = node[2]
+                total = 0.0
+                heads = []
+                ok = True
+                for child in children:
+                    child_entry = best.get(find(child))
+                    if child_entry is None:
+                        ok = False
+                        break
+                    total += child_entry[0]
+                    chosen = child_entry[1]
+                    heads.append((chosen[0], chosen[1]))
+                if not ok:
+                    continue
+                total += node_cost(node[0], node[1], heads)
+                if current is None or total < current:
+                    current = total
+                    best[class_id] = (total, node)
+                    improved = True
+            if improved:
+                for parent in parents.get(class_id, ()):
+                    parent = find(parent)
+                    if parent not in in_list:
+                        worklist.append(parent)
+                        in_list.add(parent)
+        del pending
+
+    # -- queries ---------------------------------------------------------
+
+    def has_solution(self, class_id: int) -> bool:
+        return self._egraph.find(class_id) in self._best
+
+    def best(self, class_id: int) -> tuple[float, Term]:
+        """(cost, term) of the cheapest program in ``class_id``."""
+        entry = self._best.get(self._egraph.find(class_id))
+        if entry is None:
+            raise ValueError(
+                f"e-class {class_id} has no extractable term "
+                "(cyclic class with no base case)"
+            )
+        return entry[0], self._materialize(class_id)
+
+    def best_cost(self, class_id: int) -> float:
+        entry = self._best.get(self._egraph.find(class_id))
+        if entry is None:
+            raise ValueError(f"e-class {class_id} has no extractable term")
+        return entry[0]
+
+    def best_term(self, class_id: int) -> Term:
+        return self.best(class_id)[1]
+
+    def _materialize(self, class_id: int) -> Term:
+        """Build the chosen term by following best-node pointers.
+
+        Iterative post-order: strict monotonicity makes the chosen
+        pointers acyclic, but kernels can be deep, so no recursion.
+        """
+        find = self._egraph.find
+        best = self._best
+        memo: dict[int, Term] = {}
+        stack = [find(class_id)]
+        while stack:
+            cid = stack[-1]
+            if cid in memo:
+                stack.pop()
+                continue
+            entry = best.get(cid)
+            if entry is None:
+                raise ValueError(
+                    f"e-class {cid} has no extractable term"
+                )
+            op, payload, children = entry[1]
+            missing = [
+                find(c) for c in children if find(c) not in memo
+            ]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
+            memo[cid] = make(
+                op,
+                *(memo[find(c)] for c in children),
+                payload=payload,
+            )
+        return memo[find(class_id)]
+
+
+def extract_best(egraph: EGraph, class_id: int, cost) -> tuple[float, Term]:
+    """One-shot extraction: cheapest (cost, term) for ``class_id``."""
+    return Extractor(egraph, cost).best(class_id)

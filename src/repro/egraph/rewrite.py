@@ -1,0 +1,98 @@
+"""Rewrite rules over the e-graph.
+
+A :class:`Rewrite` is a directed rule ``lhs ~> rhs`` between patterns.
+Applying it unions every match of ``lhs`` with the instantiated ``rhs``
+— nothing is destroyed, which is what lets equality saturation explore
+all orderings at once (paper §2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.ematch import ematch
+from repro.lang.parser import parse, to_sexpr
+from repro.lang.pattern import wildcards_of
+from repro.lang.term import Term
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """A directed rewrite rule between wildcard patterns."""
+
+    name: str
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self):
+        missing = set(wildcards_of(self.rhs)) - set(wildcards_of(self.lhs))
+        if missing:
+            raise ValueError(
+                f"rule {self.name!r}: rhs wildcards {sorted(missing)} "
+                "not bound by lhs"
+            )
+
+    def __str__(self) -> str:
+        return f"{to_sexpr(self.lhs)} => {to_sexpr(self.rhs)}"
+
+    def reversed(self, name: str | None = None) -> "Rewrite":
+        """The rule applied right-to-left.
+
+        Only valid when the lhs does not introduce wildcards absent
+        from the rhs; callers check with :meth:`is_reversible`.
+        """
+        return Rewrite(name or f"{self.name}-rev", self.rhs, self.lhs)
+
+    @property
+    def is_reversible(self) -> bool:
+        return set(wildcards_of(self.lhs)) == set(wildcards_of(self.rhs))
+
+
+def parse_rewrite(name: str, text: str) -> Rewrite:
+    """Parse ``"lhs => rhs"`` concrete syntax into a rule."""
+    if "=>" not in text:
+        raise ValueError(f"rule text needs '=>': {text!r}")
+    lhs_text, rhs_text = text.split("=>", 1)
+    return Rewrite(name, parse(lhs_text.strip()), parse(rhs_text.strip()))
+
+
+@dataclass
+class ApplyStats:
+    """Outcome of applying one rule for one iteration."""
+
+    n_matches: int = 0
+    n_unions: int = 0
+
+
+def apply_rewrite(
+    egraph: EGraph,
+    rule: Rewrite,
+    op_index: dict[str, list[tuple[int, ENode]]] | None = None,
+    match_limit: int | None = None,
+    match_work: int | None = None,
+    roots: set[int] | None = None,
+) -> ApplyStats:
+    """Match ``rule.lhs`` everywhere and union with ``rule.rhs``.
+
+    The e-graph is left dirty; callers batch a ``rebuild`` per
+    iteration, as egg does.  ``roots`` restricts match roots
+    (frontier matching).
+    """
+    from repro.egraph.ematch import DEFAULT_MATCH_WORK
+
+    stats = ApplyStats()
+    matches = ematch(
+        egraph,
+        rule.lhs,
+        op_index=op_index,
+        limit=match_limit,
+        work_budget=match_work or DEFAULT_MATCH_WORK,
+        roots=roots,
+    )
+    stats.n_matches = len(matches)
+    for class_id, binding in matches:
+        rhs_id = egraph.add_instantiation(rule.rhs, binding)
+        if egraph.union(class_id, rhs_id):
+            stats.n_unions += 1
+    return stats

@@ -1,0 +1,227 @@
+"""The equality-saturation loop with resource limits.
+
+``run_saturation`` repeatedly applies a set of rewrite rules to an
+e-graph until it saturates (no rule changes the graph) or a limit
+trips.  Limits matter: the paper's whole premise is that unconstrained
+saturation with synthesized rules exhausts memory (§2.3), so Isaria
+relies on bounded ``EqSat`` calls (Fig. 3 applies a timeout to each).
+
+The :class:`BackoffScheduler` reproduces egg's default rule scheduler:
+a rule that produces more matches than its threshold is banned for a
+few iterations and its threshold doubles, taming associativity/
+commutativity explosions without dropping the rule entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import Rewrite, apply_rewrite
+
+
+class StopReason(enum.Enum):
+    """Why a saturation run ended."""
+
+    SATURATED = "saturated"
+    ITERATION_LIMIT = "iteration-limit"
+    NODE_LIMIT = "node-limit"
+    TIME_LIMIT = "time-limit"
+
+
+@dataclass(frozen=True)
+class RunnerLimits:
+    """Resource bounds for one ``EqSat`` call.
+
+    ``match_limit``/``ban_length`` parameterize the backoff scheduler;
+    keep ``ban_length`` well below ``max_iterations`` or a banned rule
+    never gets another chance within the call.
+    """
+
+    max_iterations: int = 30
+    max_nodes: int = 20_000
+    time_limit: float = 30.0  # seconds
+    match_limit: int = 1000
+    ban_length: int = 2
+    # E-node-visit budget per rule application; bounds worst-case time
+    # of a single match pass deterministically.
+    match_work: int = 100_000
+
+
+@dataclass
+class IterationReport:
+    index: int
+    n_nodes: int
+    n_classes: int
+    n_unions: int
+    applied: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RunnerReport:
+    """What one saturation run did."""
+
+    stop_reason: StopReason
+    iterations: list[IterationReport] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def saturated(self) -> bool:
+        return self.stop_reason is StopReason.SATURATED
+
+
+class BackoffScheduler:
+    """egg's exponential-backoff rule scheduler.
+
+    Each rule has a match threshold.  If an iteration finds more
+    matches than the threshold, the overflowing matches are still
+    applied up to the cap, but the rule is banned for ``ban_length``
+    iterations and its threshold doubles.  Saturation is only declared
+    when no rule is banned (a banned rule might still have work to do).
+    """
+
+    def __init__(self, match_limit: int = 1000, ban_length: int = 5):
+        self._initial_limit = match_limit
+        self._ban_length = ban_length
+        self._thresholds: dict[str, int] = {}
+        self._banned_until: dict[str, int] = {}
+        self._ban_count: dict[str, int] = {}
+
+    def threshold(self, rule: Rewrite) -> int:
+        base = self._thresholds.get(rule.name, self._initial_limit)
+        return base
+
+    def can_apply(self, rule: Rewrite, iteration: int) -> bool:
+        return iteration >= self._banned_until.get(rule.name, 0)
+
+    def record(self, rule: Rewrite, iteration: int, n_matches: int) -> None:
+        if n_matches > self.threshold(rule):
+            bans = self._ban_count.get(rule.name, 0)
+            self._banned_until[rule.name] = iteration + 1 + self._ban_length
+            self._ban_count[rule.name] = bans + 1
+            self._thresholds[rule.name] = self._initial_limit * (
+                2 ** (bans + 1)
+            )
+
+    def any_banned(self, iteration: int) -> bool:
+        return any(
+            until > iteration for until in self._banned_until.values()
+        )
+
+
+def run_saturation(
+    egraph: EGraph,
+    rules: list[Rewrite],
+    limits: RunnerLimits | None = None,
+    scheduler: BackoffScheduler | None = None,
+    frontier: bool = False,
+) -> RunnerReport:
+    """Apply ``rules`` to ``egraph`` until saturation or a limit.
+
+    Mutates ``egraph``; returns a :class:`RunnerReport`.  The graph is
+    rebuilt (congruence-closed) when the function returns, whatever the
+    stop reason, so extraction can run immediately.
+
+    With ``frontier=True``, iterations after the first only match
+    pattern roots in classes changed by the previous iteration.  This
+    is incomplete (old-root matches enabled by new substructure are
+    missed) but focuses the match budget on newly created structure —
+    essential for chained compilation rules, whose each application
+    mints the ``Vec`` literal the next one must fire on.
+    """
+    limits = limits or RunnerLimits()
+    if scheduler is None:
+        scheduler = BackoffScheduler(
+            match_limit=limits.match_limit, ban_length=limits.ban_length
+        )
+    start = time.monotonic()
+    report = RunnerReport(stop_reason=StopReason.ITERATION_LIMIT)
+
+    egraph.rebuild()
+    roots: set[int] | None = None
+    if frontier:
+        egraph.take_touched()  # discard pre-existing dirt
+    for iteration in range(limits.max_iterations):
+        iter_report = IterationReport(
+            index=iteration,
+            n_nodes=0,
+            n_classes=0,
+            n_unions=0,
+        )
+        op_index = egraph.op_index()
+        unions_before = egraph.n_unions
+        any_skipped = False
+
+        for rule in rules:
+            if time.monotonic() - start > limits.time_limit:
+                report.stop_reason = StopReason.TIME_LIMIT
+                break
+            if egraph.n_nodes_fast > limits.max_nodes * 2:
+                # Mid-iteration guard: one iteration of many rules can
+                # overshoot the per-iteration node check badly.
+                report.stop_reason = StopReason.NODE_LIMIT
+                break
+            if not scheduler.can_apply(rule, iteration):
+                any_skipped = True
+                continue
+            if rule.lhs.op == "Wild":
+                # Identity-introduction rules (?a => (+ ?a 0)) match
+                # every class exactly once and the e-graph unions the
+                # new term back into the matched class, so they are
+                # self-limiting (§2.2's "dangerous" rule is tame here).
+                # Capping them would leave most classes unpadded and
+                # starve the compilation phase of lane variants.
+                stats = apply_rewrite(
+                    egraph,
+                    rule,
+                    op_index=op_index,
+                    match_limit=None,
+                    match_work=limits.match_work * 10,
+                    roots=roots,
+                )
+                iter_report.applied[rule.name] = stats.n_unions
+                continue
+            cap = scheduler.threshold(rule)
+            stats = apply_rewrite(
+                egraph,
+                rule,
+                op_index=op_index,
+                match_limit=cap + 1,
+                match_work=limits.match_work,
+                roots=roots,
+            )
+            scheduler.record(rule, iteration, stats.n_matches)
+            if stats.n_matches > cap:
+                any_skipped = True
+            iter_report.applied[rule.name] = stats.n_unions
+        else:
+            egraph.rebuild()
+            iter_report.n_nodes = egraph.n_nodes
+            iter_report.n_classes = egraph.n_classes
+            iter_report.n_unions = egraph.n_unions - unions_before
+            report.iterations.append(iter_report)
+            if frontier:
+                roots = egraph.take_touched()
+
+            if iter_report.n_unions == 0 and not any_skipped:
+                report.stop_reason = StopReason.SATURATED
+                break
+            if egraph.n_nodes > limits.max_nodes:
+                report.stop_reason = StopReason.NODE_LIMIT
+                break
+            if time.monotonic() - start > limits.time_limit:
+                report.stop_reason = StopReason.TIME_LIMIT
+                break
+            continue
+        # Inner loop broke (time limit mid-iteration): clean up and stop.
+        egraph.rebuild()
+        break
+
+    report.elapsed = time.monotonic() - start
+    return report

@@ -1,0 +1,41 @@
+"""Executable semantics for the Isaria DSL.
+
+The interpreter evaluates terms against an environment that binds
+scalar variables and arrays to numbers.  Operator semantics come from an
+ISA specification (:mod:`repro.isa`); this package supplies evaluation
+of the structural forms (``Vec``, ``Concat``, ``List``, leaves),
+undefinedness propagation, and input generation for rule synthesis.
+"""
+
+from repro.interp.value import (
+    Value,
+    UNDEFINED,
+    is_scalar,
+    is_vector,
+    values_equal,
+)
+from repro.interp.env import (
+    Env,
+    env_variables,
+    term_inputs,
+    random_env,
+    corner_envs,
+    sample_envs,
+)
+from repro.interp.interpreter import Interpreter, EvalError
+
+__all__ = [
+    "Value",
+    "UNDEFINED",
+    "is_scalar",
+    "is_vector",
+    "values_equal",
+    "Env",
+    "env_variables",
+    "term_inputs",
+    "random_env",
+    "corner_envs",
+    "sample_envs",
+    "Interpreter",
+    "EvalError",
+]

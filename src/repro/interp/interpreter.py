@@ -1,0 +1,134 @@
+"""Term evaluation against an ISA's executable semantics.
+
+The :class:`Interpreter` owns a mapping from operator name to a *lane
+function* — a Python callable over scalars, supplied by an ISA
+specification (:mod:`repro.isa`).  Structural forms are evaluated here:
+
+- leaves read the environment;
+- ``Vec`` builds a vector from scalar lanes;
+- ``Concat`` joins two vectors;
+- ``List`` evaluates to a tuple of its outputs;
+- scalar ops apply their lane function directly;
+- vector ops apply their lane function lane-wise — or directly to
+  scalars, which is exactly the "reduce vector instructions to a single
+  lane" trick Isaria uses for rule synthesis (paper §3.1).
+
+Undefined operations return :data:`~repro.interp.value.UNDEFINED`,
+which propagates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.interp.value import UNDEFINED, Value, is_vector, make_vector
+from repro.interp.env import Env
+from repro.lang import term as T
+from repro.lang.ops import OpKind
+from repro.lang.term import Term
+
+
+class EvalError(ValueError):
+    """Raised for structurally invalid programs (not for undefined
+    arithmetic, which yields UNDEFINED)."""
+
+
+LaneFn = Callable[..., object]
+
+
+class Interpreter:
+    """Evaluates DSL terms given per-operator lane semantics."""
+
+    def __init__(
+        self,
+        lane_semantics: Mapping[str, LaneFn],
+        op_kinds: Mapping[str, OpKind],
+    ):
+        self._sem = dict(lane_semantics)
+        self._kinds = dict(op_kinds)
+
+    def evaluate(self, term: Term, env: Env) -> Value:
+        """Evaluate ``term`` in ``env``.
+
+        Iterative and memoized over the term DAG (shared subterms are
+        evaluated once; deep kernels do not hit the recursion limit).
+        """
+        from repro.lang.term import fold_term
+
+        return fold_term(
+            term, lambda t, child_values: self._eval_node(t, child_values, env)
+        )
+
+    def _eval_node(self, term: Term, args: tuple, env: Env) -> Value:
+        op = term.op
+        if T.is_const(term):
+            return term.payload
+        if T.is_symbol(term):
+            return self._lookup(env, term.payload)
+        if T.is_get(term):
+            return self._lookup_get(env, term.payload)
+        if T.is_wildcard(term):
+            raise EvalError(f"cannot evaluate wildcard ?{term.payload}")
+
+        if any(arg is UNDEFINED for arg in args):
+            return UNDEFINED
+
+        if op == "Vec":
+            for arg in args:
+                if is_vector(arg):
+                    raise EvalError("Vec lanes must be scalars")
+            return make_vector(args)
+        if op == "Concat":
+            left, right = args
+            if not (is_vector(left) and is_vector(right)):
+                raise EvalError("Concat expects two vectors")
+            return left + right
+        if op == "List":
+            return tuple(args)
+
+        fn = self._sem.get(op)
+        if fn is None:
+            raise EvalError(f"no semantics for operator {op!r}")
+
+        kind = self._kinds.get(op)
+        if kind is OpKind.VECTOR and any(is_vector(a) for a in args):
+            return self._apply_lanewise(op, fn, args)
+        if any(is_vector(a) for a in args):
+            raise EvalError(f"scalar operator {op!r} got a vector argument")
+        result = fn(*args)
+        return UNDEFINED if result is None else result
+
+    @staticmethod
+    def _apply_lanewise(op: str, fn: LaneFn, args: list) -> Value:
+        widths = {len(a) for a in args if is_vector(a)}
+        if len(widths) != 1:
+            raise EvalError(f"{op}: mismatched vector widths {widths}")
+        (width,) = widths
+        if not all(is_vector(a) for a in args):
+            raise EvalError(f"{op}: mixed scalar/vector arguments")
+        lanes = []
+        for i in range(width):
+            result = fn(*(a[i] for a in args))
+            lanes.append(UNDEFINED if result is None else result)
+        return make_vector(lanes)
+
+    @staticmethod
+    def _lookup(env: Env, name: str) -> Value:
+        if name in env:
+            return env[name]
+        raise EvalError(f"unbound variable {name!r}")
+
+    @staticmethod
+    def _lookup_get(env: Env, payload: tuple) -> Value:
+        if payload in env:
+            return env[payload]
+        array, index = payload
+        data = env.get(array)
+        if data is None:
+            raise EvalError(f"unbound array {array!r}")
+        try:
+            return data[index]
+        except (IndexError, TypeError) as exc:
+            raise EvalError(
+                f"bad array access ({array!r}, {index})"
+            ) from exc

@@ -1,0 +1,30 @@
+"""ISA specifications: Isaria's primary input.
+
+An :class:`IsaSpec` is the executable specification of a target DSP
+instruction set (paper §3, Fig. 2): each instruction carries a *lane
+semantics* function and an abstract per-instruction cost.  The paper
+writes these as a Rosette interpreter; here they are plain Python
+callables, which serve the same two roles — evaluating terms during
+rule synthesis, and verifying candidate rules.
+
+The base target is a Tensilica-Fusion-G3-like DSP
+(:func:`fusion_g3_spec`), and §5.4's customization workflow is
+reproduced by :mod:`repro.isa.custom`.
+"""
+
+from repro.isa.spec import Instruction, IsaSpec
+from repro.isa.fusion_g3 import fusion_g3_spec
+from repro.isa.custom import (
+    make_mulsub_instructions,
+    make_sqrtsgn_instructions,
+    customized_spec,
+)
+
+__all__ = [
+    "Instruction",
+    "IsaSpec",
+    "fusion_g3_spec",
+    "make_mulsub_instructions",
+    "make_sqrtsgn_instructions",
+    "customized_spec",
+]

@@ -1,0 +1,87 @@
+"""Custom ISA instructions for the §5.4 exploration experiment.
+
+The paper adds two instructions to the Fusion G3 to accelerate QR
+decomposition, changing only the ISA specification and cost model:
+
+1. ``VecMulSub`` — vectorized multiply-subtract: ``c - a * b`` per lane
+   (a multiply-accumulate that subtracts);
+2. ``VecSqrtSgn`` — vectorized square-root-sign-product:
+   ``sqrt(a) * sign(-b)`` per lane.
+
+Each custom vector instruction comes with its single-lane scalar
+counterpart so rule synthesis can discover rules connecting it to the
+base ops (this mirrors the paper's Rosette snippet, which defines both
+``sqrt-sgn`` and ``vector-sqrt-sgn``).
+"""
+
+from __future__ import annotations
+
+from repro.isa.fusion_g3 import _sgn, _sqrt
+from repro.isa.spec import Instruction, IsaSpec
+from repro.lang.ops import OpKind
+
+
+def _mulsub(c, a, b):
+    return c - a * b
+
+
+def _sqrtsgn(a, b):
+    root = _sqrt(a)
+    if root is None:
+        return None
+    return root * _sgn(-b)
+
+
+def make_mulsub_instructions() -> tuple[Instruction, Instruction]:
+    """Scalar + vector multiply-subtract descriptors."""
+    scalar = Instruction(
+        "mulsub", 3, OpKind.SCALAR, _mulsub, 12.0, latency=2
+    )
+    vector = Instruction(
+        "VecMulSub",
+        3,
+        OpKind.VECTOR,
+        _mulsub,
+        1.0,
+        vector_of="mulsub",
+        latency=2,
+    )
+    return scalar, vector
+
+
+def make_sqrtsgn_instructions() -> tuple[Instruction, Instruction]:
+    """Scalar + vector square-root-sign-product descriptors."""
+    scalar = Instruction(
+        "sqrtsgn", 2, OpKind.SCALAR, _sqrtsgn, 14.0, latency=10
+    )
+    vector = Instruction(
+        "VecSqrtSgn",
+        2,
+        OpKind.VECTOR,
+        _sqrtsgn,
+        3.0,
+        vector_of="sqrtsgn",
+        latency=10,
+    )
+    return scalar, vector
+
+
+def customized_spec(
+    base: IsaSpec, mulsub: bool = False, sqrtsgn: bool = False
+) -> IsaSpec:
+    """The base ISA extended with the requested custom instructions.
+
+    The four combinations of the two flags are exactly the four
+    compilers synthesized for paper Table 2.
+    """
+    extra: list[Instruction] = []
+    suffix: list[str] = []
+    if mulsub:
+        extra.extend(make_mulsub_instructions())
+        suffix.append("mulsub")
+    if sqrtsgn:
+        extra.extend(make_sqrtsgn_instructions())
+        suffix.append("sqrtsgn")
+    if not extra:
+        return base
+    return base.extended(extra, name=f"{base.name}+{'+'.join(suffix)}")

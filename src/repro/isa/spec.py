@@ -1,0 +1,154 @@
+"""Instruction descriptors and ISA specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.interp.interpreter import Interpreter
+from repro.lang.ops import (
+    OpKind,
+    Operator,
+    OperatorRegistry,
+    default_registry,
+)
+
+LaneFn = Callable[..., object]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One ISA instruction, described executably.
+
+    ``lane_fn`` gives the semantics of a single lane over Python
+    numbers (``int``/``float``/``Fraction``); returning ``None`` marks
+    the result undefined (division by zero, sqrt of a negative).
+    Vector instructions are applied lane-wise by the interpreter, and
+    applied *directly to scalars* during rule synthesis — the paper's
+    single-lane reduction (§3.1).
+
+    ``base_cost`` is the instruction's contribution to the abstract
+    cost model (Definition 1); the full model adds structural costs for
+    ``Vec``/``Concat`` in :mod:`repro.phases.cost`.
+    """
+
+    name: str
+    arity: int
+    kind: OpKind
+    lane_fn: LaneFn
+    base_cost: float
+    vector_of: str | None = None
+    commutative: bool = False
+    latency: int = 1  # cycles on the machine model (repro.machine)
+
+    def __post_init__(self):
+        if self.kind not in (OpKind.SCALAR, OpKind.VECTOR):
+            raise ValueError(
+                f"instruction {self.name!r} must be scalar or vector"
+            )
+        if self.arity < 1:
+            raise ValueError(f"instruction {self.name!r} needs arity >= 1")
+        if self.base_cost <= 0:
+            raise ValueError(
+                f"instruction {self.name!r} needs a positive cost "
+                "(strict monotonicity, Definition 2)"
+            )
+
+
+@dataclass(frozen=True)
+class IsaSpec:
+    """An executable ISA specification plus its abstract costs.
+
+    This is the pair of inputs the Isaria workflow consumes (Fig. 2):
+    the interpreter comes from the instructions' ``lane_fn``s, and the
+    cost model from their ``base_cost``s plus the structural costs
+    below.
+    """
+
+    name: str
+    vector_width: int
+    instructions: tuple[Instruction, ...]
+    # Structural cost-model knobs (see repro.phases.cost for how these
+    # combine; they model hardware vector construction).
+    leaf_cost: float = 1.0
+    vec_lane_literal_cost: float = 1.0  # lane holding a leaf (movable)
+    vec_lane_compute_cost: float = 1000.0  # lane holding a computation
+    vec_contiguous_cost: float = 1.0  # whole Vec is one aligned load
+    concat_cost: float = 10.0
+
+    def __post_init__(self):
+        if self.vector_width < 2:
+            raise ValueError("vector_width must be at least 2")
+        names = [instr.name for instr in self.instructions]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate instruction names in ISA spec")
+
+    # -- lookups ---------------------------------------------------------
+
+    def instruction(self, name: str) -> Instruction:
+        for instr in self.instructions:
+            if instr.name == name:
+                return instr
+        raise KeyError(f"no instruction {name!r} in ISA {self.name!r}")
+
+    def has_instruction(self, name: str) -> bool:
+        return any(instr.name == name for instr in self.instructions)
+
+    def scalar_instructions(self) -> list[Instruction]:
+        return [i for i in self.instructions if i.kind is OpKind.SCALAR]
+
+    def vector_instructions(self) -> list[Instruction]:
+        return [i for i in self.instructions if i.kind is OpKind.VECTOR]
+
+    def scalar_counterpart(self, vector_name: str) -> str | None:
+        return self.instruction(vector_name).vector_of
+
+    def vector_counterpart(self, scalar_name: str) -> str | None:
+        for instr in self.vector_instructions():
+            if instr.vector_of == scalar_name:
+                return instr.name
+        return None
+
+    # -- derived objects -------------------------------------------------
+
+    def registry(self) -> OperatorRegistry:
+        """Operator registry covering this ISA (base DSL + customs)."""
+        registry = default_registry()
+        for instr in self.instructions:
+            if instr.name not in registry:
+                registry.register(
+                    Operator(
+                        instr.name,
+                        instr.arity,
+                        instr.kind,
+                        vector_of=instr.vector_of,
+                        commutative=instr.commutative,
+                    )
+                )
+        return registry
+
+    def interpreter(self) -> Interpreter:
+        """The executable interpreter for this ISA."""
+        semantics = {i.name: i.lane_fn for i in self.instructions}
+        kinds = {i.name: i.kind for i in self.instructions}
+        return Interpreter(semantics, kinds)
+
+    def op_costs(self) -> dict[str, float]:
+        """Per-instruction base cost table (input to the cost model)."""
+        return {i.name: i.base_cost for i in self.instructions}
+
+    def extended(
+        self, extra: Iterable[Instruction], name: str | None = None
+    ) -> "IsaSpec":
+        """A new spec with ``extra`` instructions added (paper §5.4)."""
+        extra = tuple(extra)
+        return IsaSpec(
+            name=name or f"{self.name}+{'+'.join(i.name for i in extra)}",
+            vector_width=self.vector_width,
+            instructions=self.instructions + extra,
+            leaf_cost=self.leaf_cost,
+            vec_lane_literal_cost=self.vec_lane_literal_cost,
+            vec_lane_compute_cost=self.vec_lane_compute_cost,
+            vec_contiguous_cost=self.vec_contiguous_cost,
+            concat_cost=self.concat_cost,
+        )

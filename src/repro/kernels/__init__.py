@@ -1,0 +1,31 @@
+"""The benchmark kernel suite (paper §5, "Benchmarks").
+
+The same four families Diospyros and Isaria evaluate on — 2D
+convolution, matrix multiplication, QR decomposition, and quaternion
+product — expressed as imperative Python kernels traced through the
+compiler front end, each paired with an independent numpy reference
+for correctness checking.
+
+Sizes are scaled down relative to the paper (see DESIGN.md): a Python
+e-graph is orders of magnitude slower per node than egg, and every
+experimental *comparison* survives the scaling.
+"""
+
+from repro.kernels.specs import KernelInstance, padded_memory, run_reference
+from repro.kernels.conv2d import conv2d_kernel
+from repro.kernels.mat_mul import matmul_kernel
+from repro.kernels.qr import qr_kernel
+from repro.kernels.quaternion import quaternion_product_kernel
+from repro.kernels.suite import default_suite, suite_by_key
+
+__all__ = [
+    "KernelInstance",
+    "padded_memory",
+    "run_reference",
+    "conv2d_kernel",
+    "matmul_kernel",
+    "qr_kernel",
+    "quaternion_product_kernel",
+    "default_suite",
+    "suite_by_key",
+]

@@ -1,0 +1,75 @@
+"""2D convolution kernels (the paper's 2DConv family).
+
+Full 2D convolution of an ``m x n`` input with a ``p x q`` filter,
+producing an ``(m+p-1) x (n+q-1)`` output — the irregular boundary
+regions are what make this family hard for traditional
+auto-vectorizers and interesting for search-based ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.frontend import trace_kernel
+from repro.kernels.specs import KernelInstance
+
+
+def _trace_conv2d(rows: int, cols: int, frows: int, fcols: int):
+    def kernel(image, kernel2d):
+        out_rows = rows + frows - 1
+        out_cols = cols + fcols - 1
+        outputs = []
+        for r in range(out_rows):
+            for c in range(out_cols):
+                acc = None
+                for i in range(frows):
+                    for j in range(fcols):
+                        rr, cc = r - i, c - j
+                        if not (0 <= rr < rows and 0 <= cc < cols):
+                            continue
+                        prod = (
+                            image[rr * cols + cc]
+                            * kernel2d[i * fcols + j]
+                        )
+                        acc = prod if acc is None else acc + prod
+                outputs.append(acc if acc is not None else 0)
+        return outputs
+
+    return kernel
+
+
+def _reference(rows: int, cols: int, frows: int, fcols: int):
+    def reference(inputs: dict) -> np.ndarray:
+        image = inputs["I"].reshape(rows, cols)
+        filt = inputs["F"].reshape(frows, fcols)
+        out = np.zeros((rows + frows - 1, cols + fcols - 1))
+        for i in range(frows):
+            for j in range(fcols):
+                out[i : i + rows, j : j + cols] += filt[i, j] * image
+        return out
+
+    return reference
+
+
+def conv2d_kernel(
+    rows: int, cols: int, frows: int, fcols: int, width: int = 4
+) -> KernelInstance:
+    """A 2DConv instance: ``rows x cols`` image, ``frows x fcols`` filter."""
+    program = trace_kernel(
+        f"conv2d-{rows}x{cols}-{frows}x{fcols}",
+        _trace_conv2d(rows, cols, frows, fcols),
+        {"I": rows * cols, "F": frows * fcols},
+        width,
+    )
+    return KernelInstance(
+        key=f"2dconv-{rows}x{cols}-{frows}x{fcols}",
+        family="2DConv",
+        params={
+            "rows": rows,
+            "cols": cols,
+            "frows": frows,
+            "fcols": fcols,
+        },
+        program=program,
+        reference=_reference(rows, cols, frows, fcols),
+    )

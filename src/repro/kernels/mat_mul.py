@@ -1,0 +1,45 @@
+"""Matrix multiplication kernels (the paper's Matrix Mul family)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.frontend import trace_kernel
+from repro.kernels.specs import KernelInstance
+
+
+def _trace_matmul(m: int, k: int, n: int):
+    def kernel(a, b):
+        outputs = []
+        for i in range(m):
+            for j in range(n):
+                acc = a[i * k] * b[j]
+                for kk in range(1, k):
+                    acc = acc + a[i * k + kk] * b[kk * n + j]
+                outputs.append(acc)
+        return outputs
+
+    return kernel
+
+
+def matmul_kernel(m: int, k: int, n: int, width: int = 4) -> KernelInstance:
+    """An ``m x k`` by ``k x n`` matrix multiplication instance."""
+    program = trace_kernel(
+        f"matmul-{m}x{k}-{k}x{n}",
+        _trace_matmul(m, k, n),
+        {"A": m * k, "B": k * n},
+        width,
+    )
+
+    def reference(inputs: dict) -> np.ndarray:
+        a = inputs["A"].reshape(m, k)
+        b = inputs["B"].reshape(k, n)
+        return a @ b
+
+    return KernelInstance(
+        key=f"matmul-{m}x{k}x{n}",
+        family="MatMul",
+        params={"m": m, "k": k, "n": n},
+        program=program,
+        reference=reference,
+    )

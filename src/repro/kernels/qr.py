@@ -1,0 +1,87 @@
+"""QR decomposition by Householder reflections (the paper's QrD family).
+
+The kernel computes the ``R`` factor of an ``n x n`` matrix with
+Householder reflections.  Each step forms
+
+    alpha = sqrt(norm_sq) * sgn(-x0)
+
+which is exactly the fused ``VecSqrtSgn`` pattern the paper hardens in
+§5.4, and updates trailing columns with multiply-subtract chains — the
+``VecMulSub`` pattern.  The reference is an independent numeric
+implementation of the same algorithm (sign conventions of
+``np.linalg.qr`` differ, so the test suite compares against both: this
+reference exactly, and ``|R|`` from numpy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.frontend import sym_sgn, sym_sqrt, trace_kernel
+from repro.kernels.specs import KernelInstance
+
+
+def _trace_qr(n: int):
+    def kernel(a):
+        # R as a mutable list of traced scalars, row-major.
+        r = [a[i] for i in range(n * n)]
+
+        def at(i, j):
+            return r[i * n + j]
+
+        for k in range(n - 1):
+            norm_sq = at(k, k) * at(k, k)
+            for i in range(k + 1, n):
+                norm_sq = norm_sq + at(i, k) * at(i, k)
+            # alpha = -sgn(x0) * ||x||, phrased as the sqrt-sgn product.
+            alpha = sym_sqrt(norm_sq) * sym_sgn(-at(k, k))
+            v = [at(i, k) for i in range(k, n)]
+            v[0] = v[0] - alpha
+            v_norm_sq = v[0] * v[0]
+            for i in range(1, len(v)):
+                v_norm_sq = v_norm_sq + v[i] * v[i]
+            for j in range(k, n):
+                dot = v[0] * at(k, j)
+                for i in range(1, len(v)):
+                    dot = dot + v[i] * at(k + i, j)
+                scale = (dot + dot) / v_norm_sq
+                for i in range(len(v)):
+                    r[(k + i) * n + j] = at(k + i, j) - scale * v[i]
+        return r
+
+    return kernel
+
+
+def qr_reference(matrix: np.ndarray) -> np.ndarray:
+    """Numeric Householder R-factor with the kernel's sign convention."""
+    r = matrix.astype(float).copy()
+    n = r.shape[0]
+    for k in range(n - 1):
+        x = r[k:, k]
+        norm = np.sqrt(np.sum(x * x))
+        alpha = -np.sign(x[0]) * norm
+        v = x.copy()
+        v[0] -= alpha
+        v_norm_sq = np.sum(v * v)
+        if v_norm_sq == 0:
+            continue
+        r[k:, k:] -= np.outer(2.0 * v / v_norm_sq, v @ r[k:, k:])
+    return r
+
+
+def qr_kernel(n: int, width: int = 4) -> KernelInstance:
+    """QR decomposition (R factor) of an ``n x n`` matrix."""
+    program = trace_kernel(
+        f"qr-{n}x{n}", _trace_qr(n), {"A": n * n}, width
+    )
+
+    def reference(inputs: dict) -> np.ndarray:
+        return qr_reference(inputs["A"].reshape(n, n))
+
+    return KernelInstance(
+        key=f"qr-{n}x{n}",
+        family="QrD",
+        params={"n": n},
+        program=program,
+        reference=reference,
+    )

@@ -1,0 +1,55 @@
+"""Quaternion product (the paper's QP kernel).
+
+The Hamilton product of two quaternions — the single fixed-size kernel
+the paper includes, "commonly used in pose estimation".  Its 16
+multiplies with irregular sign structure vectorize well under search
+but poorly under fixed-strategy vectorizers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.frontend import trace_kernel
+from repro.kernels.specs import KernelInstance
+
+
+def _trace_qprod():
+    def kernel(p, q):
+        pw, px, py, pz = p[0], p[1], p[2], p[3]
+        qw, qx, qy, qz = q[0], q[1], q[2], q[3]
+        return [
+            pw * qw - px * qx - py * qy - pz * qz,
+            pw * qx + px * qw + py * qz - pz * qy,
+            pw * qy - px * qz + py * qw + pz * qx,
+            pw * qz + px * qy - py * qx + pz * qw,
+        ]
+
+    return kernel
+
+
+def quaternion_product_kernel(width: int = 4) -> KernelInstance:
+    """The fixed-size Hamilton-product kernel (paper's QP)."""
+    program = trace_kernel(
+        "qprod", _trace_qprod(), {"p": 4, "q": 4}, width
+    )
+
+    def reference(inputs: dict) -> np.ndarray:
+        pw, px, py, pz = inputs["p"]
+        qw, qx, qy, qz = inputs["q"]
+        return np.array(
+            [
+                pw * qw - px * qx - py * qy - pz * qz,
+                pw * qx + px * qw + py * qz - pz * qy,
+                pw * qy - px * qz + py * qw + pz * qx,
+                pw * qz + px * qy - py * qx + pz * qw,
+            ]
+        )
+
+    return KernelInstance(
+        key="qprod",
+        family="QP",
+        params={},
+        program=program,
+        reference=reference,
+    )

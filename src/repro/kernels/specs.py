@@ -1,0 +1,70 @@
+"""Kernel instances: traced program + reference + input generation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.compiler.frontend import KernelProgram
+
+
+@dataclass(frozen=True)
+class KernelInstance:
+    """One benchmarkable kernel at one size.
+
+    ``reference`` maps a dict of (unpadded) numpy input arrays to the
+    expected (unpadded) output array — an independent implementation,
+    not derived from the traced program.
+    """
+
+    key: str
+    family: str
+    params: dict
+    program: KernelProgram
+    reference: Callable
+
+    @property
+    def arrays(self) -> dict:
+        return self.program.arrays
+
+    @property
+    def output_len(self) -> int:
+        return self.program.output_len
+
+    def make_inputs(self, seed: int = 0) -> dict:
+        """Seeded random inputs, one list per input array."""
+        rng = random.Random((hash(self.key) & 0xFFFF) * 1_000 + seed)
+        return {
+            name: [round(rng.uniform(-4.0, 4.0), 3) for _ in range(length)]
+            for name, length in self.arrays.items()
+        }
+
+
+def padded_memory(instance: KernelInstance, inputs: dict) -> dict:
+    """Machine memory for a run: inputs and output padded to width."""
+    width = instance.program.width
+    memory: dict = {}
+    for name, length in instance.arrays.items():
+        data = list(inputs[name])
+        if len(data) != length:
+            raise ValueError(
+                f"{instance.key}: input {name!r} has {len(data)} values, "
+                f"expected {length}"
+            )
+        while len(data) % width:
+            data.append(0.0)
+        memory[name] = data
+    memory[instance.program.output] = [0.0] * instance.program.padded_len
+    return memory
+
+
+def run_reference(instance: KernelInstance, inputs: dict) -> np.ndarray:
+    """Evaluate the numpy reference on the given inputs."""
+    np_inputs = {
+        name: np.asarray(inputs[name], dtype=float)
+        for name in instance.arrays
+    }
+    return np.asarray(instance.reference(np_inputs), dtype=float).ravel()

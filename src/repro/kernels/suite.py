@@ -1,0 +1,65 @@
+"""The benchmark suite grid (paper Fig. 4's x-axis, scaled down).
+
+The paper's grid runs 2DConv up to 18²x4², MatMul up to 20², QP, and
+QrD at 3 and 4.  Our grid keeps every family, the irregular/regular
+mix, and the small-to-large progression, at sizes a Python e-graph
+compiles in seconds-to-minutes each (mapping recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.conv2d import conv2d_kernel
+from repro.kernels.mat_mul import matmul_kernel
+from repro.kernels.qr import qr_kernel
+from repro.kernels.quaternion import quaternion_product_kernel
+from repro.kernels.specs import KernelInstance
+
+# (rows, cols, frows, fcols) — paper label "r² x f²" style.
+CONV2D_SIZES = [
+    (3, 3, 2, 2),
+    (3, 3, 3, 3),
+    (4, 4, 2, 2),
+    (4, 4, 3, 3),
+    (6, 6, 3, 3),
+    (8, 8, 3, 3),
+]
+
+# (m, k, n)
+MATMUL_SIZES = [
+    (2, 2, 2),
+    (2, 3, 3),
+    (3, 3, 3),
+    (4, 4, 4),
+    (5, 5, 5),
+    (6, 6, 6),
+]
+
+QR_SIZES = [3, 4]
+
+
+def default_suite(
+    width: int = 4,
+    conv2d_sizes=None,
+    matmul_sizes=None,
+    qr_sizes=None,
+    include_qprod: bool = True,
+) -> list[KernelInstance]:
+    """The full benchmark suite in Fig. 4 display order."""
+    instances: list[KernelInstance] = []
+    for rows, cols, frows, fcols in (
+        CONV2D_SIZES if conv2d_sizes is None else conv2d_sizes
+    ):
+        instances.append(conv2d_kernel(rows, cols, frows, fcols, width))
+    for m, k, n in MATMUL_SIZES if matmul_sizes is None else matmul_sizes:
+        instances.append(matmul_kernel(m, k, n, width))
+    if include_qprod:
+        instances.append(quaternion_product_kernel(width))
+    for n in QR_SIZES if qr_sizes is None else qr_sizes:
+        instances.append(qr_kernel(n, width))
+    return instances
+
+
+def suite_by_key(width: int = 4) -> dict:
+    """The default suite indexed by kernel key."""
+    return {inst.key: inst for inst in default_suite(width)}

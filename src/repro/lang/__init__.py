@@ -1,0 +1,79 @@
+"""The Diospyros/Isaria vector DSL (paper Fig. 1).
+
+This package defines the term language that Isaria learns rewrite rules
+over and that the compiler manipulates:
+
+- :mod:`repro.lang.ops` — the operator registry (scalar, vector, and
+  structural operators, plus runtime registration of custom ISA ops).
+- :mod:`repro.lang.term` — immutable, interned terms.
+- :mod:`repro.lang.parser` — s-expression reader and printer.
+- :mod:`repro.lang.pattern` — wildcard patterns, syntactic matching,
+  substitution, and instantiation (e-graph matching lives in
+  :mod:`repro.egraph.ematch`).
+- :mod:`repro.lang.builders` — convenience constructors.
+"""
+
+from repro.lang.ops import (
+    OpKind,
+    Operator,
+    OperatorRegistry,
+    default_registry,
+)
+from repro.lang.term import (
+    Term,
+    make,
+    const,
+    symbol,
+    get,
+    wildcard,
+    is_const,
+    is_symbol,
+    is_get,
+    is_wildcard,
+    is_leaf,
+    term_size,
+    term_depth,
+    subterms,
+)
+from repro.lang.parser import parse, parse_many, to_sexpr, ParseError
+from repro.lang.pattern import (
+    wildcards_of,
+    instantiate,
+    match,
+    rename_wildcards,
+    is_ground,
+    contains_op,
+)
+from repro.lang import builders
+
+__all__ = [
+    "OpKind",
+    "Operator",
+    "OperatorRegistry",
+    "default_registry",
+    "Term",
+    "make",
+    "const",
+    "symbol",
+    "get",
+    "wildcard",
+    "is_const",
+    "is_symbol",
+    "is_get",
+    "is_wildcard",
+    "is_leaf",
+    "term_size",
+    "term_depth",
+    "subterms",
+    "parse",
+    "parse_many",
+    "to_sexpr",
+    "ParseError",
+    "wildcards_of",
+    "instantiate",
+    "match",
+    "rename_wildcards",
+    "is_ground",
+    "contains_op",
+    "builders",
+]

@@ -1,0 +1,115 @@
+"""Convenience constructors for DSL terms.
+
+These keep kernel generators and tests readable:
+
+>>> from repro.lang import builders as B
+>>> B.add(B.get("x", 0), B.get("y", 0))
+Term((+ (Get x 0) (Get y 0)))
+"""
+
+from __future__ import annotations
+
+from repro.lang import term as T
+from repro.lang.term import Term
+
+# Re-export the leaf constructors under their natural names.
+const = T.const
+symbol = T.symbol
+get = T.get
+wildcard = T.wildcard
+
+
+def add(a: Term, b: Term) -> Term:
+    return T.make("+", a, b)
+
+
+def sub(a: Term, b: Term) -> Term:
+    return T.make("-", a, b)
+
+
+def mul(a: Term, b: Term) -> Term:
+    return T.make("*", a, b)
+
+
+def div(a: Term, b: Term) -> Term:
+    return T.make("/", a, b)
+
+
+def neg(a: Term) -> Term:
+    return T.make("neg", a)
+
+
+def sgn(a: Term) -> Term:
+    return T.make("sgn", a)
+
+
+def sqrt(a: Term) -> Term:
+    return T.make("sqrt", a)
+
+
+def mac(c: Term, a: Term, b: Term) -> Term:
+    """Scalar fused multiply-accumulate: c + a * b."""
+    return T.make("mac", c, a, b)
+
+
+def vec(*lanes: Term) -> Term:
+    return T.make("Vec", *lanes)
+
+
+def concat(a: Term, b: Term) -> Term:
+    return T.make("Concat", a, b)
+
+
+def prog(*outputs: Term) -> Term:
+    """A top-level program: a List of output expressions."""
+    return T.make("List", *outputs)
+
+
+def vec_add(a: Term, b: Term) -> Term:
+    return T.make("VecAdd", a, b)
+
+
+def vec_minus(a: Term, b: Term) -> Term:
+    return T.make("VecMinus", a, b)
+
+
+def vec_mul(a: Term, b: Term) -> Term:
+    return T.make("VecMul", a, b)
+
+
+def vec_div(a: Term, b: Term) -> Term:
+    return T.make("VecDiv", a, b)
+
+
+def vec_neg(a: Term) -> Term:
+    return T.make("VecNeg", a)
+
+
+def vec_sgn(a: Term) -> Term:
+    return T.make("VecSgn", a)
+
+
+def vec_sqrt(a: Term) -> Term:
+    return T.make("VecSqrt", a)
+
+
+def vec_mac(c: Term, a: Term, b: Term) -> Term:
+    """Lane-wise fused multiply-accumulate: c + a * b per lane."""
+    return T.make("VecMAC", c, a, b)
+
+
+def sum_terms(terms: list[Term]) -> Term:
+    """Left-associated sum of one or more scalar terms."""
+    if not terms:
+        raise ValueError("sum_terms requires at least one term")
+    acc = terms[0]
+    for t in terms[1:]:
+        acc = add(acc, t)
+    return acc
+
+
+def dot_product(xs: list[Term], ys: list[Term]) -> Term:
+    """Left-associated dot product of two equal-length term lists."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("dot_product requires equal, non-empty lists")
+    return sum_terms([mul(x, y) for x, y in zip(xs, ys)])

@@ -1,0 +1,158 @@
+"""Operator registry for the Isaria vector DSL.
+
+The grammar (paper Fig. 1) has three syntactic levels:
+
+- *scalar* expressions: arithmetic over numbers, variables, and array
+  accesses ``(Get x i)``;
+- *vector* expressions: ``Vec`` literals that build a vector from scalar
+  lanes, ``Concat``, and lane-wise vector instructions (``VecAdd`` ...);
+- *structure*: a top-level ``List`` of outputs.
+
+Operators are described by :class:`Operator` records collected in an
+:class:`OperatorRegistry`.  The registry is extensible at runtime: adding
+a custom instruction to an ISA spec (paper §5.4) registers its operator
+here so the parser, e-graph, and rule synthesizer all see it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.Enum):
+    """Syntactic category of an operator."""
+
+    SCALAR = "scalar"  # scalar-valued, scalar arguments
+    VECTOR = "vector"  # vector-valued lane-wise instruction
+    STRUCTURE = "structure"  # Vec / Concat / List
+    LEAF = "leaf"  # Const / Symbol / Get / Wild
+
+
+VARIADIC = -1
+
+# Canonical leaf operator names.  Leaves carry a payload instead of
+# children: Const holds a number, Symbol a variable name, Get an
+# (array, index) pair, Wild a wildcard name.
+CONST = "Const"
+SYMBOL = "Symbol"
+GET = "Get"
+WILD = "Wild"
+
+LEAF_OPS = frozenset({CONST, SYMBOL, GET, WILD})
+
+
+@dataclass(frozen=True)
+class Operator:
+    """Static description of one operator.
+
+    ``vector_of`` links a lane-wise vector instruction to the scalar
+    operator computing the same function on one lane (e.g. ``VecAdd`` ->
+    ``+``).  Isaria's lane generalization (§3.1) relies on this link in
+    both directions.
+    """
+
+    name: str
+    arity: int
+    kind: OpKind
+    vector_of: str | None = None
+    commutative: bool = False
+
+    @property
+    def is_variadic(self) -> bool:
+        return self.arity == VARIADIC
+
+
+class OperatorRegistry:
+    """A mutable set of operators keyed by name."""
+
+    def __init__(self, operators: list[Operator] | None = None):
+        self._ops: dict[str, Operator] = {}
+        for op in operators or []:
+            self.register(op)
+
+    def register(self, op: Operator) -> Operator:
+        existing = self._ops.get(op.name)
+        if existing is not None and existing != op:
+            raise ValueError(
+                f"operator {op.name!r} already registered with a "
+                f"different signature"
+            )
+        self._ops[op.name] = op
+        return op
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def __getitem__(self, name: str) -> Operator:
+        return self._ops[name]
+
+    def get(self, name: str) -> Operator | None:
+        return self._ops.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._ops)
+
+    def operators(self) -> list[Operator]:
+        return [self._ops[name] for name in self.names()]
+
+    def scalar_ops(self) -> list[Operator]:
+        return [op for op in self.operators() if op.kind is OpKind.SCALAR]
+
+    def vector_ops(self) -> list[Operator]:
+        return [op for op in self.operators() if op.kind is OpKind.VECTOR]
+
+    def scalar_counterpart(self, vector_op: str) -> str | None:
+        """Name of the scalar op computing one lane of ``vector_op``."""
+        op = self._ops.get(vector_op)
+        return op.vector_of if op is not None else None
+
+    def vector_counterpart(self, scalar_op: str) -> str | None:
+        """Name of the lane-wise vector op lifting ``scalar_op``."""
+        for op in self._ops.values():
+            if op.kind is OpKind.VECTOR and op.vector_of == scalar_op:
+                return op.name
+        return None
+
+    def copy(self) -> "OperatorRegistry":
+        return OperatorRegistry(list(self._ops.values()))
+
+
+def _base_operators() -> list[Operator]:
+    """The fixed DSL of paper Fig. 1."""
+    return [
+        # Leaves.
+        Operator(CONST, 0, OpKind.LEAF),
+        Operator(SYMBOL, 0, OpKind.LEAF),
+        Operator(GET, 0, OpKind.LEAF),
+        Operator(WILD, 0, OpKind.LEAF),
+        # Scalar arithmetic.
+        Operator("+", 2, OpKind.SCALAR, commutative=True),
+        Operator("-", 2, OpKind.SCALAR),
+        Operator("*", 2, OpKind.SCALAR, commutative=True),
+        Operator("/", 2, OpKind.SCALAR),
+        Operator("neg", 1, OpKind.SCALAR),
+        Operator("sgn", 1, OpKind.SCALAR),
+        Operator("sqrt", 1, OpKind.SCALAR),
+        # Scalar fused multiply-accumulate: (mac c a b) = c + a * b.
+        # This is the one-lane reduction of VecMAC (paper §3.1).
+        Operator("mac", 3, OpKind.SCALAR),
+        # Structure.
+        Operator("Vec", VARIADIC, OpKind.STRUCTURE),
+        Operator("Concat", 2, OpKind.STRUCTURE),
+        Operator("List", VARIADIC, OpKind.STRUCTURE),
+        # Lane-wise vector instructions.
+        Operator("VecAdd", 2, OpKind.VECTOR, vector_of="+", commutative=True),
+        Operator("VecMinus", 2, OpKind.VECTOR, vector_of="-"),
+        Operator("VecMul", 2, OpKind.VECTOR, vector_of="*", commutative=True),
+        Operator("VecDiv", 2, OpKind.VECTOR, vector_of="/"),
+        Operator("VecNeg", 1, OpKind.VECTOR, vector_of="neg"),
+        Operator("VecSgn", 1, OpKind.VECTOR, vector_of="sgn"),
+        Operator("VecSqrt", 1, OpKind.VECTOR, vector_of="sqrt"),
+        Operator("VecMAC", 3, OpKind.VECTOR, vector_of="mac"),
+    ]
+
+
+def default_registry() -> OperatorRegistry:
+    """A fresh registry holding exactly the paper's Fig. 1 DSL."""
+    return OperatorRegistry(_base_operators())

@@ -1,0 +1,38 @@
+"""A Fusion-G3-like DSP machine model with a cycle-level simulator.
+
+The paper measures kernels on Tensilica's (closed-source) cycle-level
+simulator.  This package is the synthetic equivalent: a small VLIW-ish
+DSP with
+
+- a scalar unit and a ``W``-wide vector unit (W = the ISA's width);
+- memory holding named arrays, with contiguous vector loads/stores;
+- explicit data-movement instructions (lane insert, two-source
+  shuffle) — the expensive path that the Isaria cost model penalizes;
+- branches, so library-style loop kernels (the Nature baseline) run
+  on the same machine as fully unrolled compiled kernels.
+
+The simulator is functional *and* timed: it computes real values (so
+every benchmark doubles as a correctness check against numpy) and
+counts cycles with an in-order dual-issue model with a register
+scoreboard.
+"""
+
+from repro.machine.program import (
+    Instr,
+    Program,
+    ProgramBuilder,
+    UNITS,
+)
+from repro.machine.schedule import schedule_program
+from repro.machine.simulator import Machine, SimResult, SimulationError
+
+__all__ = [
+    "Instr",
+    "Program",
+    "ProgramBuilder",
+    "UNITS",
+    "schedule_program",
+    "Machine",
+    "SimResult",
+    "SimulationError",
+]

@@ -1,0 +1,269 @@
+"""Machine programs: instruction encoding and a builder.
+
+Registers are virtual and unbounded, named ``s<N>`` (scalar) and
+``v<N>`` (vector); the simulator scoreboard tracks readiness per name.
+Memory is a set of named arrays; addressing is ``array[offset]`` or
+``array[index_reg + offset]`` for loops.
+
+Opcodes (unit in parentheses):
+
+====================  =======================================  =========
+opcode                meaning                                  unit
+====================  =======================================  =========
+``s.const``           dst <- imm                               mem
+``s.load``            dst <- array[offset (+ idx reg)]         mem
+``s.store``           array[offset (+ idx reg)] <- src         mem
+``s.op``              dst <- op(srcs...)                       scalar
+``v.const``           dst <- imm (tuple of lanes)              mem
+``v.splat``           dst lanes all <- scalar src              vector
+``v.load``            dst <- array[offset .. offset+W-1]       mem
+``v.store``           array[offset ..] <- src vector           mem
+``v.op``              dst <- lanewise op(srcs...)              vector
+``v.insert``          dst <- src_vec with lane imm = scalar    vector
+``v.extract``         dst scalar <- src_vec lane imm           vector
+``v.shuffle``         dst lanes <- concat(a, b)[pattern]       vector
+``label``             branch target marker                     —
+``jump``              unconditional branch                     control
+``bnez``              branch if src != 0                       control
+``blt``               branch if src0 < src1                    control
+``loop.begin``        hardware loop: repeat body src times     control
+``loop.end``          hardware loop end (zero-overhead)        control
+``halt``              stop                                     control
+====================  =======================================  =========
+
+``loop.begin``/``loop.end`` model the zero-overhead loop hardware of
+Tensilica-class DSPs: the backedge costs no branch penalty.  The trip
+count register is read once at loop entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Instr:
+    opcode: str
+    dst: str | None = None
+    srcs: tuple[str, ...] = ()
+    op: str | None = None
+    array: str | None = None
+    offset: int = 0
+    imm: object = None
+    target: str | None = None
+
+    def __str__(self) -> str:
+        parts = [self.opcode]
+        if self.dst:
+            parts.append(self.dst)
+        if self.op:
+            parts.append(f"[{self.op}]")
+        parts.extend(self.srcs)
+        if self.array is not None:
+            idx = f"+{self.srcs[-1]}" if self.opcode.endswith("idx") else ""
+            parts.append(f"{self.array}[{self.offset}{idx}]")
+        if self.imm is not None:
+            parts.append(f"#{self.imm}")
+        if self.target is not None:
+            parts.append(f"->{self.target}")
+        return " ".join(str(p) for p in parts)
+
+
+# Functional unit per opcode; the simulator dual-issues instructions
+# that occupy *different* units in the same cycle.
+UNITS: dict[str, str] = {
+    "s.const": "mem",
+    "s.load": "mem",
+    "s.store": "mem",
+    "s.op": "scalar",
+    "v.const": "mem",
+    "v.splat": "vector",
+    "v.load": "mem",
+    "v.store": "mem",
+    "v.op": "vector",
+    "v.insert": "vector",
+    "v.extract": "vector",
+    "v.shuffle": "vector",
+    "jump": "control",
+    "bnez": "control",
+    "blt": "control",
+    "loop.begin": "control",
+    "loop.end": "control",
+    "halt": "control",
+}
+
+
+@dataclass
+class Program:
+    """A straight-line-or-looping machine program."""
+
+    instrs: list[Instr] = field(default_factory=list)
+
+    def labels(self) -> dict[str, int]:
+        table: dict[str, int] = {}
+        for i, instr in enumerate(self.instrs):
+            if instr.opcode == "label":
+                if instr.target in table:
+                    raise ValueError(f"duplicate label {instr.target!r}")
+                table[instr.target] = i
+        return table
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __str__(self) -> str:
+        return "\n".join(str(i) for i in self.instrs)
+
+    def loop_matches(self) -> dict[int, int]:
+        """Map each ``loop.begin`` index to its ``loop.end`` index."""
+        matches: dict[int, int] = {}
+        stack: list[int] = []
+        for i, instr in enumerate(self.instrs):
+            if instr.opcode == "loop.begin":
+                stack.append(i)
+            elif instr.opcode == "loop.end":
+                if not stack:
+                    raise ValueError("loop.end without loop.begin")
+                matches[stack.pop()] = i
+        if stack:
+            raise ValueError("unterminated loop.begin")
+        return matches
+
+    def count(self, opcode_prefix: str) -> int:
+        """Number of instructions whose opcode starts with the prefix."""
+        return sum(
+            1 for i in self.instrs if i.opcode.startswith(opcode_prefix)
+        )
+
+
+class ProgramBuilder:
+    """Incrementally assembles a :class:`Program` with fresh registers."""
+
+    def __init__(self):
+        self.program = Program()
+        self._next_scalar = 0
+        self._next_vector = 0
+        self._next_label = 0
+
+    # -- registers and labels ------------------------------------------------
+
+    def scalar_reg(self) -> str:
+        reg = f"s{self._next_scalar}"
+        self._next_scalar += 1
+        return reg
+
+    def vector_reg(self) -> str:
+        reg = f"v{self._next_vector}"
+        self._next_vector += 1
+        return reg
+
+    def fresh_label(self, hint: str = "L") -> str:
+        label = f"{hint}{self._next_label}"
+        self._next_label += 1
+        return label
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(self, instr: Instr) -> Instr:
+        self.program.instrs.append(instr)
+        return instr
+
+    def s_const(self, value) -> str:
+        dst = self.scalar_reg()
+        self.emit(Instr("s.const", dst=dst, imm=value))
+        return dst
+
+    def s_load(self, array: str, offset: int, index: str | None = None) -> str:
+        dst = self.scalar_reg()
+        srcs = (index,) if index else ()
+        self.emit(Instr("s.load", dst=dst, srcs=srcs, array=array,
+                        offset=offset))
+        return dst
+
+    def s_store(self, array: str, offset: int, src: str,
+                index: str | None = None) -> None:
+        srcs = (src, index) if index else (src,)
+        self.emit(Instr("s.store", srcs=srcs, array=array, offset=offset))
+
+    def s_op(self, op: str, *srcs: str) -> str:
+        dst = self.scalar_reg()
+        self.emit(Instr("s.op", dst=dst, srcs=tuple(srcs), op=op))
+        return dst
+
+    def s_op_into(self, dst: str, op: str, *srcs: str) -> str:
+        """Scalar op writing an existing register (loop accumulators)."""
+        self.emit(Instr("s.op", dst=dst, srcs=tuple(srcs), op=op))
+        return dst
+
+    def v_const(self, lanes: tuple) -> str:
+        dst = self.vector_reg()
+        self.emit(Instr("v.const", dst=dst, imm=tuple(lanes)))
+        return dst
+
+    def v_splat(self, src: str) -> str:
+        dst = self.vector_reg()
+        self.emit(Instr("v.splat", dst=dst, srcs=(src,)))
+        return dst
+
+    def v_load(self, array: str, offset: int, index: str | None = None) -> str:
+        dst = self.vector_reg()
+        srcs = (index,) if index else ()
+        self.emit(Instr("v.load", dst=dst, srcs=srcs, array=array,
+                        offset=offset))
+        return dst
+
+    def v_store(self, array: str, offset: int, src: str,
+                index: str | None = None) -> None:
+        srcs = (src, index) if index else (src,)
+        self.emit(Instr("v.store", srcs=srcs, array=array, offset=offset))
+
+    def v_op(self, op: str, *srcs: str) -> str:
+        dst = self.vector_reg()
+        self.emit(Instr("v.op", dst=dst, srcs=tuple(srcs), op=op))
+        return dst
+
+    def v_op_into(self, dst: str, op: str, *srcs: str) -> str:
+        """Vector op writing an existing register (loop accumulators)."""
+        self.emit(Instr("v.op", dst=dst, srcs=tuple(srcs), op=op))
+        return dst
+
+    def v_insert(self, vec: str, lane: int, scalar: str) -> str:
+        dst = self.vector_reg()
+        self.emit(Instr("v.insert", dst=dst, srcs=(vec, scalar), imm=lane))
+        return dst
+
+    def v_extract(self, vec: str, lane: int) -> str:
+        dst = self.scalar_reg()
+        self.emit(Instr("v.extract", dst=dst, srcs=(vec,), imm=lane))
+        return dst
+
+    def v_shuffle(self, a: str, b: str, pattern: tuple[int, ...]) -> str:
+        dst = self.vector_reg()
+        self.emit(Instr("v.shuffle", dst=dst, srcs=(a, b),
+                        imm=tuple(pattern)))
+        return dst
+
+    def label(self, name: str) -> None:
+        self.emit(Instr("label", target=name))
+
+    def jump(self, target: str) -> None:
+        self.emit(Instr("jump", target=target))
+
+    def bnez(self, src: str, target: str) -> None:
+        self.emit(Instr("bnez", srcs=(src,), target=target))
+
+    def blt(self, a: str, b: str, target: str) -> None:
+        self.emit(Instr("blt", srcs=(a, b), target=target))
+
+    def loop_begin(self, count: str) -> None:
+        """Open a zero-overhead hardware loop of ``count`` iterations."""
+        self.emit(Instr("loop.begin", srcs=(count,)))
+
+    def loop_end(self) -> None:
+        self.emit(Instr("loop.end"))
+
+    def halt(self) -> None:
+        self.emit(Instr("halt"))
+
+    def build(self) -> Program:
+        return self.program

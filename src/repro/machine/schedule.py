@@ -1,0 +1,142 @@
+"""Post-lowering instruction scheduling (list scheduling).
+
+The machine is an in-order dual-issue VLIW: without scheduling, a
+dependent chain (e.g. the accumulating MACs a convolution compiles to)
+stalls on every result.  This pass reorders instructions within basic
+blocks to hide latency, the job the Xtensa toolchain's scheduler does
+for the paper's kernels.  It is applied uniformly to every measured
+system (scalar, SLP, Nature, Diospyros, Isaria) so comparisons stay
+fair.
+
+Algorithm: classic list scheduling per basic block —
+
+1. split at labels, branches, and ``halt`` (control order preserved);
+2. build the dependence DAG: register RAW/WAR/WAW edges, plus
+   conservative memory edges (a store orders against every prior
+   access to the same array; loads may reorder with loads);
+3. repeatedly emit the ready instruction with the longest
+   latency-weighted critical path to the block's end.
+
+The result computes exactly the same values (the dependence DAG is
+respected), which the test-suite cross-checks on random kernels.
+"""
+
+from __future__ import annotations
+
+from repro.machine.program import Instr, Program
+
+_BARRIERS = {"label", "jump", "bnez", "blt", "halt", "loop.begin", "loop.end"}
+
+
+def _blocks(program: Program):
+    """Yield (is_schedulable, instructions) runs."""
+    run: list[Instr] = []
+    for instr in program.instrs:
+        if instr.opcode in _BARRIERS:
+            if run:
+                yield True, run
+                run = []
+            yield False, [instr]
+        else:
+            run.append(instr)
+    if run:
+        yield True, run
+
+
+def _memory_key(instr: Instr):
+    if instr.opcode in ("s.load", "v.load"):
+        return ("r", instr.array)
+    if instr.opcode in ("s.store", "v.store"):
+        return ("w", instr.array)
+    return None
+
+
+def _reads(instr: Instr) -> tuple:
+    return instr.srcs
+
+
+def _writes(instr: Instr):
+    return instr.dst
+
+
+def _schedule_block(block: list[Instr], latency_of) -> list[Instr]:
+    n = len(block)
+    if n <= 2:
+        return block
+
+    successors: list[set[int]] = [set() for _ in range(n)]
+    n_preds = [0] * n
+
+    def add_edge(src: int, dst: int) -> None:
+        if dst not in successors[src]:
+            successors[src].add(dst)
+            n_preds[dst] += 1
+
+    last_write: dict[str, int] = {}
+    readers_since_write: dict[str, list[int]] = {}
+    last_store: dict[str, int] = {}
+    accesses: dict[str, list[int]] = {}
+
+    for i, instr in enumerate(block):
+        # Register dependences.
+        for src in _reads(instr):
+            if src in last_write:
+                add_edge(last_write[src], i)  # RAW
+            readers_since_write.setdefault(src, []).append(i)
+        dst = _writes(instr)
+        if dst is not None:
+            if dst in last_write:
+                add_edge(last_write[dst], i)  # WAW
+            for reader in readers_since_write.get(dst, ()):
+                if reader != i:
+                    add_edge(reader, i)  # WAR
+            last_write[dst] = i
+            readers_since_write[dst] = []
+        # Memory dependences (conservative, per array).
+        key = _memory_key(instr)
+        if key is not None:
+            kind, array = key
+            if kind == "w":
+                for prior in accesses.get(array, ()):
+                    add_edge(prior, i)
+            elif array in last_store:
+                add_edge(last_store[array], i)
+            accesses.setdefault(array, []).append(i)
+            if kind == "w":
+                last_store[array] = i
+
+    # Priority: latency-weighted path to the block end.
+    priority = [0] * n
+    for i in range(n - 1, -1, -1):
+        tail = max(
+            (priority[j] for j in successors[i]), default=0
+        )
+        priority[i] = latency_of(block[i]) + tail
+
+    ready = [i for i in range(n) if n_preds[i] == 0]
+    order: list[Instr] = []
+    while ready:
+        # Highest priority first; original order breaks ties for
+        # determinism and locality.
+        ready.sort(key=lambda i: (-priority[i], i))
+        chosen = ready.pop(0)
+        order.append(block[chosen])
+        for succ in successors[chosen]:
+            n_preds[succ] -= 1
+            if n_preds[succ] == 0:
+                ready.append(succ)
+    assert len(order) == n, "scheduling dropped instructions"
+    return order
+
+
+def schedule_program(program: Program, machine) -> Program:
+    """List-schedule ``program`` for ``machine`` (a
+    :class:`~repro.machine.simulator.Machine`)."""
+    latency_of = machine.instruction_latency
+    out: list[Instr] = []
+    for schedulable, instrs in _blocks(program):
+        if schedulable:
+            out.extend(_schedule_block(instrs, latency_of))
+        else:
+            out.extend(instrs)
+    return Program(out)

@@ -1,0 +1,331 @@
+"""The cycle-level DSP simulator.
+
+Execution model (deliberately simple but hardware-shaped):
+
+- **in-order dual issue**: up to two instructions issue per cycle if
+  they occupy different functional units (scalar / vector / mem /
+  control) — a 2-slot VLIW, like small Tensilica configurations;
+- **register scoreboard**: an instruction issues only when all source
+  registers are ready; destination readiness = issue + latency
+  (results forward, so back-to-back dependent 1-cycle ops dual-issue a
+  cycle apart);
+- **taken-branch penalty** of 2 cycles (short DSP pipeline refill);
+- **total float semantics**: division by zero and sqrt of a negative
+  produce 0.0 (saturating hardware behaviour); the compiler never
+  relies on this — rule verification uses the exact interpreter.
+
+The simulator is also a functional evaluator: it computes real values
+in memory, so kernel outputs are checked against numpy references in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.spec import IsaSpec
+from repro.machine.program import Instr, Program, UNITS
+
+# Machine-level latencies for non-ALU opcodes (cycles).
+_STRUCTURAL_LATENCY = {
+    "s.const": 1,
+    "s.load": 2,
+    "s.store": 1,
+    "v.const": 2,
+    "v.splat": 1,
+    "v.load": 2,
+    "v.store": 1,
+    "v.insert": 2,
+    "v.extract": 1,
+    "v.shuffle": 1,
+    "jump": 1,
+    "bnez": 1,
+    "blt": 1,
+    "loop.begin": 1,
+    "loop.end": 0,  # zero-overhead hardware loop backedge
+    "halt": 1,
+}
+
+_TAKEN_BRANCH_PENALTY = 2
+_ISSUE_WIDTH = 2
+
+
+class SimulationError(RuntimeError):
+    """Malformed program or runaway execution."""
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    cycles: int
+    n_instructions: int
+    memory: dict
+    opcode_counts: dict = field(default_factory=dict)
+    trace: list | None = None  # (issue cycle, Instr) when tracing
+
+    def array(self, name: str) -> list:
+        return list(self.memory[name])
+
+    def format_trace(self, limit: int | None = None) -> str:
+        """Human-readable issue log (requires ``run(..., trace=True)``)."""
+        if self.trace is None:
+            raise ValueError("run with trace=True to record a trace")
+        rows = self.trace if limit is None else self.trace[:limit]
+        lines = [f"{cycle:6d}  {instr}" for cycle, instr in rows]
+        if limit is not None and len(self.trace) > limit:
+            lines.append(f"   ...  ({len(self.trace) - limit} more)")
+        return "\n".join(lines)
+
+
+class Machine:
+    """A simulator instance specialized to one ISA spec."""
+
+    def __init__(self, spec: IsaSpec, max_instructions: int = 4_000_000):
+        self._spec = spec
+        self._width = spec.vector_width
+        self._max_instructions = max_instructions
+        self._lane_fns = {i.name: i.lane_fn for i in spec.instructions}
+        self._latency = dict(_STRUCTURAL_LATENCY)
+        for instr in spec.instructions:
+            self._latency[("op", instr.name)] = instr.latency
+
+    @property
+    def vector_width(self) -> int:
+        return self._width
+
+    # -- semantics helpers -------------------------------------------------
+
+    def _alu(self, op: str, args: tuple) -> float:
+        fn = self._lane_fns.get(op)
+        if fn is None:
+            raise SimulationError(f"machine has no ALU op {op!r}")
+        result = fn(*args)
+        # Total hardware semantics: undefined results saturate to 0.
+        return 0.0 if result is None else float(result)
+
+    def _instr_latency(self, instr: Instr) -> int:
+        if instr.opcode in ("s.op", "v.op"):
+            latency = self._latency.get(("op", instr.op))
+            if latency is None:
+                raise SimulationError(f"no latency for op {instr.op!r}")
+            return latency
+        return self._latency[instr.opcode]
+
+    def instruction_latency(self, instr: Instr) -> int:
+        """Public latency query (used by the instruction scheduler)."""
+        if instr.opcode == "label":
+            return 0
+        return self._instr_latency(instr)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self, program: Program, memory: dict, trace: bool = False
+    ) -> SimResult:
+        """Execute ``program`` on a copy of ``memory``.
+
+        ``memory`` maps array names to sequences of floats; the result
+        carries the mutated copy.  With ``trace=True`` the result also
+        records each instruction's issue cycle (debugging aid; slows
+        simulation slightly).
+        """
+        issue_log: list | None = [] if trace else None
+        mem = {name: [float(x) for x in data] for name, data in memory.items()}
+        labels = program.labels()
+        loop_ends = program.loop_matches()
+        loop_stack: list[list] = []  # [begin pc, remaining iterations]
+        regs: dict[str, object] = {}
+        ready: dict[str, int] = {}
+        opcode_counts: dict[str, int] = {}
+
+        pc = 0
+        cycle = 0
+        units_this_cycle: set[str] = set()
+        issued_this_cycle = 0
+        executed = 0
+        instrs = program.instrs
+        n_instrs = len(instrs)
+
+        while pc < n_instrs:
+            instr = instrs[pc]
+            pc += 1
+            if instr.opcode == "label":
+                continue
+
+            executed += 1
+            if executed > self._max_instructions:
+                raise SimulationError(
+                    f"execution exceeded {self._max_instructions} "
+                    "instructions (infinite loop?)"
+                )
+            opcode_counts[instr.opcode] = (
+                opcode_counts.get(instr.opcode, 0) + 1
+            )
+
+            # --- timing: find the issue cycle -------------------------------
+            operands_ready = cycle
+            for src in instr.srcs:
+                operands_ready = max(operands_ready, ready.get(src, 0))
+            unit = UNITS.get(instr.opcode)
+            if unit is None:
+                raise SimulationError(f"unknown opcode {instr.opcode!r}")
+            issue = max(cycle, operands_ready)
+            if issue == cycle and (
+                unit in units_this_cycle or issued_this_cycle >= _ISSUE_WIDTH
+            ):
+                issue = cycle + 1
+            if issue > cycle:
+                cycle = issue
+                units_this_cycle = set()
+                issued_this_cycle = 0
+            units_this_cycle.add(unit)
+            issued_this_cycle += 1
+            latency = self._instr_latency(instr)
+            if instr.dst is not None:
+                ready[instr.dst] = cycle + latency
+            if issue_log is not None:
+                issue_log.append((cycle, instr))
+
+            # --- semantics ----------------------------------------------------
+            if instr.opcode == "loop.begin":
+                count = int(regs[instr.srcs[0]])
+                if count <= 0:
+                    # Skip the whole loop (pays a pipeline refill).
+                    pc = loop_ends[pc - 1] + 1
+                    cycle += _TAKEN_BRANCH_PENALTY
+                    units_this_cycle = set()
+                    issued_this_cycle = 0
+                else:
+                    loop_stack.append([pc, count])
+                continue
+            if instr.opcode == "loop.end":
+                if not loop_stack:
+                    raise SimulationError("loop.end outside a loop")
+                top = loop_stack[-1]
+                top[1] -= 1
+                if top[1] > 0:
+                    pc = top[0]  # zero-overhead backedge
+                else:
+                    loop_stack.pop()
+                continue
+
+            taken = self._execute(instr, regs, mem, labels)
+            if taken is not None:
+                pc = taken
+                cycle += _TAKEN_BRANCH_PENALTY
+                units_this_cycle = set()
+                issued_this_cycle = 0
+            if instr.opcode == "halt":
+                break
+
+        # Drain: account for the longest in-flight latency.
+        final = cycle + 1
+        for reg_ready in ready.values():
+            final = max(final, reg_ready)
+        return SimResult(
+            cycles=final,
+            n_instructions=executed,
+            memory=mem,
+            opcode_counts=opcode_counts,
+            trace=issue_log,
+        )
+
+    def _execute(self, instr, regs, mem, labels):
+        """Apply one instruction; returns a new pc if a branch is taken."""
+        opcode = instr.opcode
+        width = self._width
+
+        if opcode == "s.const":
+            regs[instr.dst] = float(instr.imm)
+        elif opcode == "s.load":
+            base = instr.offset + self._index_of(instr.srcs, 0, regs)
+            regs[instr.dst] = self._mem_read(mem, instr.array, base)
+        elif opcode == "s.store":
+            base = instr.offset + self._index_of(instr.srcs, 1, regs)
+            self._mem_write(mem, instr.array, base, regs[instr.srcs[0]])
+        elif opcode == "s.op":
+            args = tuple(regs[s] for s in instr.srcs)
+            regs[instr.dst] = self._alu(instr.op, args)
+        elif opcode == "v.const":
+            lanes = tuple(float(x) for x in instr.imm)
+            if len(lanes) != width:
+                raise SimulationError("v.const width mismatch")
+            regs[instr.dst] = lanes
+        elif opcode == "v.splat":
+            regs[instr.dst] = (regs[instr.srcs[0]],) * width
+        elif opcode == "v.load":
+            base = instr.offset + self._index_of(instr.srcs, 0, regs)
+            regs[instr.dst] = tuple(
+                self._mem_read(mem, instr.array, base + i)
+                for i in range(width)
+            )
+        elif opcode == "v.store":
+            base = instr.offset + self._index_of(instr.srcs, 1, regs)
+            vec = regs[instr.srcs[0]]
+            for i in range(width):
+                self._mem_write(mem, instr.array, base + i, vec[i])
+        elif opcode == "v.op":
+            vecs = tuple(regs[s] for s in instr.srcs)
+            regs[instr.dst] = tuple(
+                self._alu(instr.op, tuple(v[i] for v in vecs))
+                for i in range(width)
+            )
+        elif opcode == "v.insert":
+            vec = list(regs[instr.srcs[0]])
+            vec[instr.imm] = regs[instr.srcs[1]]
+            regs[instr.dst] = tuple(vec)
+        elif opcode == "v.extract":
+            regs[instr.dst] = regs[instr.srcs[0]][instr.imm]
+        elif opcode == "v.shuffle":
+            joined = regs[instr.srcs[0]] + regs[instr.srcs[1]]
+            regs[instr.dst] = tuple(joined[i] for i in instr.imm)
+        elif opcode == "jump":
+            return self._label_target(labels, instr.target)
+        elif opcode == "bnez":
+            if regs[instr.srcs[0]] != 0:
+                return self._label_target(labels, instr.target)
+        elif opcode == "blt":
+            if regs[instr.srcs[0]] < regs[instr.srcs[1]]:
+                return self._label_target(labels, instr.target)
+        elif opcode == "halt":
+            pass
+        else:
+            raise SimulationError(f"unknown opcode {opcode!r}")
+        return None
+
+    @staticmethod
+    def _index_of(srcs: tuple, position: int, regs: dict) -> int:
+        """Value of the optional index register at ``position``."""
+        if len(srcs) > position:
+            return int(regs[srcs[position]])
+        return 0
+
+    @staticmethod
+    def _mem_read(mem: dict, array: str, index: int) -> float:
+        data = mem.get(array)
+        if data is None:
+            raise SimulationError(f"unknown array {array!r}")
+        if not 0 <= index < len(data):
+            raise SimulationError(
+                f"out-of-bounds read {array}[{index}] (len {len(data)})"
+            )
+        return data[index]
+
+    @staticmethod
+    def _mem_write(mem: dict, array: str, index: int, value) -> None:
+        data = mem.get(array)
+        if data is None:
+            raise SimulationError(f"unknown array {array!r}")
+        if not 0 <= index < len(data):
+            raise SimulationError(
+                f"out-of-bounds write {array}[{index}] (len {len(data)})"
+            )
+        data[index] = float(value)
+
+    @staticmethod
+    def _label_target(labels: dict, target: str) -> int:
+        pc = labels.get(target)
+        if pc is None:
+            raise SimulationError(f"unknown label {target!r}")
+        return pc

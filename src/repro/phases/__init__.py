@@ -1,0 +1,33 @@
+"""Phase discovery: the cost model and cost-based rule classification.
+
+Implements paper §3.2: a strictly monotonic abstract cost function over
+DSL terms (Definitions 1-2), the cost differential and aggregate cost
+of a rewrite rule (Definitions 3-4), and the two-step α/β assignment of
+every synthesized rule to the expansion, compilation, or optimization
+phase.
+"""
+
+from repro.phases.cost import CostModel, check_strict_monotonicity
+from repro.phases.assign import (
+    Phase,
+    PhaseParams,
+    cost_differential,
+    aggregate_cost,
+    assign_phase,
+    assign_phases,
+    default_params,
+)
+from repro.phases.ruleset import PhasedRuleSet
+
+__all__ = [
+    "CostModel",
+    "check_strict_monotonicity",
+    "Phase",
+    "PhaseParams",
+    "cost_differential",
+    "aggregate_cost",
+    "assign_phase",
+    "assign_phases",
+    "default_params",
+    "PhasedRuleSet",
+]

@@ -1,0 +1,110 @@
+"""Cost-based phase assignment (paper §3.2, Definitions 3-4).
+
+Each candidate rewrite rule is assigned to one of three phases by two
+metrics computed from the abstract cost model:
+
+1. rules with cost differential ``CD(P ~> Q) > α`` are **compilation**
+   rules — they lower cost dramatically, which in this cost model only
+   scalar→vector transitions do;
+2. of the rest, rules with aggregate cost ``CA(P ~> Q) > β`` are
+   **expansion** rules (both sides still scalar-heavy), and the rest
+   are **optimization** rules (both sides vector-cheap).
+
+The default α/β come from the paper's guidance: β sits between the
+cost of a scalar addition pattern and a vector addition pattern, and α
+exceeds the largest cost difference any scalar↔scalar rule can have.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.egraph.rewrite import Rewrite
+from repro.isa.spec import IsaSpec
+from repro.phases.cost import CostModel
+from repro.phases.ruleset import PhasedRuleSet
+
+
+class Phase(enum.Enum):
+    """The three rule phases of §3.2."""
+
+    EXPANSION = "expansion"
+    COMPILATION = "compilation"
+    OPTIMIZATION = "optimization"
+
+
+@dataclass(frozen=True)
+class PhaseParams:
+    """The α/β thresholds of §3.2 (swept in the Fig. 9 experiment)."""
+
+    alpha: float
+    beta: float
+
+
+def cost_differential(model: CostModel, rule: Rewrite) -> float:
+    """Definition 3: ``CD(P ~> Q) = C(P) - C(Q)``."""
+    return model.term_cost(rule.lhs) - model.term_cost(rule.rhs)
+
+
+def aggregate_cost(model: CostModel, rule: Rewrite) -> float:
+    """Definition 4: ``CA(P ~> Q) = C(P) + C(Q)``."""
+    return model.term_cost(rule.lhs) + model.term_cost(rule.rhs)
+
+
+def assign_phase(
+    model: CostModel, rule: Rewrite, params: PhaseParams
+) -> Phase:
+    """The paper's two-step assignment."""
+    if cost_differential(model, rule) > params.alpha:
+        return Phase.COMPILATION
+    if aggregate_cost(model, rule) > params.beta:
+        return Phase.EXPANSION
+    return Phase.OPTIMIZATION
+
+
+def default_params(spec: IsaSpec) -> PhaseParams:
+    """α/β selected by inspecting the cost model (paper §3.2, §5.5).
+
+    - α must exceed the cost differential of any scalar↔scalar rule; the
+      most lopsided such rule erases two scalar operations (e.g.
+      ``(neg (neg a)) ~> a``), so take ``2 * max scalar op cost + 1``.
+      Compilation rules clear this easily — eliminating a computed
+      ``Vec`` lane saves ~``vec_lane_compute_cost``.
+    - β must separate scalar rules from vector rules by aggregate cost;
+      the cheapest scalar pattern is one scalar op over leaves, so put β
+      at ``min scalar op cost + 2 leaves`` (the cost of ``(+ ?a ?b)``),
+      which every scalar-containing rule's aggregate strictly exceeds
+      while vector↔vector rule aggregates stay below.
+    """
+    scalar_costs = [i.base_cost for i in spec.scalar_instructions()]
+    if not scalar_costs:
+        raise ValueError("ISA spec has no scalar instructions")
+    alpha = 2.0 * max(scalar_costs) + 1.0
+    beta = min(scalar_costs) + 2.0 * spec.leaf_cost
+    return PhaseParams(alpha=alpha, beta=beta)
+
+
+def assign_phases(
+    model: CostModel,
+    rules: list[Rewrite],
+    params: PhaseParams,
+) -> PhasedRuleSet:
+    """Split candidate rules into the three phases."""
+    expansion: list[Rewrite] = []
+    compilation: list[Rewrite] = []
+    optimization: list[Rewrite] = []
+    for rule in rules:
+        phase = assign_phase(model, rule, params)
+        if phase is Phase.COMPILATION:
+            compilation.append(rule)
+        elif phase is Phase.EXPANSION:
+            expansion.append(rule)
+        else:
+            optimization.append(rule)
+    return PhasedRuleSet(
+        expansion=tuple(expansion),
+        compilation=tuple(compilation),
+        optimization=tuple(optimization),
+        params=params,
+    )

@@ -1,0 +1,177 @@
+"""The abstract cost model (paper Definitions 1-2).
+
+The cost function maps every DSL term — including rule *patterns*,
+where wildcards are costed as unit leaves — to a positive number
+approximating cycles on the target DSP.  It is strictly monotonic
+(every node contributes a positive amount beyond its children), which
+the paper requires so extraction never has to consider zero-cost
+variations.
+
+The structure mirrors §3.2's discussion of recursive ``Vec`` costs: a
+``Vec`` built from loadable values (a contiguous ``Get`` run, all
+constants, or plain leaves) is cheap, while a ``Vec`` whose lanes are
+*computed* scalars must be assembled one lane at a time through a
+scalar register — modelled as a large per-lane cost.  This asymmetry
+is what gives scalar→vector compilation rules their huge cost
+differential (Fig. 8's cluster at ~4040).
+"""
+
+from __future__ import annotations
+
+from repro.isa.spec import IsaSpec
+from repro.lang import term as T
+from repro.lang.term import Term
+
+
+class CostModel:
+    """Definition 1's cost function ``C``, derived from an ISA spec."""
+
+    def __init__(self, spec: IsaSpec):
+        self._spec = spec
+        self._op_costs = spec.op_costs()
+        self.leaf_cost = spec.leaf_cost
+        self.vec_lane_literal_cost = spec.vec_lane_literal_cost
+        self.vec_lane_compute_cost = spec.vec_lane_compute_cost
+        self.vec_contiguous_cost = spec.vec_contiguous_cost
+        self.concat_cost = spec.concat_cost
+        self.list_cost = 1.0
+
+    # -- the extraction interface (repro.egraph.extract.CostFunction) ----
+
+    def node_cost(self, op: str, payload, child_terms: tuple[Term, ...]):
+        """Cost contribution of one node given its chosen children."""
+        if op in ("Const", "Symbol", "Get", "Wild"):
+            return self.leaf_cost
+        if op == "Vec":
+            return self._vec_cost(child_terms)
+        if op == "Concat":
+            return self.concat_cost
+        if op == "List":
+            return self.list_cost
+        base = self._op_costs.get(op)
+        if base is None:
+            raise KeyError(
+                f"cost model for ISA {self._spec.name!r} has no entry "
+                f"for operator {op!r}"
+            )
+        return base
+
+    def node_cost_heads(self, op: str, payload, child_heads) -> float:
+        """Fast-path cost for extraction: children as (op, payload).
+
+        The structural ``Vec`` cost only needs each lane's head — leaf
+        kind and Get payload — so extraction can avoid materializing
+        candidate terms.
+        """
+        if op == "Vec":
+            return self._vec_cost_heads(child_heads)
+        if op in ("Const", "Symbol", "Get", "Wild"):
+            return self.leaf_cost
+        if op == "Concat":
+            return self.concat_cost
+        if op == "List":
+            return self.list_cost
+        base = self._op_costs.get(op)
+        if base is None:
+            raise KeyError(
+                f"cost model for ISA {self._spec.name!r} has no entry "
+                f"for operator {op!r}"
+            )
+        return base
+
+    def _vec_cost_heads(self, lane_heads) -> float:
+        leaf_ops = ("Const", "Symbol", "Get", "Wild")
+        if lane_heads and all(op in leaf_ops for op, _ in lane_heads):
+            if all(op == "Const" for op, _ in lane_heads):
+                return self.vec_contiguous_cost
+            if self._heads_contiguous(lane_heads):
+                return self.vec_contiguous_cost
+            return self.vec_lane_literal_cost * len(lane_heads)
+        cost = 0.0
+        for op, _payload in lane_heads:
+            if op in leaf_ops:
+                cost += self.vec_lane_literal_cost
+            else:
+                cost += self.vec_lane_compute_cost
+        return cost
+
+    @staticmethod
+    def _heads_contiguous(lane_heads) -> bool:
+        if not all(op == "Get" for op, _ in lane_heads):
+            return False
+        arrays = {payload[0] for _, payload in lane_heads}
+        if len(arrays) != 1:
+            return False
+        indices = [payload[1] for _, payload in lane_heads]
+        return indices == list(
+            range(indices[0], indices[0] + len(indices))
+        )
+
+    # -- Definition 1 ------------------------------------------------------
+
+    def term_cost(self, term: Term) -> float:
+        """Total cost ``C(term)``; defined on patterns too.
+
+        Tree semantics (a shared subexpression is paid once per
+        occurrence, matching what extraction computes), evaluated
+        DAG-efficiently.
+        """
+        return T.fold_term(
+            term,
+            lambda t, child_costs: (
+                self.node_cost(t.op, t.payload, t.args) + sum(child_costs)
+            ),
+        )
+
+    __call__ = term_cost
+
+    # -- Vec structure ---------------------------------------------------------
+
+    def _vec_cost(self, lanes: tuple[Term, ...]) -> float:
+        if lanes and all(T.is_leaf(lane) for lane in lanes):
+            if all(T.is_const(lane) for lane in lanes):
+                return self.vec_contiguous_cost
+            if self._is_contiguous_load(lanes):
+                return self.vec_contiguous_cost
+            return self.vec_lane_literal_cost * len(lanes)
+        cost = 0.0
+        for lane in lanes:
+            if T.is_leaf(lane):
+                cost += self.vec_lane_literal_cost
+            else:
+                cost += self.vec_lane_compute_cost
+        return cost
+
+    @staticmethod
+    def _is_contiguous_load(lanes: tuple[Term, ...]) -> bool:
+        """True when the lanes are one ascending Get run of one array."""
+        if not all(T.is_get(lane) for lane in lanes):
+            return False
+        arrays = {lane.payload[0] for lane in lanes}
+        if len(arrays) != 1:
+            return False
+        indices = [lane.payload[1] for lane in lanes]
+        return indices == list(range(indices[0], indices[0] + len(indices)))
+
+
+def check_strict_monotonicity(
+    model: CostModel, terms: list[Term]
+) -> list[str]:
+    """Definition 2 sanity check over sample terms.
+
+    Returns human-readable violations (empty = monotonic on the
+    sample).  The model is monotonic by construction — every
+    ``node_cost`` is positive — so this is a guard against future cost
+    edits, exercised by the test suite.
+    """
+    violations: list[str] = []
+    for term in terms:
+        parent_cost = model.term_cost(term)
+        for arg in term.args:
+            child_cost = model.term_cost(arg)
+            if not child_cost < parent_cost:
+                violations.append(
+                    f"C({arg!r}) = {child_cost} !< C({term!r}) = "
+                    f"{parent_cost}"
+                )
+    return violations

@@ -1,0 +1,54 @@
+"""The phased rule set a generated compiler carries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.egraph.rewrite import Rewrite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.phases.assign import PhaseParams
+
+
+@dataclass(frozen=True)
+class PhasedRuleSet:
+    """Candidate rules split into the three §3.2 phases."""
+
+    expansion: tuple[Rewrite, ...]
+    compilation: tuple[Rewrite, ...]
+    optimization: tuple[Rewrite, ...]
+    params: "PhaseParams"
+
+    def __len__(self) -> int:
+        return (
+            len(self.expansion)
+            + len(self.compilation)
+            + len(self.optimization)
+        )
+
+    def __iter__(self) -> Iterator[Rewrite]:
+        yield from self.expansion
+        yield from self.compilation
+        yield from self.optimization
+
+    def all_rules(self) -> list[Rewrite]:
+        """Every rule, ignoring phases (the §5.2 no-phasing ablation)."""
+        return list(self)
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "expansion": len(self.expansion),
+            "compilation": len(self.compilation),
+            "optimization": len(self.optimization),
+        }
+
+    def summary(self) -> str:
+        counts = self.counts()
+        total = len(self)
+        return (
+            f"{total} rules: {counts['expansion']} expansion, "
+            f"{counts['compilation']} compilation, "
+            f"{counts['optimization']} optimization "
+            f"(alpha={self.params.alpha}, beta={self.params.beta})"
+        )

@@ -1,0 +1,101 @@
+"""Candidate rewrite rules from cvec-equal term pairs.
+
+Each enumeration pair ``(rep, newcomer)`` becomes up to two directed
+candidate rules, after variable terms are turned into wildcard
+patterns.  A direction is only proposed when every wildcard of the
+right-hand side is bound on the left (``(* a 0) ~> 0`` is valid; the
+reverse is not a rewrite rule).
+"""
+
+from __future__ import annotations
+
+from repro.egraph.rewrite import Rewrite
+from repro.lang import term as T
+from repro.lang.parser import to_sexpr
+from repro.lang.term import Term
+
+
+def to_pattern(term: Term) -> Term:
+    """Replace enumeration variables (symbols) with wildcards."""
+    if T.is_symbol(term):
+        return T.wildcard(term.payload)
+    if not term.args:
+        return term
+    return T.make(
+        term.op,
+        *(to_pattern(arg) for arg in term.args),
+        payload=term.payload,
+    )
+
+
+def canonical_wildcards(lhs: Term, rhs: Term) -> tuple[Term, Term]:
+    """Rename wildcards to w0, w1, ... in lhs-first-occurrence order.
+
+    Canonical naming makes structurally identical rules compare equal,
+    so the pipeline can dedupe rules that arise from different pairs.
+    """
+    from repro.lang.pattern import rename_wildcards, wildcards_of
+
+    order: list[str] = []
+    for pattern in (lhs, rhs):
+        for name in wildcards_of(pattern):
+            if name not in order:
+                order.append(name)
+    mapping = {name: f"w{i}" for i, name in enumerate(order)}
+    return rename_wildcards(lhs, mapping), rename_wildcards(rhs, mapping)
+
+
+def orient_pair(a: Term, b: Term) -> list[tuple[Term, Term]]:
+    """The wildcard-sound directions of a term pair, as patterns."""
+    pa, pb = to_pattern(a), to_pattern(b)
+    from repro.lang.pattern import wildcards_of
+
+    wa, wb = set(wildcards_of(pa)), set(wildcards_of(pb))
+    directions: list[tuple[Term, Term]] = []
+    if wb <= wa:
+        directions.append(canonical_wildcards(pa, pb))
+    if wa <= wb:
+        directions.append(canonical_wildcards(pb, pa))
+    return [(lhs, rhs) for lhs, rhs in directions if lhs != rhs]
+
+
+def candidate_rules(pairs: list[tuple[Term, Term]]) -> list[Rewrite]:
+    """Directed, deduplicated candidates from enumeration pairs.
+
+    Candidates are ordered smallest-first (by total pattern size, then
+    text) so minimization considers the most general, most composable
+    rules before the "shortcut" rules §5.2 discusses.
+    """
+    seen: set[tuple[Term, Term]] = set()
+    rules: list[Rewrite] = []
+    for a, b in pairs:
+        for lhs, rhs in orient_pair(a, b):
+            key = (lhs, rhs)
+            if key in seen:
+                continue
+            seen.add(key)
+            rules.append(
+                Rewrite(f"syn-{len(rules)}", lhs, rhs)
+            )
+    rules.sort(key=_rule_order)
+    return [
+        Rewrite(f"syn-{i}", rule.lhs, rule.rhs)
+        for i, rule in enumerate(rules)
+    ]
+
+
+def _rule_order(rule: Rewrite):
+    """Smallest and most general first.
+
+    Generality (fewer constant leaves) comes before text order so that
+    ``(* 0 ?w0) => 0`` is accepted before ``(* 0 1) => 0``; the ground
+    instance is then derivable and dropped by minimization.
+    """
+    size = T.term_size(rule.lhs) + T.term_size(rule.rhs)
+    n_consts = sum(
+        1
+        for side in (rule.lhs, rule.rhs)
+        for sub in T.subterms(side)
+        if T.is_const(sub)
+    )
+    return (size, n_consts, to_sexpr(rule.lhs), to_sexpr(rule.rhs))

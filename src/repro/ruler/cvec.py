@@ -1,0 +1,78 @@
+"""Characteristic vectors: behavioural fingerprints of terms.
+
+A term's *cvec* is the tuple of its values on a fixed sequence of
+environments.  Two terms with equal cvecs are candidate-equivalent
+(Ruler's test-based filtering); verification then establishes actual
+soundness.  Environments mix corner cases (zeros, ones, sign flips)
+with seeded random rationals, evaluated exactly so algebraic identities
+fingerprint identically; the few irrational-producing ops (sqrt) yield
+floats, which are rounded for fingerprint stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.interp.env import sample_envs
+from repro.interp.interpreter import Interpreter
+from repro.interp.value import UNDEFINED
+from repro.lang.term import Term
+
+
+@dataclass(frozen=True)
+class CvecSpec:
+    """The shared evaluation grid for one synthesis run."""
+
+    variables: tuple[str, ...]
+    envs: tuple[dict, ...]
+
+    @staticmethod
+    def make(
+        variables: tuple[str, ...],
+        n_random: int = 24,
+        seed: int = 0,
+        corner_limit: int = 64,
+    ) -> "CvecSpec":
+        envs = sample_envs(
+            variables, n_random=n_random, seed=seed, corner_limit=corner_limit
+        )
+        return CvecSpec(variables=tuple(variables), envs=tuple(envs))
+
+    def __len__(self) -> int:
+        return len(self.envs)
+
+
+def _fingerprint_value(value):
+    """A hashable, float-noise-tolerant key for one value."""
+    if value is UNDEFINED:
+        return "undef"
+    if isinstance(value, float):
+        if value == 0.0:
+            return Fraction(0)
+        return round(value, 9)
+    if isinstance(value, Fraction) and value.denominator == 1:
+        return Fraction(value)  # normalize int-valued entries
+    if isinstance(value, int):
+        return Fraction(value)
+    return value
+
+
+def cvec_of(
+    term: Term, interpreter: Interpreter, spec: CvecSpec
+) -> tuple | None:
+    """The term's fingerprint, or None if undefined everywhere.
+
+    All-undefined terms (e.g. ``(sqrt -1)``-like) carry no usable
+    signal and are discarded by enumeration.
+    """
+    values = []
+    any_defined = False
+    for env in spec.envs:
+        value = interpreter.evaluate(term, env)
+        if value is not UNDEFINED:
+            any_defined = True
+        values.append(_fingerprint_value(value))
+    if not any_defined:
+        return None
+    return tuple(values)

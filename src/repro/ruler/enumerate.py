@@ -1,0 +1,120 @@
+"""Bottom-up term enumeration deduplicated by characteristic vector.
+
+Enumerates terms over the *single-lane reduction* of the ISA: vector
+instructions participate as ordinary scalar operators (paper §3.1's
+key trick), so per-lane algebra is discovered once instead of per lane
+and per lane combination.
+
+The pool keeps exactly one representative term per cvec (the first,
+therefore smallest, one found).  A newly enumerated term whose cvec is
+already present contributes a *candidate pair* instead of growing the
+pool — this mirrors how Ruler's e-graph collapses equivalent terms and
+is what keeps enumeration from exploding.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.interp.interpreter import Interpreter
+from repro.isa.spec import IsaSpec
+from repro.lang import builders as B
+from repro.lang import term as T
+from repro.lang.term import Term
+from repro.ruler.cvec import CvecSpec, cvec_of
+
+
+@dataclass
+class EnumerationResult:
+    """Pool of representatives plus cvec-equal candidate pairs."""
+
+    representatives: dict = field(default_factory=dict)  # cvec -> Term
+    pairs: list = field(default_factory=list)  # (rep, newcomer) Term pairs
+    n_enumerated: int = 0
+    aborted: bool = False  # hit the time budget
+
+    @property
+    def n_representatives(self) -> int:
+        return len(self.representatives)
+
+
+def _atoms(variables: tuple[str, ...], constants: tuple) -> list[Term]:
+    atoms = [B.symbol(name) for name in variables]
+    atoms.extend(B.const(value) for value in constants)
+    return atoms
+
+
+def enumerate_terms(
+    spec: IsaSpec,
+    cvec_spec: CvecSpec,
+    max_size: int = 5,
+    constants: tuple = (0, 1),
+    deadline: float | None = None,
+    interpreter: Interpreter | None = None,
+    op_allowlist: tuple | None = None,
+) -> EnumerationResult:
+    """Enumerate single-lane terms of up to ``max_size`` nodes.
+
+    ``deadline`` is an absolute ``time.monotonic()`` cutoff; hitting it
+    aborts enumeration with whatever has been found (the Fig. 7 budget
+    behaviour).
+    """
+    interpreter = interpreter or spec.interpreter()
+    result = EnumerationResult()
+
+    by_size: dict[int, list[Term]] = {1: []}
+    for atom in _atoms(cvec_spec.variables, constants):
+        cvec = cvec_of(atom, interpreter, cvec_spec)
+        if cvec is None or cvec in result.representatives:
+            continue
+        result.representatives[cvec] = atom
+        by_size[1].append(atom)
+        result.n_enumerated += 1
+
+    ops = sorted(spec.instructions, key=lambda i: i.name)
+    if op_allowlist is not None:
+        allowed = set(op_allowlist)
+        ops = [instr for instr in ops if instr.name in allowed]
+    for size in range(2, max_size + 1):
+        new_terms: list[Term] = []
+        for instr in ops:
+            arity = instr.arity
+            budget = size - 1
+            if budget < arity:
+                continue
+            for sizes in _compositions(budget, arity):
+                pools = [by_size.get(s, ()) for s in sizes]
+                if any(not pool for pool in pools):
+                    continue
+                for children in itertools.product(*pools):
+                    if deadline is not None and time.monotonic() > deadline:
+                        result.aborted = True
+                        by_size[size] = new_terms
+                        return result
+                    term = T.make(instr.name, *children)
+                    result.n_enumerated += 1
+                    cvec = cvec_of(term, interpreter, cvec_spec)
+                    if cvec is None:
+                        continue
+                    rep = result.representatives.get(cvec)
+                    if rep is None:
+                        result.representatives[cvec] = term
+                        new_terms.append(term)
+                    elif rep != term:
+                        result.pairs.append((rep, term))
+        by_size[size] = new_terms
+    return result
+
+
+def _compositions(total: int, parts: int):
+    """All orderings of ``parts`` positive ints summing to ``total``."""
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+

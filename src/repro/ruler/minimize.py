@@ -1,0 +1,98 @@
+"""Rule-set minimization by derivability (Ruler's shrink step).
+
+Candidates are ordered smallest/most-general-first.  Selection runs in
+batches, as Ruler's ``choose_eqs`` does: accept the best few remaining
+candidates, then run *one* equality-saturation pass with everything
+accepted so far over a single e-graph seeded with the left and right
+sides of every remaining candidate (they share structure heavily, so
+the graph stays small), and drop each candidate whose sides merged —
+it is derivable and adds no deductive power.
+
+Batching makes minimization O(rules/batch) saturation passes instead
+of O(candidates), which is what lets a size-5 enumeration (thousands
+of candidates) minimize in seconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import Rewrite
+from repro.egraph.runner import RunnerLimits, run_saturation
+from repro.ruler.verify import pattern_to_term
+
+# Filter passes are bounded by iteration/node/match-work budgets (all
+# deterministic) rather than wall-clock, so the kept rule set does not
+# depend on machine load.
+_FILTER_LIMITS = RunnerLimits(
+    max_iterations=3,
+    max_nodes=40_000,
+    time_limit=30.0,
+    match_limit=4000,
+    ban_length=1,
+    match_work=400_000,
+)
+
+
+def is_derivable(
+    rule: Rewrite,
+    accepted: list[Rewrite],
+    limits: RunnerLimits = _FILTER_LIMITS,
+) -> bool:
+    """True if ``accepted`` proves ``rule.lhs == rule.rhs``."""
+    if not accepted:
+        return False
+    egraph = EGraph()
+    lhs = egraph.add_term(pattern_to_term(rule.lhs))
+    rhs = egraph.add_term(pattern_to_term(rule.rhs))
+    if egraph.equivalent(lhs, rhs):
+        return True
+    run_saturation(egraph, accepted, limits)
+    return egraph.equivalent(lhs, rhs)
+
+
+def _filter_pass(
+    remaining: list[Rewrite],
+    accepted: list[Rewrite],
+    limits: RunnerLimits,
+) -> list[Rewrite]:
+    """Drop every remaining candidate the accepted rules now derive."""
+    egraph = EGraph()
+    seeded = []
+    for rule in remaining:
+        lhs = egraph.add_term(pattern_to_term(rule.lhs))
+        rhs = egraph.add_term(pattern_to_term(rule.rhs))
+        seeded.append((lhs, rhs, rule))
+    run_saturation(egraph, accepted, limits)
+    return [
+        rule
+        for lhs, rhs, rule in seeded
+        if not egraph.equivalent(lhs, rhs)
+    ]
+
+
+def minimize_rules(
+    candidates: list[Rewrite],
+    deadline: float | None = None,
+    limits: RunnerLimits = _FILTER_LIMITS,
+    batch_size: int = 16,
+) -> tuple[list[Rewrite], bool]:
+    """Batched greedy selection of underivable rules.
+
+    Returns ``(kept, aborted)``; hitting ``deadline`` drops the
+    not-yet-examined tail (the paper's Fig. 7 behaviour: a short
+    offline budget yields a smaller rule set).
+    """
+    kept: list[Rewrite] = []
+    remaining = list(candidates)
+    aborted = False
+    while remaining:
+        if deadline is not None and time.monotonic() > deadline:
+            aborted = True
+            break
+        batch, remaining = remaining[:batch_size], remaining[batch_size:]
+        kept.extend(batch)
+        if remaining:
+            remaining = _filter_pass(remaining, kept, limits)
+    return kept, aborted

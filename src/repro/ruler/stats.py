@@ -1,0 +1,79 @@
+"""Descriptive statistics over rule sets.
+
+Used by the inspection tooling (the synthesis-tour example, Fig. 8's
+bench) to answer "what did synthesis actually learn?": operator
+coverage, rule-shape histograms, and per-operator rule counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.egraph.rewrite import Rewrite
+from repro.lang.ops import LEAF_OPS
+from repro.lang.term import subterms, term_size
+
+
+def ops_used(rules: list[Rewrite]) -> Counter:
+    """How many rules mention each (non-leaf) operator."""
+    counts: Counter = Counter()
+    for rule in rules:
+        mentioned = set()
+        for side in (rule.lhs, rule.rhs):
+            for sub in subterms(side):
+                if sub.op not in LEAF_OPS:
+                    mentioned.add(sub.op)
+        counts.update(mentioned)
+    return counts
+
+
+def size_histogram(rules: list[Rewrite], bins=(4, 8, 12, 20)) -> dict:
+    """Rules bucketed by total pattern size (lhs + rhs nodes)."""
+    labels = []
+    lower = 0
+    for upper in bins:
+        labels.append(f"{lower + 1}-{upper}")
+        lower = upper
+    labels.append(f">{bins[-1]}")
+    histogram = {label: 0 for label in labels}
+    for rule in rules:
+        size = term_size(rule.lhs) + term_size(rule.rhs)
+        for upper, label in zip(bins, labels):
+            if size <= upper:
+                histogram[label] += 1
+                break
+        else:
+            histogram[labels[-1]] += 1
+    return histogram
+
+
+def coverage_gaps(rules: list[Rewrite], spec) -> list[str]:
+    """ISA instructions no rule mentions (likely synthesis gaps)."""
+    used = ops_used(rules)
+    return [
+        instr.name
+        for instr in spec.instructions
+        if instr.name not in used
+    ]
+
+
+def summarize(rules: list[Rewrite], spec=None) -> str:
+    """A multi-line human-readable rule-set summary."""
+    lines = [f"{len(rules)} rules"]
+    histogram = size_histogram(rules)
+    lines.append(
+        "sizes: "
+        + ", ".join(f"{k}: {v}" for k, v in histogram.items())
+    )
+    top = ops_used(rules).most_common(8)
+    lines.append(
+        "top operators: "
+        + ", ".join(f"{op} ({n})" for op, n in top)
+    )
+    if spec is not None:
+        gaps = coverage_gaps(rules, spec)
+        lines.append(
+            "uncovered instructions: "
+            + (", ".join(gaps) if gaps else "none")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""The end-to-end rule synthesis pipeline (paper Fig. 2, offline part).
+
+``synthesize_rules`` runs: single-lane term enumeration → cvec
+candidate pairs → orientation → soundness verification → derivability
+minimization → vector lane generalization.  The whole pipeline honours
+a wall-clock budget (the independent variable of the Fig. 7
+experiment): when time runs out mid-stage, later candidates are simply
+dropped, yielding a smaller — but still sound — rule set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.egraph.rewrite import Rewrite
+from repro.isa.spec import IsaSpec
+from repro.ruler.candidates import candidate_rules
+from repro.ruler.cvec import CvecSpec
+from repro.ruler.enumerate import enumerate_terms
+from repro.ruler.lanes import GeneralizationReport, generalize_rules
+from repro.ruler.minimize import minimize_rules
+from repro.ruler.verify import verify_rule
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Knobs for one offline synthesis run."""
+
+    max_term_size: int = 5
+    variables: tuple[str, ...] = ("a", "b", "c")
+    constants: tuple = (0, 1)
+    n_cvec_random: int = 24
+    cvec_seed: int = 0
+    n_verify_samples: int = 48
+    verify_seed: int = 12345
+    time_budget: float | None = None  # seconds; None = unbounded
+    minimize: bool = True
+    # Restrict enumeration to these operators (None = all).  Used for
+    # focused incremental synthesis around custom instructions, where
+    # the interesting rules need size-6 terms that are intractable to
+    # enumerate over the full instruction set.
+    op_allowlist: tuple | None = None
+
+    @staticmethod
+    def budgeted(seconds: float) -> "SynthesisConfig":
+        """A config scaled to a Fig. 7-style offline budget.
+
+        Small budgets enumerate shallower terms — the same trade the
+        paper makes when cutting rule generation from a day to minutes.
+        """
+        if seconds < 5:
+            size = 3
+        elif seconds < 30:
+            size = 4
+        else:
+            size = 5
+        return SynthesisConfig(max_term_size=size, time_budget=seconds)
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the offline stage produced."""
+
+    rules: list[Rewrite]
+    single_lane_rules: list[Rewrite]
+    n_enumerated: int = 0
+    n_representatives: int = 0
+    n_pairs: int = 0
+    n_candidates: int = 0
+    n_verified: int = 0
+    n_unsound: int = 0
+    generalization: GeneralizationReport | None = None
+    elapsed: float = 0.0
+    aborted: bool = False
+    stage_times: dict = field(default_factory=dict)
+
+
+def synthesize_rules(
+    spec: IsaSpec, config: SynthesisConfig | None = None
+) -> SynthesisResult:
+    """Run the full offline pipeline against ``spec``."""
+    config = config or SynthesisConfig()
+    start = time.monotonic()
+    deadline = (
+        start + config.time_budget if config.time_budget is not None else None
+    )
+    stage_times: dict[str, float] = {}
+
+    # 1. Enumerate single-lane terms, deduplicated by cvec.
+    t0 = time.monotonic()
+    cvec_spec = CvecSpec.make(
+        config.variables,
+        n_random=config.n_cvec_random,
+        seed=config.cvec_seed,
+    )
+    enumeration = enumerate_terms(
+        spec,
+        cvec_spec,
+        max_size=config.max_term_size,
+        constants=config.constants,
+        deadline=deadline,
+        op_allowlist=config.op_allowlist,
+    )
+    stage_times["enumerate"] = time.monotonic() - t0
+
+    # 2. Orient cvec-equal pairs into directed candidates.
+    t0 = time.monotonic()
+    candidates = candidate_rules(enumeration.pairs)
+    stage_times["candidates"] = time.monotonic() - t0
+
+    # 3. Verify soundness (exact where possible, fuzz otherwise).
+    t0 = time.monotonic()
+    verified: list[Rewrite] = []
+    n_unsound = 0
+    aborted = enumeration.aborted
+    for rule in candidates:
+        if deadline is not None and time.monotonic() > deadline:
+            aborted = True
+            break
+        check = verify_rule(
+            rule.lhs,
+            rule.rhs,
+            spec,
+            n_samples=config.n_verify_samples,
+            seed=config.verify_seed,
+        )
+        if check.ok:
+            verified.append(rule)
+        else:
+            n_unsound += 1
+    stage_times["verify"] = time.monotonic() - t0
+
+    # 4. Shrink by derivability.
+    t0 = time.monotonic()
+    if config.minimize:
+        kept, min_aborted = minimize_rules(verified, deadline=deadline)
+        aborted = aborted or min_aborted
+    else:
+        kept = verified
+    stage_times["minimize"] = time.monotonic() - t0
+
+    # 5. Lane generalization to full vector width.
+    t0 = time.monotonic()
+    full_width, gen_report = generalize_rules(kept, spec)
+    stage_times["generalize"] = time.monotonic() - t0
+
+    return SynthesisResult(
+        rules=full_width,
+        single_lane_rules=kept,
+        n_enumerated=enumeration.n_enumerated,
+        n_representatives=enumeration.n_representatives,
+        n_pairs=len(enumeration.pairs),
+        n_candidates=len(candidates),
+        n_verified=len(verified),
+        n_unsound=n_unsound,
+        generalization=gen_report,
+        elapsed=time.monotonic() - start,
+        aborted=aborted,
+        stage_times=stage_times,
+    )

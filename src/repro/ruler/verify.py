@@ -1,0 +1,365 @@
+"""Soundness verification of candidate rewrite rules.
+
+The paper validates rules with an SMT solver behind Rosette.  Offline,
+we get equivalent assurance from two mechanisms:
+
+- **Exact normalization** for the polynomial fragment ({+, -, *, neg,
+  mac} and the vector ops that reduce to them): both sides are
+  normalized to multivariate polynomials with ``Fraction``
+  coefficients; equal normal forms prove equality over the rationals
+  (hence over the reals, by density/continuity of polynomials).
+- **Structured fuzzing** for everything else (/ , sqrt, sgn, custom
+  ops): both sides are evaluated on corner-case and random rational
+  inputs and must agree exactly — *including* where they are undefined,
+  so definedness-changing candidates like ``(/ (* a b) b) ~> a`` are
+  rejected.
+
+Candidates have already passed cvec filtering, so verification runs on
+a disjoint, larger input set (different seed, more samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.interp.env import sample_envs
+from repro.interp.value import UNDEFINED, values_equal
+from repro.isa.spec import IsaSpec
+from repro.lang import term as T
+from repro.lang.pattern import wildcards_of
+from repro.lang.term import Term
+
+# Ops whose lane semantics are polynomial in their inputs.
+_POLY_SCALAR_OPS = {"+", "-", "*", "neg", "mac", "mulsub"}
+
+# Cap on monomial count during multiplication; beyond this we fall
+# back to fuzzing rather than grind on huge products.
+_MONOMIAL_LIMIT = 512
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    ok: bool
+    method: str  # "exact" | "fuzz"
+    detail: str = ""
+
+
+Poly = dict  # monomial (sorted tuple of var names) -> Fraction
+
+
+def _poly_scalar_op(spec: IsaSpec, op: str) -> str | None:
+    """The polynomial scalar op computed per lane, if any."""
+    if op in _POLY_SCALAR_OPS:
+        return op
+    counterpart = None
+    if spec.has_instruction(op):
+        counterpart = spec.instruction(op).vector_of
+    if counterpart in _POLY_SCALAR_OPS:
+        return counterpart
+    return None
+
+
+def _poly_add(a: Poly, b: Poly) -> Poly:
+    out = dict(a)
+    for mono, coeff in b.items():
+        total = out.get(mono, Fraction(0)) + coeff
+        if total:
+            out[mono] = total
+        else:
+            out.pop(mono, None)
+    return out
+
+
+def _poly_neg(a: Poly) -> Poly:
+    return {mono: -coeff for mono, coeff in a.items()}
+
+
+def _poly_mul(a: Poly, b: Poly) -> Poly | None:
+    if len(a) * len(b) > _MONOMIAL_LIMIT:
+        return None
+    out: Poly = {}
+    for mono_a, coeff_a in a.items():
+        for mono_b, coeff_b in b.items():
+            mono = tuple(sorted(mono_a + mono_b))
+            total = out.get(mono, Fraction(0)) + coeff_a * coeff_b
+            if total:
+                out[mono] = total
+            else:
+                out.pop(mono, None)
+    return out
+
+
+def polynomial_of(term: Term, spec: IsaSpec) -> Poly | None:
+    """Normalize ``term`` to a polynomial, or None if out of fragment."""
+    if T.is_const(term):
+        value = term.payload
+        if isinstance(value, float) and not value.is_integer():
+            return None
+        coeff = Fraction(value)
+        return {(): coeff} if coeff else {}
+    if T.is_wildcard(term) or T.is_symbol(term):
+        return {(str(term.payload),): Fraction(1)}
+    if T.is_get(term):
+        array, index = term.payload
+        return {(f"{array}[{index}]",): Fraction(1)}
+
+    op = _poly_scalar_op(spec, term.op)
+    if op is None:
+        return None
+    children = []
+    for arg in term.args:
+        poly = polynomial_of(arg, spec)
+        if poly is None:
+            return None
+        children.append(poly)
+
+    if op == "+":
+        return _poly_add(children[0], children[1])
+    if op == "-":
+        return _poly_add(children[0], _poly_neg(children[1]))
+    if op == "neg":
+        return _poly_neg(children[0])
+    if op == "*":
+        return _poly_mul(children[0], children[1])
+    if op == "mac":
+        product = _poly_mul(children[1], children[2])
+        return None if product is None else _poly_add(children[0], product)
+    if op == "mulsub":
+        product = _poly_mul(children[1], children[2])
+        if product is None:
+            return None
+        return _poly_add(children[0], _poly_neg(product))
+    return None
+
+
+def rational_of(term: Term, spec: IsaSpec) -> tuple[Poly, Poly] | None:
+    """Normalize to a rational function ``(numerator, denominator)``.
+
+    Extends the polynomial fragment with division: the term equals
+    ``num/den`` wherever defined.  Returns None outside the fragment
+    or past the monomial cap.
+    """
+    if T.is_wildcard(term) or T.is_symbol(term) or T.is_const(term) or (
+        T.is_get(term)
+    ):
+        poly = polynomial_of(term, spec)
+        return (poly, {(): Fraction(1)}) if poly is not None else None
+
+    op = term.op
+    if op == "/" or (
+        spec.has_instruction(op)
+        and spec.instruction(op).vector_of == "/"
+    ):
+        left = rational_of(term.args[0], spec)
+        right = rational_of(term.args[1], spec)
+        if left is None or right is None:
+            return None
+        num = _poly_mul(left[0], right[1])
+        den = _poly_mul(left[1], right[0])
+        if num is None or den is None:
+            return None
+        return num, den
+
+    scalar = _poly_scalar_op(spec, op)
+    if scalar is None:
+        return None
+    parts = [rational_of(arg, spec) for arg in term.args]
+    if any(p is None for p in parts):
+        return None
+
+    if scalar in ("+", "-"):
+        (p1, q1), (p2, q2) = parts
+        cross1 = _poly_mul(p1, q2)
+        cross2 = _poly_mul(p2, q1)
+        den = _poly_mul(q1, q2)
+        if cross1 is None or cross2 is None or den is None:
+            return None
+        if scalar == "-":
+            cross2 = _poly_neg(cross2)
+        return _poly_add(cross1, cross2), den
+    if scalar == "neg":
+        (p, q) = parts[0]
+        return _poly_neg(p), q
+    if scalar == "*":
+        (p1, q1), (p2, q2) = parts
+        num = _poly_mul(p1, p2)
+        den = _poly_mul(q1, q2)
+        return (num, den) if num is not None and den is not None else None
+    if scalar in ("mac", "mulsub"):
+        (pc, qc), (pa, qa), (pb, qb) = parts
+        prod_num = _poly_mul(pa, pb)
+        prod_den = _poly_mul(qa, qb)
+        if prod_num is None or prod_den is None:
+            return None
+        if scalar == "mulsub":
+            prod_num = _poly_neg(prod_num)
+        cross1 = _poly_mul(pc, prod_den)
+        cross2 = _poly_mul(prod_num, qc)
+        den = _poly_mul(qc, prod_den)
+        if cross1 is None or cross2 is None or den is None:
+            return None
+        return _poly_add(cross1, cross2), den
+    return None
+
+
+def rationals_equal(
+    a: tuple[Poly, Poly], b: tuple[Poly, Poly]
+) -> bool | None:
+    """Cross-multiplied equality of two rational functions.
+
+    True means the functions agree wherever both are defined; None
+    means the products blew past the monomial cap.
+    """
+    left = _poly_mul(a[0], b[1])
+    right = _poly_mul(b[0], a[1])
+    if left is None or right is None:
+        return None
+    return left == right
+
+
+def pattern_to_term(pattern: Term) -> Term:
+    """Wildcards become symbols so the interpreter can evaluate."""
+    if T.is_wildcard(pattern):
+        return T.symbol(pattern.payload)
+    if not pattern.args:
+        return pattern
+    return T.make(
+        pattern.op,
+        *(pattern_to_term(arg) for arg in pattern.args),
+        payload=pattern.payload,
+    )
+
+
+def verify_rule(
+    lhs: Term,
+    rhs: Term,
+    spec: IsaSpec,
+    n_samples: int = 64,
+    seed: int = 12345,
+) -> VerifyResult:
+    """Check that ``lhs ~> rhs`` is sound under the ISA semantics."""
+    poly_l = polynomial_of(lhs, spec)
+    if poly_l is not None:
+        poly_r = polynomial_of(rhs, spec)
+        if poly_r is not None:
+            if poly_l == poly_r:
+                return VerifyResult(True, "exact")
+            return VerifyResult(
+                False, "exact", "polynomial normal forms differ"
+            )
+
+    # Division fragment: exact rational-function check proves equality
+    # where both sides are defined; a short fuzz pass below still
+    # confirms the *undefinedness* patterns agree.
+    rationally_equal = False
+    rat_l = rational_of(lhs, spec)
+    if rat_l is not None:
+        rat_r = rational_of(rhs, spec)
+        if rat_r is not None:
+            verdict = rationals_equal(rat_l, rat_r)
+            if verdict is False:
+                return VerifyResult(
+                    False, "exact", "rational normal forms differ"
+                )
+            rationally_equal = verdict is True
+    if rationally_equal:
+        n_samples = min(n_samples, 12)
+
+    interpreter = spec.interpreter()
+    names = sorted(set(wildcards_of(lhs)) | set(wildcards_of(rhs)))
+    lhs_term, rhs_term = pattern_to_term(lhs), pattern_to_term(rhs)
+    for env in sample_envs(tuple(names), n_random=n_samples, seed=seed):
+        left = interpreter.evaluate(lhs_term, env)
+        right = interpreter.evaluate(rhs_term, env)
+        if rationally_equal:
+            # Values already proven equal; only undefinedness
+            # agreement remains to check.
+            if (left is UNDEFINED) != (right is UNDEFINED):
+                return VerifyResult(
+                    False,
+                    "exact",
+                    f"definedness mismatch on {env}",
+                )
+            continue
+        if not values_equal(left, right):
+            return VerifyResult(
+                False,
+                "fuzz",
+                f"counterexample {env}: {left!r} != {right!r}",
+            )
+    return VerifyResult(True, "exact" if rationally_equal else "fuzz")
+
+
+def verify_vector_rule(
+    lhs: Term,
+    rhs: Term,
+    spec: IsaSpec,
+    n_samples: int = 16,
+    seed: int = 54321,
+) -> VerifyResult:
+    """Full-width check of a generalized rule (§3.1's re-verification).
+
+    Wildcards are bound to random *vectors*; lanes evaluate through the
+    real lane-wise interpreter, so any cross-lane unsoundness
+    introduced by generalization is caught here.
+    """
+    from random import Random
+
+    interpreter = spec.interpreter()
+    width = spec.vector_width
+    names = sorted(set(wildcards_of(lhs)) | set(wildcards_of(rhs)))
+    lhs_term, rhs_term = pattern_to_term(lhs), pattern_to_term(rhs)
+    rng = Random(seed)
+
+    kinds = _wildcard_kinds(lhs, spec)
+    for _ in range(n_samples):
+        env = {}
+        for name in names:
+            if kinds.get(name) == "vector":
+                env[name] = tuple(
+                    Fraction(rng.randint(-6, 6), rng.choice((1, 2, 3)))
+                    for _ in range(width)
+                )
+            else:
+                env[name] = Fraction(
+                    rng.randint(-6, 6), rng.choice((1, 2, 3))
+                )
+        left = interpreter.evaluate(lhs_term, env)
+        right = interpreter.evaluate(rhs_term, env)
+        if left is UNDEFINED and right is UNDEFINED:
+            continue
+        if not values_equal(left, right):
+            return VerifyResult(
+                False,
+                "fuzz",
+                f"vector counterexample {env}: {left!r} != {right!r}",
+            )
+    return VerifyResult(True, "fuzz")
+
+
+def _wildcard_kinds(pattern: Term, spec: IsaSpec) -> dict:
+    """Infer vector/scalar kind of each wildcard from its contexts."""
+    from repro.lang.ops import OpKind
+
+    kinds: dict[str, str] = {}
+
+    def visit(term: Term, expected: str) -> None:
+        if T.is_wildcard(term):
+            kinds.setdefault(term.payload, expected)
+            return
+        if term.op == "Vec":
+            for arg in term.args:
+                visit(arg, "scalar")
+            return
+        if spec.has_instruction(term.op):
+            kind = spec.instruction(term.op).kind
+            child = "vector" if kind is OpKind.VECTOR else "scalar"
+            for arg in term.args:
+                visit(arg, child)
+            return
+        for arg in term.args:
+            visit(arg, expected)
+
+    visit(pattern, "vector")
+    return kinds

@@ -1,0 +1,38 @@
+"""Regenerate the pregenerated rule set shipped under repro/data.
+
+Usage: python -m repro.tools.regen_rules [max_term_size]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.cache import rules_to_text
+from repro.core.pregen import DEFAULT_RULES_FILE
+from repro.isa import fusion_g3_spec
+from repro.ruler import SynthesisConfig, synthesize_rules
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    spec = fusion_g3_spec()
+    start = time.time()
+    result = synthesize_rules(spec, SynthesisConfig(max_term_size=size))
+    header = (
+        "Pregenerated Isaria rule set for the fusion-g3 base ISA.\n"
+        f"Produced by synthesize_rules(SynthesisConfig(max_term_size={size}));\n"
+        "regenerate with: python -m repro.tools.regen_rules\n"
+        f"single-lane rules: {len(result.single_lane_rules)}; "
+        f"full-width rules: {len(result.rules)}"
+    )
+    DEFAULT_RULES_FILE.parent.mkdir(parents=True, exist_ok=True)
+    DEFAULT_RULES_FILE.write_text(rules_to_text(result.rules, header))
+    print(
+        f"wrote {len(result.rules)} rules to {DEFAULT_RULES_FILE} "
+        f"in {time.time() - start:.0f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Regenerate a measured experiment report on this machine.
+
+Usage: python -m repro.tools.report [output.md]
+
+Runs a small Fig. 4-style sweep (every system on a reduced kernel
+grid) and writes the Markdown tables EXPERIMENTS.md is based on.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.bench.harness import run_suite
+from repro.bench.report import suite_report_md
+from repro.compiler.diospyros import DiospyrosCompiler
+from repro.core import default_compiler
+from repro.kernels import default_suite
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        "EXPERIMENT-REPORT.md"
+    )
+    isaria = default_compiler()
+    spec = isaria.spec
+    rows = run_suite(
+        default_suite(
+            conv2d_sizes=[(3, 3, 2, 2), (4, 4, 3, 3)],
+            matmul_sizes=[(2, 2, 2), (4, 4, 4)],
+            qr_sizes=[3],
+        ),
+        spec,
+        isaria=isaria,
+        diospyros=DiospyrosCompiler(spec),
+        systems=("scalar", "slp", "nature"),
+    )
+    report = suite_report_md(
+        rows, "Measured kernel sweep (reduced grid)"
+    )
+    out.write_text(report)
+    print(f"wrote {out}")
+    print(report)
+
+
+if __name__ == "__main__":
+    main()

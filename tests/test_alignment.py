@@ -1,0 +1,117 @@
+"""Tests for chunk-lane alignment (the front end's isomorphic shapes)."""
+
+import numpy as np
+
+from repro.compiler.normalize import align_chunk_lanes, signed_decomposition
+from repro.kernels import (
+    conv2d_kernel,
+    default_suite,
+    quaternion_product_kernel,
+    run_reference,
+)
+from repro.lang.parser import parse
+
+
+def lane_shape(term):
+    """Structural skeleton: ops only, leaves collapsed."""
+    if not term.args:
+        return "leaf"
+    return (term.op,) + tuple(lane_shape(a) for a in term.args)
+
+
+class TestSignedDecomposition:
+    def test_simple(self):
+        p, n = signed_decomposition(parse("(- (Get a 0) (Get a 1))"))
+        assert p == (parse("(Get a 0)"),)
+        assert n == (parse("(Get a 1)"),)
+
+    def test_nested(self):
+        p, n = signed_decomposition(
+            parse("(+ (- (Get a 0) (Get a 1)) (neg (Get a 2)))")
+        )
+        assert p == (parse("(Get a 0)"),)
+        assert set(n) == {parse("(Get a 1)"), parse("(Get a 2)")}
+
+    def test_non_additive_is_atomic(self):
+        p, n = signed_decomposition(parse("(* (Get a 0) (Get a 1))"))
+        assert len(p) == 1 and n == ()
+
+    def test_zero_vanishes(self):
+        assert signed_decomposition(parse("0")) == ((), ())
+
+
+class TestAlignChunkLanes:
+    def test_pads_shorter_lanes(self):
+        lanes = [
+            parse("(+ (Get a 0) (Get a 1))"),
+            parse("(Get a 2)"),
+            parse("(+ (+ (Get a 3) (Get a 4)) (Get a 5))"),
+            parse("0"),
+        ]
+        aligned = align_chunk_lanes(lanes)
+        shapes = {lane_shape(lane) for lane in aligned}
+        assert len(shapes) == 1  # all isomorphic
+
+    def test_mixed_signs_align_to_minus(self):
+        lanes = [
+            parse("(- (Get a 0) (Get a 1))"),
+            parse("(Get a 2)"),
+            parse("(neg (Get a 3))"),
+            parse("(+ (Get a 4) (Get a 5))"),
+        ]
+        aligned = align_chunk_lanes(lanes)
+        assert {lane.op for lane in aligned} == {"-"}
+        shapes = {lane_shape(lane) for lane in aligned}
+        assert len(shapes) == 1
+
+    def test_semantics_preserved(self, spec):
+        interp = spec.interpreter()
+        lanes = [
+            parse("(- (Get a 0) (Get a 1))"),
+            parse("(Get a 2)"),
+            parse("(neg (Get a 3))"),
+            parse("(+ (Get a 4) (+ (Get a 5) (Get a 6)))"),
+        ]
+        aligned = align_chunk_lanes(lanes)
+        env = {"a": [1.5, 2.0, -3.0, 4.0, 5.0, 0.5, -1.0, 9.0]}
+        for before, after in zip(lanes, aligned):
+            assert abs(
+                float(interp.evaluate(before, env))
+                - float(interp.evaluate(after, env))
+            ) < 1e-12
+
+
+class TestKernelAlignment:
+    def test_qprod_chunk_is_isomorphic(self):
+        instance = quaternion_product_kernel()
+        chunk = instance.program.term.args[0]
+        shapes = {lane_shape(lane) for lane in chunk.args}
+        assert len(shapes) == 1
+
+    def test_conv_chunks_are_isomorphic(self):
+        instance = conv2d_kernel(3, 3, 2, 2)
+        for chunk in instance.program.term.args:
+            shapes = {lane_shape(lane) for lane in chunk.args}
+            assert len(shapes) == 1, chunk
+
+    def test_aligned_programs_still_match_references(self, spec):
+        interp = spec.interpreter()
+        for instance in default_suite(
+            conv2d_sizes=[(3, 3, 2, 2)],
+            matmul_sizes=[(2, 3, 3)],
+            qr_sizes=[3],
+        ):
+            inputs = instance.make_inputs(9)
+            env = {k: [float(x) for x in v] for k, v in inputs.items()}
+            chunks = interp.evaluate(instance.program.term, env)
+            flat = [lane for chunk in chunks for lane in chunk]
+            got = flat[: instance.output_len]
+            want = run_reference(instance, inputs)
+            assert np.allclose(got, want, rtol=1e-7), instance.key
+
+    def test_raw_term_not_aligned(self):
+        # Baselines see the program as written.
+        instance = quaternion_product_kernel()
+        raw_chunk = instance.program.raw_term.args[0]
+        shapes = {lane_shape(lane) for lane in raw_chunk.args}
+        assert len(shapes) > 1

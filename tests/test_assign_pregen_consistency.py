@@ -1,0 +1,71 @@
+"""Phase-assignment consistency across the whole shipped rule set."""
+
+import pytest
+
+from repro.core.pregen import DEFAULT_RULES_FILE, load_pregenerated_rules
+from repro.isa import fusion_g3_spec
+from repro.phases import (
+    CostModel,
+    Phase,
+    aggregate_cost,
+    assign_phase,
+    assign_phases,
+    cost_differential,
+    default_params,
+)
+
+pytestmark = pytest.mark.skipif(
+    not DEFAULT_RULES_FILE.exists(),
+    reason="pregenerated rules not built",
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = fusion_g3_spec()
+    model = CostModel(spec)
+    rules = load_pregenerated_rules()
+    params = default_params(spec)
+    return spec, model, rules, params
+
+
+class TestAssignmentIsAFunction:
+    def test_deterministic(self, setup):
+        _spec, model, rules, params = setup
+        a = assign_phases(model, rules, params)
+        b = assign_phases(model, rules, params)
+        assert a.counts() == b.counts()
+        assert [str(r) for r in a] == [str(r) for r in b]
+
+    def test_partition_is_total_and_disjoint(self, setup):
+        _spec, model, rules, params = setup
+        ruleset = assign_phases(model, rules, params)
+        assert len(ruleset) == len(rules)
+        names = [r.name for r in ruleset]
+        assert len(names) == len(set(names))
+
+    def test_phase_matches_metrics(self, setup):
+        _spec, model, rules, params = setup
+        ruleset = assign_phases(model, rules, params)
+        for rule in ruleset.compilation:
+            assert cost_differential(model, rule) > params.alpha
+        for rule in ruleset.expansion:
+            assert cost_differential(model, rule) <= params.alpha
+            assert aggregate_cost(model, rule) > params.beta
+        for rule in ruleset.optimization:
+            assert cost_differential(model, rule) <= params.alpha
+            assert aggregate_cost(model, rule) <= params.beta
+
+    def test_single_rule_assignment_matches_bulk(self, setup):
+        _spec, model, rules, params = setup
+        ruleset = assign_phases(model, rules, params)
+        lookup = {}
+        for phase, bucket in (
+            (Phase.EXPANSION, ruleset.expansion),
+            (Phase.COMPILATION, ruleset.compilation),
+            (Phase.OPTIMIZATION, ruleset.optimization),
+        ):
+            for rule in bucket:
+                lookup[str(rule)] = phase
+        for rule in rules[::29]:
+            assert assign_phase(model, rule, params) is lookup[str(rule)]

@@ -1,0 +1,164 @@
+"""Unit tests for the scalar, SLP, and Nature baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    compile_scalar,
+    compile_slp,
+    has_nature_kernel,
+    nature_program,
+)
+from repro.compiler.frontend import trace_kernel
+from repro.kernels import (
+    conv2d_kernel,
+    matmul_kernel,
+    padded_memory,
+    qr_kernel,
+    quaternion_product_kernel,
+    run_reference,
+)
+from repro.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def machine(spec):
+    return Machine(spec)
+
+
+def check_correct(machine, instance, program, extra=None, seed=3):
+    inputs = instance.make_inputs(seed)
+    memory = padded_memory(instance, inputs)
+    for name, size in (extra or {}).items():
+        memory[name] = [0.0] * size
+    result = machine.run(program, memory)
+    got = result.array(instance.program.output)[: instance.output_len]
+    want = run_reference(instance, inputs)
+    assert np.allclose(got, want, rtol=1e-4, atol=1e-5), instance.key
+    return result
+
+
+class TestScalarBaseline:
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            matmul_kernel(3, 3, 3),
+            conv2d_kernel(3, 3, 2, 2),
+            quaternion_product_kernel(),
+            qr_kernel(3),
+        ],
+        ids=lambda k: k.key,
+    )
+    def test_correct(self, spec, machine, instance):
+        check_correct(machine, instance, compile_scalar(instance.program,
+                                                        spec))
+
+    def test_no_vector_instructions(self, spec):
+        instance = matmul_kernel(4, 4, 4)
+        program = compile_scalar(instance.program, spec)
+        assert program.count("v.") == 0
+
+    def test_cse_shares_loads(self, spec):
+        def kern(x):
+            return [x[0] * x[0], x[0] + x[0]]
+
+        program = trace_kernel("sq", kern, {"x": 4}, 4)
+        machine_prog = compile_scalar(program, spec)
+        assert machine_prog.count("s.load") == 1
+
+
+class TestSlpBaseline:
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            matmul_kernel(4, 4, 4),
+            matmul_kernel(3, 3, 3),
+            conv2d_kernel(3, 3, 2, 2),
+            quaternion_product_kernel(),
+            qr_kernel(3),
+        ],
+        ids=lambda k: k.key,
+    )
+    def test_correct(self, spec, machine, instance):
+        check_correct(machine, instance, compile_slp(instance.program,
+                                                     spec))
+
+    def test_vectorizes_aligned_matmul(self, spec, machine):
+        instance = matmul_kernel(4, 4, 4)
+        slp = compile_slp(instance.program, spec)
+        scalar = compile_scalar(instance.program, spec)
+        assert slp.count("v.op") > 0
+        s = check_correct(machine, instance, scalar)
+        v = check_correct(machine, instance, slp)
+        assert v.cycles < s.cycles
+
+    def test_qprod_uses_altop_macs(self, spec):
+        instance = quaternion_product_kernel()
+        program = compile_slp(instance.program, spec)
+        assert any(
+            i.opcode == "v.op" and i.op == "VecMAC"
+            for i in program.instrs
+        )
+
+    def test_irregular_conv_falls_back_to_scalar(self, spec):
+        instance = conv2d_kernel(3, 3, 2, 2)
+        program = compile_slp(instance.program, spec)
+        # Boundary lanes are non-isomorphic: greedy SLP gives up on
+        # most groups (the paper's Clang-on-irregular-kernels shape).
+        assert program.count("s.op") > 0
+
+
+class TestNatureBaseline:
+    def test_coverage(self):
+        assert has_nature_kernel(matmul_kernel(3, 3, 3))
+        assert has_nature_kernel(conv2d_kernel(3, 3, 2, 2))
+        assert has_nature_kernel(quaternion_product_kernel())
+        assert not has_nature_kernel(qr_kernel(3))
+
+    def test_qr_raises(self, spec):
+        with pytest.raises(ValueError):
+            nature_program(qr_kernel(3), spec)
+
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            matmul_kernel(2, 2, 2),
+            matmul_kernel(3, 3, 3),
+            matmul_kernel(4, 4, 4),
+            matmul_kernel(2, 3, 3),
+            conv2d_kernel(3, 3, 2, 2),
+            conv2d_kernel(3, 3, 3, 3),
+            conv2d_kernel(4, 4, 2, 2),
+            quaternion_product_kernel(),
+        ],
+        ids=lambda k: k.key,
+    )
+    def test_correct(self, spec, machine, instance):
+        program, extra = nature_program(instance, spec)
+        check_correct(machine, instance, program, extra)
+
+    def test_uses_loops(self, spec):
+        program, _ = nature_program(matmul_kernel(4, 4, 4), spec)
+        assert program.count("loop.begin") > 0
+        assert program.count("loop.begin") == program.count("loop.end")
+
+    def test_aligned_matmul_beats_scalar(self, spec, machine):
+        instance = matmul_kernel(4, 4, 4)
+        nat, extra = nature_program(instance, spec)
+        n = check_correct(machine, instance, nat, extra)
+        s = check_correct(
+            machine, instance, compile_scalar(instance.program, spec)
+        )
+        assert n.cycles < s.cycles
+
+    def test_odd_size_pays_library_tax(self, spec, machine):
+        # Tail columns + padding copies: the library loses on small
+        # irregular sizes (why the paper's Nature omits some).
+        instance = matmul_kernel(3, 3, 3)
+        nat, extra = nature_program(instance, spec)
+        aligned = matmul_kernel(4, 4, 4)
+        nat4, extra4 = nature_program(aligned, spec)
+        n3 = check_correct(machine, instance, nat, extra)
+        n4 = check_correct(machine, aligned, nat4, extra4)
+        # 4x4x4 does ~2.4x the multiplies yet runs close to 3x3x3.
+        assert n4.cycles < 2 * n3.cycles

@@ -1,0 +1,90 @@
+"""Unit tests for the measurement harness and LoC inventory."""
+
+from pathlib import Path
+
+from repro.bench import (
+    component_loc,
+    format_speedup,
+    format_table,
+    measure_baseline,
+    run_suite,
+)
+from repro.bench.loc import SUBSTRATE_COMPONENTS, TABLE1_COMPONENTS
+from repro.kernels import matmul_kernel, qr_kernel
+
+
+class TestMeasureBaseline:
+    def test_scalar_measurement(self, spec):
+        m = measure_baseline("scalar", matmul_kernel(2, 2, 2), spec)
+        assert m.error is None
+        assert m.correct
+        assert m.cycles > 0
+        assert m.n_instructions > 0
+
+    def test_nature_missing_kernel_reports_error(self, spec):
+        m = measure_baseline("nature", qr_kernel(3), spec)
+        assert m.error
+        assert not m.correct
+
+    def test_unknown_system_reports_error(self, spec):
+        m = measure_baseline("llvm", matmul_kernel(2, 2, 2), spec)
+        assert m.error
+
+
+class TestRunSuite:
+    def test_rows_and_speedups(self, spec):
+        rows = run_suite(
+            [matmul_kernel(2, 2, 2)], spec, systems=("scalar", "slp")
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.cycles("scalar") > 0
+        assert row.speedup("scalar") == 1.0
+        assert row.speedup("slp") is not None
+        assert row.speedup("nature") is None  # not measured
+
+    def test_deterministic_given_seed(self, spec):
+        a = run_suite([matmul_kernel(2, 2, 2)], spec,
+                      systems=("scalar",), seed=4)
+        b = run_suite([matmul_kernel(2, 2, 2)], spec,
+                      systems=("scalar",), seed=4)
+        assert a[0].cycles("scalar") == b[0].cycles("scalar")
+
+
+class TestTables:
+    def test_format_speedup(self):
+        assert format_speedup(None) == "-"
+        assert format_speedup(2.5) == "2.50x"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "val"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "val" in lines[1]
+        assert len(lines) == 5
+
+
+class TestLoc:
+    def test_components_counted(self):
+        loc = component_loc()
+        for name in list(TABLE1_COMPONENTS) + list(SUBSTRATE_COMPONENTS):
+            assert loc[name] > 0, name
+        assert loc["Total (Table 1 scope)"] == sum(
+            loc[n] for n in TABLE1_COMPONENTS
+        )
+
+    def test_counts_exclude_comments_and_docstrings(self, tmp_path):
+        from repro.bench.loc import _count_file
+
+        path = tmp_path / "demo.py"
+        path.write_text(
+            '"""Docstring\nspanning lines."""\n'
+            "# comment\n\n"
+            "x = 1\n"
+            "def f():\n"
+            '    """inner doc."""\n'
+            "    return x\n"
+        )
+        assert _count_file(Path(path)) == 3

@@ -1,0 +1,68 @@
+"""Tests for Markdown report generation."""
+
+from repro.bench.harness import Measurement, SuiteRow
+from repro.bench.report import (
+    compile_time_table_md,
+    correctness_summary,
+    speedup_table_md,
+    suite_report_md,
+)
+
+
+def _rows():
+    row = SuiteRow(key="matmul-2x2x2", family="MatMul")
+    row.measurements["scalar"] = Measurement("scalar", 100, True)
+    row.measurements["slp"] = Measurement("slp", 50, True,
+                                          compile_time=0.1)
+    row.measurements["isaria"] = Measurement(
+        "isaria", 25, True, compile_time=3.0
+    )
+    row.measurements["nature"] = Measurement(
+        "nature", 0, False, error="no library kernel"
+    )
+    return [row]
+
+
+class TestSpeedupTable:
+    def test_values_and_dashes(self):
+        table = speedup_table_md(_rows())
+        assert "| matmul-2x2x2 | 100 |" in table
+        assert "2.00x" in table  # slp
+        assert "4.00x" in table  # isaria
+        assert "| - |" in table or " - |" in table  # nature missing
+
+    def test_markdown_structure(self):
+        table = speedup_table_md(_rows())
+        lines = table.splitlines()
+        assert lines[0].startswith("| kernel |")
+        assert set(lines[1].replace("|", "").split()) == {"---"}
+
+
+class TestCompileTimeTable:
+    def test_times_rendered(self):
+        table = compile_time_table_md(_rows(), systems=("slp", "isaria"))
+        assert "0.1s" in table
+        assert "3.0s" in table
+
+
+class TestCorrectness:
+    def test_summary_counts(self):
+        checked, correct, failures = correctness_summary(_rows())
+        assert checked == 3  # nature errored, not counted
+        assert correct == 3
+        assert failures == []
+
+    def test_failures_reported(self):
+        rows = _rows()
+        rows[0].measurements["slp"] = Measurement("slp", 50, False)
+        _checked, _correct, failures = correctness_summary(rows)
+        assert failures == [("matmul-2x2x2", "slp")]
+
+
+class TestFullReport:
+    def test_sections_present(self):
+        report = suite_report_md(_rows(), "Demo sweep")
+        assert report.startswith("## Demo sweep")
+        assert "### Speedup" in report
+        assert "### Compile times" in report
+        assert "Correctness: 3/3" in report

@@ -1,0 +1,51 @@
+"""Builder helper coverage."""
+
+import pytest
+
+from repro.lang import builders as B
+from repro.lang.parser import parse
+
+
+class TestBuilders:
+    def test_every_vector_builder(self):
+        a, b, c = B.symbol("a"), B.symbol("b"), B.symbol("c")
+        assert B.vec_add(a, b).op == "VecAdd"
+        assert B.vec_minus(a, b).op == "VecMinus"
+        assert B.vec_mul(a, b).op == "VecMul"
+        assert B.vec_div(a, b).op == "VecDiv"
+        assert B.vec_neg(a).op == "VecNeg"
+        assert B.vec_sgn(a).op == "VecSgn"
+        assert B.vec_sqrt(a).op == "VecSqrt"
+        assert B.vec_mac(c, a, b).op == "VecMAC"
+        assert B.concat(B.vec(a, b), B.vec(b, c)).op == "Concat"
+
+    def test_prog_builds_list(self):
+        program = B.prog(B.vec(B.const(1), B.const(2)))
+        assert program.op == "List"
+        assert len(program.args) == 1
+
+    def test_sum_terms_left_associates(self):
+        terms = [B.symbol(n) for n in "abc"]
+        assert B.sum_terms(terms) == parse("(+ (+ a b) c)")
+        assert B.sum_terms(terms[:1]) == terms[0]
+        with pytest.raises(ValueError):
+            B.sum_terms([])
+
+    def test_dot_product(self):
+        xs = [B.get("x", i) for i in range(2)]
+        ys = [B.get("y", i) for i in range(2)]
+        assert B.dot_product(xs, ys) == parse(
+            "(+ (* (Get x 0) (Get y 0)) (* (Get x 1) (Get y 1)))"
+        )
+        with pytest.raises(ValueError):
+            B.dot_product(xs, ys[:1])
+        with pytest.raises(ValueError):
+            B.dot_product([], [])
+
+    def test_scalar_builders_compose(self):
+        expr = B.mac(
+            B.div(B.symbol("a"), B.const(2)),
+            B.sgn(B.symbol("b")),
+            B.sqrt(B.symbol("c")),
+        )
+        assert expr == parse("(mac (/ a 2) (sgn b) (sqrt c))")

@@ -1,0 +1,62 @@
+"""Unit tests for the C-with-intrinsics pretty printer."""
+
+from repro.compiler.codegen import emit_c
+from repro.compiler.lowering import lower_program
+from repro.lang.parser import parse
+from repro.machine.program import Instr, Program, ProgramBuilder
+
+
+class TestEmitC:
+    def test_vector_kernel_renders(self, spec):
+        term = parse(
+            "(List (VecAdd (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))"
+            " (Vec 1 1 1 1)))"
+        )
+        program = lower_program(term, spec, {"x": 4})
+        text = emit_c(program, name="inc4", arrays={"x": 4})
+        assert text.startswith("void inc4(const float *x, float *out)")
+        assert "vec_load(&x[0])" in text
+        assert "vec_add(" in text
+        assert "vec_store(&out[0]" in text
+        assert text.rstrip().endswith("}")
+
+    def test_scalar_ops_render_infix(self):
+        b = ProgramBuilder()
+        x = b.s_load("x", 0)
+        y = b.s_load("x", 1)
+        b.s_store("out", 0, b.s_op("+", x, y))
+        b.s_store("out", 1, b.s_op("mac", x, x, y))
+        b.halt()
+        text = emit_c(b.build(), arrays={"x": 2})
+        assert "s0 + s1" in text
+        assert "s0 + s0 * s1" in text
+
+    def test_control_flow_renders(self):
+        b = ProgramBuilder()
+        i = b.s_const(0)
+        n = b.s_const(4)
+        b.label("loop")
+        b.s_op_into(i, "+", i, i)
+        b.blt(i, n, "loop")
+        b.jump("loop")
+        b.bnez(i, "loop")
+        b.halt()
+        text = emit_c(b.build())
+        assert "loop:" in text
+        assert "goto loop;" in text
+        assert "if (s0 < s1) goto loop;" in text
+        assert "if (s0 != 0) goto loop;" in text
+
+    def test_shuffle_and_insert_render(self):
+        b = ProgramBuilder()
+        v = b.v_load("x", 0)
+        v2 = b.v_insert(v, 1, b.s_const(2.0))
+        b.v_store("out", 0, b.v_shuffle(v2, v, (0, 1, 4, 5)))
+        b.halt()
+        text = emit_c(b.build(), arrays={"x": 4})
+        assert "vec_insert(v0, 1, s0)" in text
+        assert "vec_shuffle(v1, v0, {0, 1, 4, 5})" in text
+
+    def test_unknown_opcode_becomes_comment(self):
+        text = emit_c(Program([Instr("mystery")]))
+        assert "/*" in text

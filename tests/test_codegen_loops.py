@@ -1,0 +1,26 @@
+"""Codegen rendering of hardware loops and Nature programs."""
+
+from repro.baselines.nature import nature_program
+from repro.compiler.codegen import emit_c
+from repro.kernels import matmul_kernel
+
+
+class TestLoopRendering:
+    def test_hw_loop_renders_as_for(self, spec):
+        instance = matmul_kernel(4, 4, 4)
+        program, _ = nature_program(instance, spec)
+        text = emit_c(program, name="nat_mm", arrays=instance.arrays)
+        assert "for (int n = " in text
+        assert "/* hw loop */" in text
+        assert text.count("for (int n") == text.count("}") - 1
+        # function braces balance
+        assert text.count("{") == text.count("}")
+
+    def test_nature_conv_renders(self, spec):
+        from repro.kernels import conv2d_kernel
+
+        instance = conv2d_kernel(3, 3, 2, 2)
+        program, _ = nature_program(instance, spec)
+        text = emit_c(program, arrays=instance.arrays)
+        assert "vec_splat" in text
+        assert "vec_mac" in text

@@ -1,0 +1,146 @@
+"""Integration tests: the Fig. 3 compile loop end-to-end.
+
+Uses the session-scoped size-4 generated compiler (fast synthesis)
+plus the shipped pregenerated rule set for quality-sensitive checks.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines import compile_scalar
+from repro.core import default_compiler
+from repro.core.pregen import DEFAULT_RULES_FILE
+from repro.kernels import (
+    conv2d_kernel,
+    matmul_kernel,
+    padded_memory,
+    quaternion_product_kernel,
+    run_reference,
+)
+from repro.lang.parser import parse
+from repro.lang.term import subterms
+from repro.machine import Machine
+
+needs_pregen = pytest.mark.skipif(
+    not DEFAULT_RULES_FILE.exists(),
+    reason="pregenerated rules not built",
+)
+
+
+def _vectorized(term) -> bool:
+    return any(
+        sub.op.startswith("Vec") and sub.op != "Vec"
+        for sub in subterms(term)
+    )
+
+
+class TestCompileLoop:
+    def test_intro_example(self, isaria_compiler):
+        program = parse(
+            "(List (Vec (+ (Get x 0) (Get y 0)) (+ (Get x 1) (Get y 1))"
+            " (+ (Get x 2) (Get y 2)) (Get x 3)))"
+        )
+        compiled, report = isaria_compiler.compile_term(program)
+        assert _vectorized(compiled)
+        assert report.final_cost < report.initial_cost / 10
+        assert report.n_eqsat_calls >= 2
+        assert report.speedup_estimate > 10
+
+    def test_report_structure(self, isaria_compiler):
+        program = matmul_kernel(2, 2, 2).program.term
+        _compiled, report = isaria_compiler.compile_term(program)
+        assert report.rounds
+        assert report.rounds[0].expansion is None  # round 0 skips it
+        assert report.optimization is not None
+        assert report.elapsed > 0
+        assert report.peak_nodes > 0
+
+    def test_unphased_ablation_runs(self, isaria_compiler):
+        options = dataclasses.replace(
+            isaria_compiler.options,
+            phased=False,
+        )
+        program = matmul_kernel(2, 2, 2).program.term
+        compiled, report = isaria_compiler.compile_term(
+            program, options=options
+        )
+        assert len(report.rounds) == 1
+        assert report.final_cost <= report.initial_cost
+
+    def test_pruning_off_retains_graph(self, isaria_compiler):
+        options = dataclasses.replace(
+            isaria_compiler.options, pruning=False, max_rounds=3
+        )
+        program = matmul_kernel(2, 2, 2).program.term
+        compiled, report = isaria_compiler.compile_term(
+            program, options=options
+        )
+        assert report.final_cost <= report.initial_cost
+
+
+class TestCompiledKernelCorrectness:
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            matmul_kernel(2, 2, 2),
+            conv2d_kernel(3, 3, 2, 2),
+            quaternion_product_kernel(),
+        ],
+        ids=lambda k: k.key,
+    )
+    def test_machine_output_matches_reference(
+        self, spec, isaria_compiler, instance
+    ):
+        kernel = isaria_compiler.compile_kernel(instance)
+        inputs = instance.make_inputs(5)
+        result = Machine(spec).run(
+            kernel.machine_program, padded_memory(instance, inputs)
+        )
+        got = result.array("out")[: instance.output_len]
+        want = run_reference(instance, inputs)
+        assert np.allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_translation_validation_catches_bad_terms(
+        self, isaria_compiler
+    ):
+        from repro.core.framework import ValidationError
+
+        good = parse("(List (Vec (Get x 0) (Get x 1) 0 0))")
+        bad = parse("(List (Vec (Get x 1) (Get x 0) 0 0))")
+        with pytest.raises(ValidationError):
+            isaria_compiler.validate_equivalence(good, bad)
+        isaria_compiler.validate_equivalence(good, good)
+
+
+@needs_pregen
+class TestPregeneratedCompiler:
+    def test_loads_and_vectorizes_matmul(self, spec):
+        compiler = default_compiler(spec)
+        assert len(compiler.ruleset) > 300
+        instance = matmul_kernel(2, 2, 2)
+        kernel = compiler.compile_kernel(instance)
+        assert _vectorized(kernel.compiled_term)
+        inputs = instance.make_inputs(3)
+        machine = Machine(spec)
+        vec = machine.run(
+            kernel.machine_program, padded_memory(instance, inputs)
+        )
+        scal = machine.run(
+            compile_scalar(instance.program, spec),
+            padded_memory(instance, inputs),
+        )
+        assert vec.cycles < scal.cycles
+        assert np.allclose(
+            vec.array("out")[: instance.output_len],
+            run_reference(instance, inputs),
+            rtol=1e-4,
+        )
+
+    def test_c_source_emission(self, spec):
+        compiler = default_compiler(spec)
+        kernel = compiler.compile_kernel(matmul_kernel(2, 2, 2))
+        source = kernel.c_source()
+        assert source.startswith("void matmul_2x2_2x2")
+        assert "vec_" in source

@@ -1,0 +1,72 @@
+"""CompileReport bookkeeping and options plumbing."""
+
+import dataclasses
+
+from repro.compiler.compile import CompileOptions, CompileReport, RoundReport
+from repro.egraph.runner import RunnerLimits
+
+
+class TestCompileOptions:
+    def test_defaults_sane(self):
+        options = CompileOptions()
+        assert options.phased and options.pruning
+        assert options.expansion_start_round == 1
+        assert options.max_rounds >= 2
+        # ban lengths must leave room for retries within the budget
+        for limits in (
+            options.expansion_limits,
+            options.compilation_limits,
+            options.optimization_limits,
+        ):
+            assert limits.ban_length < limits.max_iterations
+
+    def test_replace_produces_new_options(self):
+        options = CompileOptions()
+        ablated = dataclasses.replace(options, phased=False)
+        assert not ablated.phased
+        assert options.phased
+
+    def test_custom_limits(self):
+        limits = RunnerLimits(max_iterations=2, max_nodes=100,
+                              time_limit=1.0)
+        options = CompileOptions(expansion_limits=limits)
+        assert options.expansion_limits.max_nodes == 100
+
+
+class TestCompileReport:
+    def _round(self, i, cost):
+        return RoundReport(
+            index=i,
+            expansion=None,
+            compilation=None,
+            extracted_cost=cost,
+            n_nodes=10,
+            n_classes=5,
+        )
+
+    def test_eqsat_call_count(self):
+        report = CompileReport(initial_cost=100, final_cost=10)
+        assert report.n_eqsat_calls == 0
+        report.rounds.append(self._round(0, 50))
+        assert report.n_eqsat_calls == 0  # both phases None
+        from repro.egraph.runner import RunnerReport, StopReason
+
+        sat = RunnerReport(stop_reason=StopReason.SATURATED)
+        report.rounds.append(
+            RoundReport(
+                index=1,
+                expansion=sat,
+                compilation=sat,
+                extracted_cost=20,
+                n_nodes=10,
+                n_classes=5,
+            )
+        )
+        report.optimization = sat
+        assert report.n_eqsat_calls == 3
+
+    def test_speedup_estimate(self):
+        report = CompileReport(initial_cost=100.0, final_cost=10.0)
+        assert report.speedup_estimate == 10.0
+        degenerate = CompileReport(initial_cost=100.0, final_cost=0.0)
+        assert degenerate.speedup_estimate == float("inf")

@@ -1,0 +1,33 @@
+"""Tests for the CompiledKernel.run convenience API."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import matmul_kernel, run_reference
+
+
+class TestRun:
+    def test_executes_and_matches_reference(self, isaria_compiler):
+        instance = matmul_kernel(2, 2, 2)
+        kernel = isaria_compiler.compile_kernel(instance)
+        inputs = instance.make_inputs(4)
+        result = kernel.run(inputs)
+        got = result.array("out")[: instance.output_len]
+        want = run_reference(instance, inputs)
+        assert np.allclose(got, want, rtol=1e-4)
+        assert result.cycles > 0
+
+    def test_unscheduled_run_same_values(self, isaria_compiler):
+        instance = matmul_kernel(2, 2, 2)
+        kernel = isaria_compiler.compile_kernel(instance)
+        inputs = instance.make_inputs(4)
+        scheduled = kernel.run(inputs)
+        plain = kernel.run(inputs, schedule=False)
+        assert scheduled.array("out") == plain.array("out")
+        assert scheduled.cycles <= plain.cycles
+
+    def test_wrong_input_length_rejected(self, isaria_compiler):
+        instance = matmul_kernel(2, 2, 2)
+        kernel = isaria_compiler.compile_kernel(instance)
+        with pytest.raises(ValueError):
+            kernel.run({"A": [1.0], "B": [0.0] * 4})

@@ -1,0 +1,27 @@
+"""Sanity of the shared test fixtures themselves."""
+
+class TestSessionFixtures:
+    def test_spec_fixture_is_base_isa(self, spec):
+        assert spec.name == "fusion-g3"
+        assert spec.vector_width == 4
+
+    def test_cost_model_bound_to_spec(self, spec, cost_model):
+        assert cost_model.node_cost("+", None, ()) == (
+            spec.instruction("+").base_cost
+        )
+
+    def test_synthesis_fixtures_are_cached(
+        self, synthesis_size3, synthesis_size4
+    ):
+        assert len(synthesis_size4.rules) > len(synthesis_size3.rules)
+
+    def test_isaria_compiler_ready(self, isaria_compiler):
+        assert len(isaria_compiler.ruleset) > 100
+        counts = isaria_compiler.ruleset.counts()
+        assert all(v > 0 for v in counts.values())
+
+    def test_fast_options_are_bounded(self, isaria_compiler):
+        options = isaria_compiler.options
+        assert options.expansion_limits.time_limit <= 10
+        assert options.compilation_limits.time_limit <= 10
+        assert options.max_rounds <= 5

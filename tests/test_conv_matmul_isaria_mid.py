@@ -1,0 +1,54 @@
+"""Mid-size Isaria compilations with the fast test compiler.
+
+These exercise multi-chunk kernels through the whole pipeline
+(compile, validate, lower, schedule, simulate) at sizes the size-4
+session compiler handles quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    conv2d_kernel,
+    matmul_kernel,
+    padded_memory,
+    run_reference,
+)
+from repro.machine import Machine, schedule_program
+
+
+@pytest.mark.parametrize(
+    "instance",
+    [
+        matmul_kernel(2, 4, 4),
+        matmul_kernel(4, 2, 4),
+        conv2d_kernel(2, 2, 2, 2),
+        conv2d_kernel(4, 4, 1, 2),
+    ],
+    ids=lambda k: k.key,
+)
+def test_midsize_kernels_correct(spec, isaria_compiler, instance):
+    kernel = isaria_compiler.compile_kernel(instance)
+    machine = Machine(spec)
+    program = schedule_program(kernel.machine_program, machine)
+    inputs = instance.make_inputs(6)
+    result = machine.run(program, padded_memory(instance, inputs))
+    got = result.array("out")[: instance.output_len]
+    want = run_reference(instance, inputs)
+    assert np.allclose(got, want, rtol=1e-4, atol=1e-5)
+
+
+def test_uniform_matmul_vectorizes_with_fast_compiler(
+    spec, isaria_compiler
+):
+    instance = matmul_kernel(2, 4, 4)
+    kernel = isaria_compiler.compile_kernel(instance)
+    from repro.lang.term import subterms
+
+    vec_ops = {
+        s.op
+        for s in subterms(kernel.compiled_term)
+        if s.op.startswith("Vec") and s.op != "Vec"
+    }
+    assert vec_ops, "no vector instructions in compiled matmul"
+    assert kernel.report.final_cost < kernel.report.initial_cost / 5

@@ -1,0 +1,65 @@
+"""Unit tests for focused custom-instruction synthesis helpers."""
+
+import pytest
+
+from repro.core.customize import merge_rules, synthesize_custom_rules
+from repro.egraph.rewrite import parse_rewrite
+from repro.isa import customized_spec
+
+
+class TestMergeRules:
+    def test_dedupes_by_text(self):
+        a = [parse_rewrite("x", "(+ ?a ?b) => (+ ?b ?a)")]
+        b = [
+            parse_rewrite("y", "(+ ?a ?b) => (+ ?b ?a)"),  # duplicate
+            parse_rewrite("z", "(* ?a ?b) => (* ?b ?a)"),
+        ]
+        merged = merge_rules(a, b)
+        assert len(merged) == 2
+        assert merged[0].name == "x"
+
+    def test_keeps_base_order(self):
+        a = [
+            parse_rewrite("one", "(+ ?a 0) => ?a"),
+            parse_rewrite("two", "(* ?a 1) => ?a"),
+        ]
+        merged = merge_rules(a, [])
+        assert [r.name for r in merged] == ["one", "two"]
+
+
+@pytest.mark.slow
+class TestFocusedSynthesis:
+    def test_small_focus_discovers_bridges(self, spec):
+        # Tiny neighbourhood at size 4 so the test stays quick: the
+        # identity (sqrtsgn 1 b) = -sgn(b) is a 4-node discovery.
+        custom = customized_spec(spec, sqrtsgn=True)
+        rules = synthesize_custom_rules(
+            custom,
+            ("sqrtsgn", "VecSqrtSgn"),
+            neighbourhood=("sgn", "neg", "sqrt"),
+            max_term_size=4,
+            time_budget=60.0,
+            max_rules=200,
+        )
+        assert rules
+        texts = {str(r) for r in rules}
+        assert any("sqrtsgn" in t for t in texts)
+        # every kept rule mentions the custom ops
+        for rule in rules:
+            assert "sqrtsgn" in str(rule).lower()
+
+    def test_canonical_lift_for_custom_op(self, spec):
+        custom = customized_spec(spec, mulsub=True)
+        rules = synthesize_custom_rules(
+            custom,
+            ("mulsub", "VecMulSub"),
+            neighbourhood=("-", "*"),
+            max_term_size=4,
+            time_budget=60.0,
+        )
+        lifts = [
+            r
+            for r in rules
+            if r.lhs.op == "Vec" and r.rhs.op == "VecMulSub"
+        ]
+        assert lifts

@@ -1,0 +1,51 @@
+"""node_cost vs node_cost_heads parity on the cost model."""
+
+import pytest
+
+from repro.lang.parser import parse
+
+
+CASES = [
+    "(+ ?a ?b)",
+    "(Vec ?a ?b ?c ?d)",
+    "(Vec 1 2 3 4)",
+    "(Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))",
+    "(Vec (Get x 0) (Get x 2) (Get x 1) (Get x 3))",
+    "(Vec (Get x 0) (Get y 1) (Get x 2) (Get y 3))",
+    "(Vec (+ ?a ?b) ?c ?d ?e)",
+    "(Vec (+ ?a ?b) (+ ?c ?d) (+ ?e ?f) (+ ?g ?h))",
+    "(VecMAC ?a ?b ?c)",
+    "(Concat ?a ?b)",
+    "(List ?a ?b)",
+    "(sqrt ?a)",
+]
+
+
+@pytest.mark.parametrize("text", CASES)
+def test_heads_agree_with_terms(cost_model, text):
+    term = parse(text)
+    via_terms = cost_model.node_cost(term.op, term.payload, term.args)
+    heads = tuple((a.op, a.payload) for a in term.args)
+    via_heads = cost_model.node_cost_heads(term.op, term.payload, heads)
+    assert via_terms == pytest.approx(via_heads), text
+
+
+def test_unknown_op_raises_in_both(cost_model):
+    with pytest.raises(KeyError):
+        cost_model.node_cost("Mystery", None, ())
+    with pytest.raises(KeyError):
+        cost_model.node_cost_heads("Mystery", None, ())
+
+
+def test_custom_instruction_costs(spec):
+    from repro.isa import customized_spec
+    from repro.phases import CostModel
+
+    custom = customized_spec(spec, sqrtsgn=True, mulsub=True)
+    model = CostModel(custom)
+    assert model.node_cost("VecSqrtSgn", None, ()) == 3.0
+    assert model.node_cost("sqrtsgn", None, ()) == 14.0
+    assert model.node_cost("VecMulSub", None, ()) == 1.0
+    # and the full term cost composes
+    term = parse("(VecSqrtSgn (Vec 1 1 1 1) (Vec 2 2 2 2))")
+    assert model.term_cost(term) > 3.0

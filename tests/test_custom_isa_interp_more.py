@@ -1,0 +1,79 @@
+"""Custom-instruction interpreter semantics across value types."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.interp.value import UNDEFINED
+from repro.isa import customized_spec
+from repro.lang.parser import parse
+
+
+@pytest.fixture(scope="module")
+def interp(spec):
+    return customized_spec(spec, mulsub=True, sqrtsgn=True).interpreter()
+
+
+class TestMulsub:
+    @pytest.mark.parametrize(
+        "c,a,b,expected",
+        [
+            (10, 2, 3, 4),
+            (0, 5, 5, -25),
+            (Fraction(1, 2), Fraction(1, 4), 2, 0),
+            (-3, -2, -4, -11),
+        ],
+    )
+    def test_values(self, interp, c, a, b, expected):
+        env = {"c": c, "a": a, "b": b}
+        assert interp.evaluate(parse("(mulsub c a b)"), env) == expected
+
+    def test_vector_form_lanewise(self, interp):
+        term = parse(
+            "(VecMulSub (Vec 1 2 3 4) (Vec 1 1 1 1) (Vec 4 3 2 1))"
+        )
+        assert interp.evaluate(term, {}) == (-3, -1, 1, 3)
+
+    def test_relation_to_base_ops(self, interp):
+        # mulsub(c, a, b) == c - a*b on random-ish points
+        for c, a, b in [(7, 2, 2), (0, 0, 9), (-5, 3, -1)]:
+            env = {"c": c, "a": a, "b": b}
+            direct = interp.evaluate(parse("(mulsub c a b)"), env)
+            composed = interp.evaluate(parse("(- c (* a b))"), env)
+            assert direct == composed
+
+
+class TestSqrtSgn:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (4, -9, 2),
+            (4, 9, -2),
+            (4, 0, 0),
+            (0, 5, 0),
+            (Fraction(9, 16), -1, Fraction(3, 4)),
+        ],
+    )
+    def test_values(self, interp, a, b, expected):
+        env = {"a": a, "b": b}
+        assert interp.evaluate(parse("(sqrtsgn a b)"), env) == expected
+
+    def test_negative_radicand_undefined(self, interp):
+        assert (
+            interp.evaluate(parse("(sqrtsgn -4 1)"), {}) is UNDEFINED
+        )
+
+    def test_vector_form_collapses_on_bad_lane(self, interp):
+        term = parse(
+            "(VecSqrtSgn (Vec 1 4 -9 16) (Vec 1 1 1 1))"
+        )
+        assert interp.evaluate(term, {}) is UNDEFINED
+
+    def test_relation_to_base_ops(self, interp):
+        for a, b in [(9, 2), (16, -3), (1, 0)]:
+            env = {"a": a, "b": b}
+            direct = interp.evaluate(parse("(sqrtsgn a b)"), env)
+            composed = interp.evaluate(
+                parse("(* (sqrt a) (sgn (neg b)))"), env
+            )
+            assert direct == composed

@@ -1,0 +1,101 @@
+"""Unit tests for the Diospyros hand-written-rules baseline."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.diospyros import DiospyrosCompiler, diospyros_rules
+from repro.compiler.lowering import lower_program
+from repro.kernels import (
+    conv2d_kernel,
+    matmul_kernel,
+    padded_memory,
+    quaternion_product_kernel,
+    run_reference,
+)
+from repro.lang.parser import parse
+from repro.machine import Machine
+from repro.ruler.verify import verify_rule, verify_vector_rule
+
+
+@pytest.fixture(scope="module")
+def dios(spec):
+    return DiospyrosCompiler(spec)
+
+
+class TestHandRules:
+    def test_rule_count_in_diospyros_ballpark(self, spec):
+        # Diospyros hand-writes ~28 rules; ours is the same order.
+        rules = diospyros_rules(spec)
+        assert 20 <= len(rules) <= 45
+
+    def test_all_hand_rules_sound(self, spec):
+        from repro.lang.ops import OpKind
+        from repro.lang.term import subterms
+
+        def vectorish(rule):
+            for side in (rule.lhs, rule.rhs):
+                for sub in subterms(side):
+                    if sub.op == "Vec":
+                        return True
+                    if (
+                        spec.has_instruction(sub.op)
+                        and spec.instruction(sub.op).kind is OpKind.VECTOR
+                    ):
+                        return True
+            return False
+
+        for rule in diospyros_rules(spec):
+            if vectorish(rule):
+                assert verify_vector_rule(
+                    rule.lhs, rule.rhs, spec, n_samples=12
+                ).ok, str(rule)
+            else:
+                assert verify_rule(
+                    rule.lhs, rule.rhs, spec, n_samples=32, seed=17
+                ).ok, str(rule)
+
+    def test_contains_the_canonical_lift(self, spec):
+        texts = {str(r) for r in diospyros_rules(spec)}
+        assert any("=> (VecAdd" in t and t.startswith("(Vec (+")
+                   for t in texts)
+
+
+class TestDiospyrosCompile:
+    def test_intro_example_vectorizes(self, dios):
+        # The paper's §2.1 program.
+        program = parse(
+            "(List (Vec (+ (Get x 0) (Get y 0)) (+ (Get x 1) (Get y 1))"
+            " (+ (Get x 2) (Get y 2)) (Get x 3)))"
+        )
+        compiled, report = dios.compile(program)
+        assert compiled.args[0].op == "VecAdd"
+        assert report.final_cost < report.initial_cost / 10
+
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            quaternion_product_kernel(),
+            matmul_kernel(2, 2, 2),
+            conv2d_kernel(3, 3, 2, 2),
+        ],
+        ids=lambda k: k.key,
+    )
+    def test_compiled_kernels_correct(self, spec, dios, instance):
+        compiled, _report = dios.compile(instance.program.term)
+        machine_prog = lower_program(
+            compiled, spec, instance.program.arrays
+        )
+        inputs = instance.make_inputs(2)
+        result = Machine(spec).run(
+            machine_prog, padded_memory(instance, inputs)
+        )
+        got = result.array("out")[: instance.output_len]
+        want = run_reference(instance, inputs)
+        assert np.allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_improves_over_scalar_cost(self, dios, spec):
+        instance = matmul_kernel(2, 2, 2)
+        _compiled, report = dios.compile(instance.program.term)
+        assert report.final_cost < report.initial_cost
+        assert report.rounds
+        assert report.elapsed > 0

@@ -1,0 +1,73 @@
+"""More Diospyros-baseline tests: rule structure and scheduling."""
+
+from repro.compiler.diospyros import (
+    _lift_rules,
+    _mac_rules,
+    _padding_rules,
+    _scalar_rules,
+    _vector_rules,
+    diospyros_rules,
+)
+from repro.isa import customized_spec
+
+
+class TestRuleGroups:
+    def test_scalar_rules_pure_scalar(self, spec):
+        for rule in _scalar_rules():
+            assert "Vec" not in str(rule)
+
+    def test_padding_rules_one_per_lane(self, spec):
+        pads = _padding_rules(spec.vector_width)
+        assert len(pads) == spec.vector_width
+        for i, rule in enumerate(pads):
+            assert f"(+ ?x{i} 0)" in str(rule)
+
+    def test_lift_rules_cover_every_vector_op(self, spec):
+        lifted = {rule.rhs.op for rule in _lift_rules(spec)}
+        expected = {i.name for i in spec.vector_instructions()}
+        assert lifted == expected
+
+    def test_mac_rules_present(self, spec):
+        texts = {str(r) for r in _mac_rules(spec)}
+        assert "(+ ?c (* ?a ?b)) => (mac ?c ?a ?b)" in texts
+        assert (
+            "(VecAdd ?c (VecMul ?a ?b)) => (VecMAC ?c ?a ?b)" in texts
+        )
+
+    def test_vector_rules_vector_only(self):
+        for rule in _vector_rules():
+            assert str(rule).count("Vec") >= 2
+
+    def test_no_custom_instruction_rules(self, spec):
+        # Diospyros's hand rules never adapt to ISA extensions — the
+        # burden Isaria removes (§5.4).
+        custom = customized_spec(spec, sqrtsgn=True, mulsub=True)
+        texts = " ".join(str(r) for r in diospyros_rules(custom))
+        assert "sqrtsgn" not in texts.lower()
+        assert "mulsub" not in texts.lower()
+        assert len(diospyros_rules(custom)) == len(diospyros_rules(spec))
+
+
+class TestCompilerBehaviour:
+    def test_rounds_terminate(self, spec):
+        from repro.compiler.diospyros import DiospyrosCompiler
+        from repro.lang.parser import parse
+
+        compiler = DiospyrosCompiler(spec, max_rounds=3)
+        program = parse("(List (Vec (Get x 0) (Get x 1) (Get x 2) 0))")
+        _compiled, report = compiler.compile(program)
+        assert len(report.rounds) <= 3
+
+    def test_already_vector_program_stable(self, spec):
+        from repro.compiler.diospyros import DiospyrosCompiler
+        from repro.lang.parser import parse
+
+        compiler = DiospyrosCompiler(spec)
+        program = parse(
+            "(List (VecAdd (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))"
+            " (Vec (Get y 0) (Get y 1) (Get y 2) (Get y 3))))"
+        )
+        compiled, report = compiler.compile(program)
+        assert report.final_cost <= report.initial_cost
+        # still a vector program
+        assert compiled.args[0].op in ("VecAdd", "VecMAC")

@@ -1,0 +1,51 @@
+"""Qualitative markers for the Diospyros baseline on real kernels."""
+
+import pytest
+
+from repro.compiler.diospyros import DiospyrosCompiler
+from repro.kernels import matmul_kernel
+from repro.lang.term import subterms
+
+
+@pytest.fixture(scope="module")
+def dios(spec):
+    return DiospyrosCompiler(spec)
+
+
+class TestVectorizationMarkers:
+    def test_matmul_uses_mac(self, dios):
+        compiled, _ = dios.compile(matmul_kernel(2, 2, 2).program.term)
+        ops = {s.op for s in subterms(compiled)}
+        assert "VecMAC" in ops or "VecMul" in ops
+
+    def test_compile_is_deterministic(self, dios):
+        term = matmul_kernel(2, 2, 2).program.term
+        a, _ = dios.compile(term)
+        b, _ = dios.compile(term)
+        assert a == b
+
+    def test_report_costs_consistent(self, dios):
+        term = matmul_kernel(2, 2, 2).program.term
+        compiled, report = dios.compile(term)
+        assert report.final_cost == pytest.approx(
+            dios.cost_model.term_cost(compiled), rel=1e-9
+        )
+
+    def test_compiled_term_equivalent(self, dios, spec):
+        import random
+
+        from repro.interp.env import term_inputs
+        from repro.interp.value import values_equal
+
+        term = matmul_kernel(2, 2, 2).program.term
+        compiled, _ = dios.compile(term)
+        interp = spec.interpreter()
+        rng = random.Random(3)
+        for _ in range(5):
+            env = {
+                atom: rng.uniform(-2, 2) for atom in term_inputs(term)
+            }
+            assert values_equal(
+                interp.evaluate(term, env),
+                interp.evaluate(compiled, env),
+            )

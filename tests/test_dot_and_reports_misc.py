@@ -1,0 +1,53 @@
+"""Miscellaneous coverage: runner reports, iteration stats, dot labels."""
+
+from repro.egraph.dot import _node_label
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import parse_rewrite
+from repro.egraph.runner import RunnerLimits, run_saturation
+from repro.lang.parser import parse
+
+
+class TestDotLabels:
+    def test_leaf_labels(self):
+        assert _node_label("Const", 3) == "3"
+        assert _node_label("Symbol", "a") == "a"
+        assert _node_label("Wild", "w0") == "?w0"
+        assert _node_label("Get", ("x", 2)) == "x[2]"
+        assert _node_label("VecAdd", None) == "VecAdd"
+
+
+class TestIterationReports:
+    def test_applied_counts_recorded(self):
+        g = EGraph()
+        g.add_term(parse("(+ (Get x 0) 0)"))
+        g.add_term(parse("(+ (Get x 1) 0)"))
+        rule = parse_rewrite("id", "(+ ?a 0) => ?a")
+        report = run_saturation(g, [rule], RunnerLimits(max_iterations=4))
+        first = report.iterations[0]
+        assert first.applied["id"] == 2
+        assert first.n_unions >= 2
+        assert report.elapsed >= 0
+
+    def test_node_class_counts_match_graph(self):
+        g = EGraph()
+        g.add_term(parse("(* (Get a 0) (Get b 0))"))
+        report = run_saturation(g, [], RunnerLimits(max_iterations=1))
+        last = report.iterations[-1]
+        assert last.n_nodes == g.n_nodes
+        assert last.n_classes == g.n_classes
+
+
+class TestNodesFastCounter:
+    def test_overestimates_after_dedup(self):
+        g = EGraph()
+        a = g.add_term(parse("(neg (Get x 0))"))
+        b = g.add_term(parse("(neg (Get y 0))"))
+        g.union(
+            g.add_term(parse("(Get x 0)")),
+            g.add_term(parse("(Get y 0)")),
+        )
+        g.rebuild()
+        # congruence dedups (neg ..) nodes; the fast counter keeps the
+        # historical count
+        assert g.n_nodes_fast >= g.n_nodes
+        assert g.equivalent(a, b)

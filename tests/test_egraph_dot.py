@@ -1,0 +1,55 @@
+"""Tests for the e-graph DOT exporter (visualization tooling)."""
+
+from repro.egraph.dot import to_dot
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import parse_rewrite
+from repro.egraph.runner import RunnerLimits, run_saturation
+from repro.lang.parser import parse
+
+
+class TestToDot:
+    def test_basic_structure(self):
+        g = EGraph()
+        g.add_term(parse("(+ (Get x 0) 1)"))
+        dot = to_dot(g)
+        assert dot.startswith("digraph egraph {")
+        assert dot.rstrip().endswith("}")
+        assert "cluster_" in dot  # e-classes as clusters
+        assert "Get x 0" in dot or "x[0]" in dot
+
+    def test_merged_classes_share_cluster(self):
+        g = EGraph()
+        a = g.add_term(parse("(+ a b)"))
+        b = g.add_term(parse("(+ b a)"))
+        g.union(a, b)
+        g.rebuild()
+        dot = to_dot(g)
+        # Two + nodes, one class cluster containing both
+        assert dot.count('label="+"') == 2
+        n_clusters = dot.count("subgraph cluster_")
+        assert n_clusters == g.n_classes
+
+    def test_edges_point_to_classes(self):
+        g = EGraph()
+        g.add_term(parse("(neg a)"))
+        dot = to_dot(g)
+        assert "->" in dot
+
+    def test_saturated_graph_renders(self):
+        g = EGraph()
+        g.add_term(parse("(+ (Get x 0) 0)"))
+        run_saturation(
+            g,
+            [parse_rewrite("id", "(+ ?a 0) => ?a")],
+            RunnerLimits(max_iterations=3),
+        )
+        dot = to_dot(g)
+        assert dot.count("subgraph cluster_") == g.n_classes
+
+    def test_max_classes_truncates(self):
+        g = EGraph()
+        for i in range(20):
+            g.add_term(parse(f"(Get x {i})"))
+        dot = to_dot(g, max_classes=5)
+        assert dot.count("subgraph cluster_") == 5
+        assert "truncated" in dot

@@ -1,0 +1,83 @@
+"""Unit tests for e-matching."""
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.ematch import ematch, match_in_class
+from repro.lang.parser import parse
+
+
+def _graph(*texts):
+    g = EGraph()
+    roots = [g.add_term(parse(t)) for t in texts]
+    return g, roots
+
+
+class TestMatchInClass:
+    def test_simple(self):
+        g, (root,) = _graph("(+ (Get x 0) 1)")
+        bindings = match_in_class(g, parse("(+ ?a ?b)"), root)
+        assert len(bindings) == 1
+        assert bindings[0]["a"] == g.lookup_term(parse("(Get x 0)"))
+
+    def test_leaf_pattern(self):
+        g, (root,) = _graph("(+ 1 1)")
+        assert match_in_class(g, parse("(+ 1 1)"), root) == [{}]
+        assert match_in_class(g, parse("(+ 1 2)"), root) == []
+
+    def test_nonlinear(self):
+        g, (same, diff) = _graph("(+ (Get x 0) (Get x 0))",
+                                 "(+ (Get x 0) (Get x 1))")
+        pattern = parse("(+ ?a ?a)")
+        assert len(match_in_class(g, pattern, same)) == 1
+        assert match_in_class(g, pattern, diff) == []
+
+    def test_multiple_nodes_in_class(self):
+        g, (ab, ba) = _graph("(+ a b)", "(+ b a)")
+        g.union(ab, ba)
+        g.rebuild()
+        bindings = match_in_class(g, parse("(+ ?x ?y)"), ab)
+        assert len(bindings) == 2
+
+    def test_cap_truncates(self):
+        g = EGraph()
+        root = g.add_term(parse("(+ a b)"))
+        for i in range(20):
+            g.union(root, g.add_term(parse(f"(+ a c{i})")))
+        g.rebuild()
+        capped = match_in_class(g, parse("(+ ?x ?y)"), root, cap=5)
+        assert len(capped) == 5
+
+
+class TestEmatch:
+    def test_finds_all_roots(self):
+        g, _ = _graph("(+ 1 2)", "(* (+ 3 4) 5)")
+        matches = ematch(g, parse("(+ ?a ?b)"), op_index=g.op_index())
+        assert len(matches) == 2
+
+    def test_bare_wildcard_matches_every_class(self):
+        g, _ = _graph("(+ 1 2)")
+        matches = ematch(g, parse("?a"))
+        assert len(matches) == g.n_classes
+
+    def test_limit(self):
+        g, _ = _graph("(+ 1 2)", "(+ 3 4)", "(+ 5 6)")
+        matches = ematch(g, parse("(+ ?a ?b)"), limit=2)
+        assert len(matches) == 2
+
+    def test_op_index_equivalent_to_scan(self):
+        g, _ = _graph("(+ 1 (* 2 (neg 3)))", "(* (neg 3) 4)")
+        pattern = parse("(* ?a ?b)")
+        with_index = ematch(g, pattern, op_index=g.op_index())
+        without = ematch(g, pattern)
+        assert sorted(
+            (g.find(c), tuple(sorted(b.items()))) for c, b in with_index
+        ) == sorted(
+            (g.find(c), tuple(sorted(b.items()))) for c, b in without
+        )
+
+    def test_deep_pattern(self):
+        g, (root,) = _graph("(VecAdd (Vec 1 2 3 4) (Vec 5 6 7 8))")
+        pattern = parse("(VecAdd (Vec ?a ?b ?c ?d) ?rest)")
+        matches = ematch(g, pattern, op_index=g.op_index())
+        assert len(matches) == 1
+        _, binding = matches[0]
+        assert binding["a"] == g.lookup_term(parse("1"))

@@ -1,0 +1,139 @@
+"""Unit tests for frontier (incremental) matching and match budgets."""
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.ematch import ematch
+from repro.egraph.rewrite import parse_rewrite
+from repro.egraph.runner import RunnerLimits, run_saturation
+from repro.lang.parser import parse
+
+
+class TestTouchedTracking:
+    def test_new_classes_are_touched(self):
+        g = EGraph()
+        g.add_term(parse("(+ a b)"))
+        touched = g.take_touched()
+        assert len(touched) == 3
+        assert g.take_touched() == set()
+
+    def test_union_touches_survivor(self):
+        g = EGraph()
+        a = g.add_term(parse("a"))
+        b = g.add_term(parse("b"))
+        g.take_touched()
+        g.union(a, b)
+        g.rebuild()
+        touched = g.take_touched()
+        assert g.find(a) in touched
+
+    def test_congruence_merges_are_touched(self):
+        g = EGraph()
+        g.add_term(parse("(neg a)"))
+        g.add_term(parse("(neg b)"))
+        a = g.add_term(parse("a"))
+        b = g.add_term(parse("b"))
+        g.take_touched()
+        g.union(a, b)
+        g.rebuild()
+        touched = g.take_touched()
+        # the parent class merged by congruence must be reported
+        parent = g.find(g.lookup_term(parse("(neg a)")))
+        assert parent in touched
+
+
+class TestRootRestriction:
+    def test_roots_filter_matches(self):
+        g = EGraph()
+        first = g.add_term(parse("(+ 1 2)"))
+        second = g.add_term(parse("(+ 3 4)"))
+        pattern = parse("(+ ?a ?b)")
+        all_matches = ematch(g, pattern, op_index=g.op_index())
+        assert len(all_matches) == 2
+        only_first = ematch(
+            g, pattern, op_index=g.op_index(), roots={g.find(first)}
+        )
+        assert [g.find(c) for c, _ in only_first] == [g.find(first)]
+        none = ematch(
+            g, pattern, op_index=g.op_index(), roots=set()
+        )
+        assert none == []
+
+    def test_bare_wildcard_respects_roots(self):
+        g = EGraph()
+        a = g.add_term(parse("1"))
+        g.add_term(parse("2"))
+        matches = ematch(g, parse("?x"), roots={g.find(a)})
+        assert len(matches) == 1
+
+
+class TestFrontierSaturation:
+    def test_frontier_still_completes_chains(self):
+        # (f (f (f x))) with f->g rewriting: frontier mode must rewrite
+        # all levels even though levels 2,3 only become interesting
+        # after level 1 changes.
+        g = EGraph()
+        root = g.add_term(parse("(neg (neg (neg (Get x 0))))"))
+        report = run_saturation(
+            g,
+            [parse_rewrite("nn", "(neg (neg ?a)) => ?a")],
+            RunnerLimits(max_iterations=10),
+            frontier=True,
+        )
+        assert g.equivalent(root, g.lookup_term(parse("(neg (Get x 0))")))
+        assert report.n_iterations >= 1
+
+    def test_frontier_matches_full_on_lift_chain(self, spec):
+        # A two-level lift chain completes under frontier matching.
+        rules = [
+            parse_rewrite(
+                "lift-add",
+                "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3))"
+                " => (VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+            ),
+            parse_rewrite(
+                "lift-mul",
+                "(Vec (* ?a0 ?b0) (* ?a1 ?b1) (* ?a2 ?b2) (* ?a3 ?b3))"
+                " => (VecMul (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+            ),
+        ]
+        lanes = " ".join(
+            f"(+ (* (Get a {i}) (Get b {i})) (Get c {i}))"
+            for i in range(4)
+        )
+        g = EGraph()
+        root = g.add_term(parse(f"(Vec {lanes})"))
+        run_saturation(
+            g, rules, RunnerLimits(max_iterations=6), frontier=True
+        )
+        expected = parse(
+            "(VecAdd (VecMul (Vec (Get a 0) (Get a 1) (Get a 2) (Get a 3))"
+            " (Vec (Get b 0) (Get b 1) (Get b 2) (Get b 3)))"
+            " (Vec (Get c 0) (Get c 1) (Get c 2) (Get c 3)))"
+        )
+        assert g.lookup_term(expected) == g.find(root)
+
+
+class TestWorkBudget:
+    def test_exhausted_budget_truncates(self):
+        g = EGraph()
+        for i in range(50):
+            g.add_term(parse(f"(+ (Get x {i}) 1)"))
+        matches = ematch(
+            g, parse("(+ ?a ?b)"), op_index=g.op_index(), work_budget=10
+        )
+        assert len(matches) < 50
+
+    def test_identity_rules_not_capped(self):
+        # ?a => (+ ?a 0) must reach every class despite schedulers.
+        g = EGraph()
+        for i in range(30):
+            g.add_term(parse(f"(Get x {i})"))
+        run_saturation(
+            g,
+            [parse_rewrite("pad", "?a => (+ ?a 0)")],
+            RunnerLimits(max_iterations=3, match_limit=5),
+        )
+        # every original class now has a + variant
+        for i in range(30):
+            cid = g.lookup_term(parse(f"(Get x {i})"))
+            ops = {n[0] for n in g.eclass(cid).nodes}
+            assert "+" in ops, i

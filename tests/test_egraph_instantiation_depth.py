@@ -1,0 +1,75 @@
+"""Instantiation and saturation on deeper patterns."""
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import Rewrite, apply_rewrite, parse_rewrite
+from repro.egraph.runner import RunnerLimits, run_saturation
+from repro.lang.parser import parse
+
+
+class TestDeepInstantiation:
+    def test_rhs_with_nested_new_structure(self):
+        g = EGraph()
+        root = g.add_term(parse("(* (Get x 0) 2)"))
+        rule = parse_rewrite(
+            "double-as-shifted-sum",
+            "(* ?a 2) => (+ (+ ?a 0) (+ ?a 0))",
+        )
+        apply_rewrite(g, rule)
+        g.rebuild()
+        expected = parse("(+ (+ (Get x 0) 0) (+ (Get x 0) 0))")
+        assert g.lookup_term(expected) == g.find(root)
+
+    def test_rhs_shares_subterms(self):
+        g = EGraph()
+        g.add_term(parse("(+ (Get x 0) (Get x 0))"))
+        rule = Rewrite(
+            "fold", parse("(+ ?a ?a)"), parse("(* ?a 2)")
+        )
+        stats = apply_rewrite(g, rule)
+        g.rebuild()
+        assert stats.n_unions == 1
+        assert g.lookup_term(parse("(* (Get x 0) 2)")) is not None
+
+
+class TestLayeredRewrites:
+    def test_rule_cascade_through_three_layers(self):
+        g = EGraph()
+        root = g.add_term(
+            parse("(neg (neg (+ (* (Get x 0) 1) 0)))")
+        )
+        rules = [
+            parse_rewrite("nn", "(neg (neg ?a)) => ?a"),
+            parse_rewrite("m1", "(* ?a 1) => ?a"),
+            parse_rewrite("a0", "(+ ?a 0) => ?a"),
+        ]
+        run_saturation(g, rules, RunnerLimits(max_iterations=6))
+        assert g.lookup_term(parse("(Get x 0)")) == g.find(root)
+
+    def test_vec_level_cascade(self):
+        g = EGraph()
+        root = g.add_term(
+            parse(
+                "(Vec (* (Get x 0) 1) (* (Get x 1) 1) "
+                "(* (Get x 2) 1) (* (Get x 3) 1))"
+            )
+        )
+        rules = [
+            parse_rewrite(
+                "lift-mul",
+                "(Vec (* ?a0 ?b0) (* ?a1 ?b1) (* ?a2 ?b2) (* ?a3 ?b3))"
+                " => (VecMul (Vec ?a0 ?a1 ?a2 ?a3) "
+                "(Vec ?b0 ?b1 ?b2 ?b3))",
+            ),
+            parse_rewrite("m1", "(* ?a 1) => ?a"),
+        ]
+        run_saturation(g, rules, RunnerLimits(max_iterations=6))
+        # both the load form and the lifted multiply coexist
+        load_form = parse(
+            "(Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))"
+        )
+        lifted = parse(
+            "(VecMul (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))"
+            " (Vec 1 1 1 1))"
+        )
+        assert g.lookup_term(load_form) == g.find(root)
+        assert g.lookup_term(lifted) == g.find(root)

@@ -1,0 +1,93 @@
+"""Additional e-graph invariants and stress scenarios."""
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import parse_rewrite
+from repro.egraph.runner import RunnerLimits, run_saturation
+from repro.lang.parser import parse
+
+
+class TestChainMerges:
+    def test_long_union_chain_collapses(self):
+        g = EGraph()
+        ids = [g.add_term(parse(f"(Get x {i})")) for i in range(50)]
+        for a, b in zip(ids, ids[1:]):
+            g.union(a, b)
+        g.rebuild()
+        roots = {g.find(i) for i in ids}
+        assert len(roots) == 1
+
+    def test_merge_classes_with_parents(self):
+        g = EGraph()
+        terms = [parse(f"(neg (Get x {i}))") for i in range(10)]
+        parents = [g.add_term(t) for t in terms]
+        children = [g.add_term(parse(f"(Get x {i})")) for i in range(10)]
+        for child in children[1:]:
+            g.union(children[0], child)
+        g.rebuild()
+        roots = {g.find(p) for p in parents}
+        assert len(roots) == 1
+
+    def test_diamond_congruence(self):
+        # f(g(a)), f(g(b)); a=b must merge both levels.
+        g = EGraph()
+        top_a = g.add_term(parse("(sgn (neg a))"))
+        top_b = g.add_term(parse("(sgn (neg b))"))
+        mid_a = g.lookup_term(parse("(neg a)"))
+        mid_b = g.lookup_term(parse("(neg b)"))
+        g.union(g.add_term(parse("a")), g.add_term(parse("b")))
+        g.rebuild()
+        assert g.equivalent(mid_a, mid_b)
+        assert g.equivalent(top_a, top_b)
+
+
+class TestSaturationScenarios:
+    def test_mutual_recursion_rules_stable(self):
+        # x <-> neg(neg(x)) both directions: saturates (no blowup).
+        g = EGraph()
+        g.add_term(parse("(neg (Get x 0))"))
+        report = run_saturation(
+            g,
+            [
+                parse_rewrite("fwd", "(neg (neg ?a)) => ?a"),
+                parse_rewrite("bwd", "?a => (neg (neg ?a))"),
+            ],
+            RunnerLimits(max_iterations=10, max_nodes=10_000),
+        )
+        assert report.saturated
+        assert g.n_nodes < 50
+
+    def test_rule_order_does_not_change_closure(self):
+        rules = [
+            parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)"),
+            parse_rewrite("zero", "(+ ?a 0) => ?a"),
+            parse_rewrite("sub", "(- ?a ?b) => (+ ?a (neg ?b))"),
+        ]
+        term = parse("(- (+ (Get x 0) 0) (Get y 0))")
+
+        def closure(rule_order):
+            g = EGraph()
+            root = g.add_term(term)
+            run_saturation(g, rule_order, RunnerLimits(max_iterations=8))
+            return g.n_classes, g.find(
+                g.lookup_term(parse("(+ (Get x 0) (neg (Get y 0))) "))
+            ) == g.find(root)
+
+        a = closure(rules)
+        b = closure(list(reversed(rules)))
+        assert a[1] and b[1]
+        assert a[0] == b[0]
+
+    def test_union_then_saturate_consistent(self):
+        g = EGraph()
+        a = g.add_term(parse("(* (Get x 0) 2)"))
+        b = g.add_term(parse("(+ (Get x 0) (Get x 0))"))
+        g.union(a, b)
+        run_saturation(
+            g,
+            [parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)")],
+            RunnerLimits(max_iterations=4),
+        )
+        assert g.equivalent(a, b)
+        # nodes of both representations coexist in one class
+        ops = {n[0] for n in g.eclass(a).nodes}
+        assert {"*", "+"} <= ops

@@ -1,0 +1,76 @@
+"""Additional rewrite-rule construction and application tests."""
+
+import pytest
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import Rewrite, apply_rewrite, parse_rewrite
+from repro.lang.parser import parse
+
+
+class TestRewriteConstruction:
+    def test_str_format(self):
+        rule = parse_rewrite("r", "(+ ?a 0) => ?a")
+        assert str(rule) == "(+ ?a 0) => ?a"
+
+    def test_missing_arrow_raises(self):
+        with pytest.raises(ValueError):
+            parse_rewrite("r", "(+ ?a 0) -> ?a")
+
+    def test_nonlinear_lhs_rule(self):
+        rule = parse_rewrite("sq", "(* ?a ?a) => (* ?a ?a)")
+        assert rule.lhs == rule.rhs
+
+    def test_reversible_detection(self):
+        assert parse_rewrite("c", "(+ ?a ?b) => (+ ?b ?a)").is_reversible
+        assert not parse_rewrite("z", "(* ?a 0) => 0").is_reversible
+        directed = parse_rewrite("z", "(* ?a 0) => 0")
+        with pytest.raises(ValueError):
+            directed.reversed()
+
+
+class TestApply:
+    def test_nonlinear_pattern_only_matches_equal_children(self):
+        g = EGraph()
+        same = g.add_term(parse("(* (Get x 0) (Get x 0))"))
+        diff = g.add_term(parse("(* (Get x 0) (Get x 1))"))
+        rule = Rewrite("sq0", parse("(* ?a ?a)"), parse("(Get marker 0)"))
+        apply_rewrite(g, rule)
+        g.rebuild()
+        marker = g.lookup_term(parse("(Get marker 0)"))
+        assert g.equivalent(same, marker)
+        assert not g.equivalent(diff, marker)
+
+    def test_rule_applies_at_depth(self):
+        g = EGraph()
+        root = g.add_term(parse("(neg (neg (+ (Get x 0) 0)))"))
+        apply_rewrite(g, parse_rewrite("id", "(+ ?a 0) => ?a"))
+        g.rebuild()
+        assert g.lookup_term(parse("(neg (neg (Get x 0)))")) == g.find(
+            root
+        )
+
+    def test_stats_counts(self):
+        g = EGraph()
+        g.add_term(parse("(+ 1 0)"))
+        g.add_term(parse("(+ 2 0)"))
+        stats = apply_rewrite(g, parse_rewrite("id", "(+ ?a 0) => ?a"))
+        assert stats.n_matches == 2
+        assert stats.n_unions == 2
+
+    def test_union_into_existing_class(self):
+        g = EGraph()
+        a = g.add_term(parse("(+ (Get x 0) 0)"))
+        b = g.add_term(parse("(Get x 0)"))
+        stats = apply_rewrite(g, parse_rewrite("id", "(+ ?a 0) => ?a"))
+        g.rebuild()
+        assert stats.n_unions == 1
+        assert g.equivalent(a, b)
+
+    def test_repeated_application_idempotent(self):
+        g = EGraph()
+        g.add_term(parse("(+ (Get x 0) 0)"))
+        rule = parse_rewrite("id", "(+ ?a 0) => ?a")
+        apply_rewrite(g, rule)
+        g.rebuild()
+        stats = apply_rewrite(g, rule)
+        assert stats.n_unions == 0

@@ -1,0 +1,151 @@
+"""Unit tests for rewrite application and the saturation runner."""
+
+import pytest
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import Rewrite, apply_rewrite, parse_rewrite
+from repro.egraph.runner import (
+    BackoffScheduler,
+    RunnerLimits,
+    StopReason,
+    run_saturation,
+)
+from repro.lang.parser import parse
+
+
+class TestRewrite:
+    def test_parse_rewrite(self):
+        rule = parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)")
+        assert rule.name == "comm"
+        assert rule.is_reversible
+
+    def test_rhs_wildcards_must_be_bound(self):
+        with pytest.raises(ValueError):
+            parse_rewrite("bad", "(+ ?a 0) => (+ ?a ?b)")
+
+    def test_directed_rule_not_reversible(self):
+        rule = parse_rewrite("zero", "(* ?a 0) => 0")
+        assert not rule.is_reversible
+
+    def test_reversed(self):
+        rule = parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)")
+        rev = rule.reversed()
+        assert rev.lhs == rule.rhs and rev.rhs == rule.lhs
+
+    def test_apply_unions_match_with_rhs(self):
+        g = EGraph()
+        root = g.add_term(parse("(+ (Get x 0) 0)"))
+        stats = apply_rewrite(g, parse_rewrite("id", "(+ ?a 0) => ?a"))
+        g.rebuild()
+        assert stats.n_matches == 1
+        assert stats.n_unions == 1
+        assert g.equivalent(root, g.lookup_term(parse("(Get x 0)")))
+
+
+class TestSaturation:
+    def test_saturates_small_system(self):
+        g = EGraph()
+        root = g.add_term(parse("(+ (+ a b) c)"))
+        report = run_saturation(
+            g,
+            [parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)")],
+            RunnerLimits(max_iterations=20),
+        )
+        assert report.stop_reason is StopReason.SATURATED
+        # closure contains the fully commuted variants
+        assert g.lookup_term(parse("(+ c (+ b a))")) == g.find(root)
+
+    def test_transitive_derivation(self):
+        g = EGraph()
+        a = g.add_term(parse("(- x x)"))
+        b = g.add_term(parse("(* x 0)"))
+        rules = [
+            parse_rewrite("sub-self", "(- ?a ?a) => 0"),
+            parse_rewrite("mul-zero", "(* ?a 0) => 0"),
+        ]
+        run_saturation(g, rules, RunnerLimits(max_iterations=5))
+        assert g.equivalent(a, b)
+
+    def test_iteration_limit(self):
+        # Commutativity needs two iterations to saturate (apply, then
+        # observe no change); with a budget of one the runner must
+        # report the iteration limit.
+        g = EGraph()
+        g.add_term(parse("(+ (Get x 0) (Get y 0))"))
+        report = run_saturation(
+            g,
+            [parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)")],
+            RunnerLimits(max_iterations=1, max_nodes=10**9),
+        )
+        assert report.stop_reason is StopReason.ITERATION_LIMIT
+        assert report.n_iterations == 1
+        assert report.iterations[0].n_unions > 0
+
+    def test_identity_introduction_self_limits(self):
+        # ?a => (+ ?a 0) looks infinite but the e-graph tames it: the
+        # new term is unioned into the matched class, so saturation is
+        # reached (the §2.2 "must be used carefully" rule is safe here).
+        g = EGraph()
+        g.add_term(parse("(Get x 0)"))
+        report = run_saturation(
+            g,
+            [parse_rewrite("pad", "?a => (+ ?a 0)")],
+            RunnerLimits(max_iterations=10),
+        )
+        assert report.stop_reason is StopReason.SATURATED
+
+    def test_node_limit(self):
+        g = EGraph()
+        g.add_term(parse("(+ (+ (+ a b) c) (+ d (+ e f)))"))
+        report = run_saturation(
+            g,
+            [
+                parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)"),
+                parse_rewrite(
+                    "assoc", "(+ (+ ?a ?b) ?c) => (+ ?a (+ ?b ?c))"
+                ),
+                parse_rewrite("grow", "?a => (+ ?a 0)"),
+            ],
+            RunnerLimits(max_iterations=50, max_nodes=500),
+        )
+        assert report.stop_reason is StopReason.NODE_LIMIT
+
+    def test_graph_rebuilt_on_return(self):
+        g = EGraph()
+        g.add_term(parse("(+ (Get x 0) 0)"))
+        run_saturation(
+            g, [parse_rewrite("id", "(+ ?a 0) => ?a")], RunnerLimits()
+        )
+        assert g.is_clean
+
+    def test_empty_rule_list_saturates_immediately(self):
+        g = EGraph()
+        g.add_term(parse("(+ a b)"))
+        report = run_saturation(g, [], RunnerLimits())
+        assert report.saturated
+
+
+class TestBackoffScheduler:
+    def test_ban_after_overflow(self):
+        sched = BackoffScheduler(match_limit=10, ban_length=2)
+        rule = parse_rewrite("r", "(+ ?a ?b) => (+ ?b ?a)")
+        assert sched.can_apply(rule, 0)
+        sched.record(rule, 0, n_matches=11)
+        assert not sched.can_apply(rule, 1)
+        assert not sched.can_apply(rule, 2)
+        assert sched.can_apply(rule, 3)
+
+    def test_threshold_doubles(self):
+        sched = BackoffScheduler(match_limit=10, ban_length=1)
+        rule = parse_rewrite("r", "(+ ?a ?b) => (+ ?b ?a)")
+        sched.record(rule, 0, n_matches=11)
+        assert sched.threshold(rule) == 20
+        sched.record(rule, 3, n_matches=21)
+        assert sched.threshold(rule) == 40
+
+    def test_under_threshold_no_ban(self):
+        sched = BackoffScheduler(match_limit=10, ban_length=2)
+        rule = parse_rewrite("r", "(+ ?a ?b) => (+ ?b ?a)")
+        sched.record(rule, 0, n_matches=5)
+        assert sched.can_apply(rule, 1)
+        assert not sched.any_banned(1)

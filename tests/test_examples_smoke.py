@@ -1,0 +1,54 @@
+"""Smoke tests: the shipped examples run end to end.
+
+The slow examples (live synthesis) are exercised with reduced
+parameters through their building blocks; the quickstart runs as-is.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.pregen import DEFAULT_RULES_FILE
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+needs_pregen = pytest.mark.skipif(
+    not DEFAULT_RULES_FILE.exists(),
+    reason="pregenerated rules not built",
+)
+
+
+@needs_pregen
+def test_quickstart_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "speedup" in proc.stdout
+    assert "vec_" in proc.stdout  # emitted intrinsics
+
+
+def test_rule_synthesis_tour_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "rule_synthesis_tour.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "phase assignment" in proc.stdout
+    assert "compilation" in proc.stdout
+
+
+def test_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith('"""'), script.name
+        assert "__main__" in text, script.name

@@ -1,0 +1,40 @@
+"""Smoke test for the e-graph visualization example."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.pregen import DEFAULT_RULES_FILE
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not DEFAULT_RULES_FILE.exists(),
+    reason="pregenerated rules not built",
+)
+def test_egraph_visualization_writes_dots(tmp_path):
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES / "egraph_visualization.py"),
+            str(tmp_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for name in (
+        "egraph_0_initial.dot",
+        "egraph_1_expanded.dot",
+        "egraph_2_compiled.dot",
+    ):
+        path = tmp_path / name
+        assert path.exists(), name
+        text = path.read_text()
+        assert text.startswith("digraph egraph {")
+    assert "extracted (cost" in proc.stdout

@@ -1,0 +1,79 @@
+"""Extraction/cost-model consistency: the head protocol must agree
+with the term-level cost function."""
+
+import pytest
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.extract import Extractor, extract_best
+from repro.egraph.rewrite import parse_rewrite
+from repro.egraph.runner import RunnerLimits, run_saturation
+from repro.lang.parser import parse
+
+
+TERMS = [
+    "(+ (Get x 0) (Get y 0))",
+    "(Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))",
+    "(Vec (Get x 0) (Get x 2) (Get x 1) (Get x 3))",
+    "(Vec 1 2 3 4)",
+    "(Vec (+ (Get x 0) 1) (Get x 1) (Get x 2) (Get x 3))",
+    "(VecMAC (Vec 1 1 1 1) (Vec (Get x 0) (Get x 1) (Get x 2) "
+    "(Get x 3)) (Vec (Get y 0) (Get y 1) (Get y 2) (Get y 3)))",
+    "(List (Vec 1 2 3 4) (Concat (Vec 1 2 3 4) (Vec 5 6 7 8)))",
+    "(sqrt (/ (Get x 0) (Get x 1)))",
+]
+
+
+class TestHeadProtocolAgreement:
+    @pytest.mark.parametrize("text", TERMS)
+    def test_extracted_cost_equals_term_cost(self, cost_model, text):
+        term = parse(text)
+        g = EGraph()
+        root = g.add_term(term)
+        cost, extracted = extract_best(g, root, cost_model)
+        assert extracted == term
+        assert cost == pytest.approx(cost_model.term_cost(term))
+
+    def test_after_saturation_cost_still_exact(self, cost_model):
+        g = EGraph()
+        root = g.add_term(parse("(Vec (+ (Get x 0) 0) (Get x 1) "
+                                "(Get x 2) (Get x 3))"))
+        run_saturation(
+            g,
+            [parse_rewrite("id", "(+ ?a 0) => ?a")],
+            RunnerLimits(max_iterations=4),
+        )
+        cost, extracted = extract_best(g, root, cost_model)
+        # the contiguous-load representation must win
+        assert extracted == parse(
+            "(Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))"
+        )
+        assert cost == pytest.approx(cost_model.term_cost(extracted))
+
+    def test_vec_shape_drives_choice(self, cost_model):
+        # Given the choice between a permuted-gets Vec and a
+        # contiguous one, extraction must take the cheap load shape.
+        g = EGraph()
+        permuted = g.add_term(
+            parse("(Vec (Get x 1) (Get x 0) (Get x 2) (Get x 3))")
+        )
+        contiguous = g.add_term(
+            parse("(Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))")
+        )
+        g.union(permuted, contiguous)  # pretend they are equal
+        g.rebuild()
+        _cost, term = extract_best(g, permuted, cost_model)
+        assert term == parse(
+            "(Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))"
+        )
+
+    def test_extractor_reuse_across_classes(self, cost_model):
+        g = EGraph()
+        a = g.add_term(parse("(+ (Get x 0) (Get x 1))"))
+        b = g.add_term(parse("(neg (Get x 0))"))
+        extractor = Extractor(g, cost_model)
+        assert extractor.best_cost(a) == pytest.approx(
+            cost_model.term_cost(parse("(+ (Get x 0) (Get x 1))"))
+        )
+        assert extractor.best_cost(b) == pytest.approx(
+            cost_model.term_cost(parse("(neg (Get x 0))"))
+        )

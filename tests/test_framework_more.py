@@ -1,0 +1,78 @@
+"""More framework-driver coverage."""
+
+import pytest
+
+from repro.core import IsariaFramework
+from repro.isa import customized_spec
+from repro.kernels import matmul_kernel
+from repro.phases import PhaseParams
+from repro.ruler import SynthesisConfig
+
+
+class TestFrameworkConstruction:
+    def test_defaults(self, spec):
+        framework = IsariaFramework(spec)
+        assert framework.spec is spec
+        assert framework.synthesis_config.max_term_size == 4
+        assert framework.phase_params.alpha > framework.phase_params.beta
+
+    def test_explicit_params_respected(self, spec):
+        params = PhaseParams(alpha=99.0, beta=7.0)
+        framework = IsariaFramework(spec, phase_params=params)
+        assert framework.phase_params is params
+
+    def test_generated_compiler_carries_synthesis(self, spec):
+        framework = IsariaFramework(
+            spec, synthesis_config=SynthesisConfig(max_term_size=3)
+        )
+        compiler = framework.generate_compiler()
+        assert compiler.synthesis is not None
+        assert compiler.synthesis.rules
+        assert len(compiler.ruleset) == len(compiler.synthesis.rules)
+
+    def test_customized_spec_generates_compiler(self, spec):
+        custom = customized_spec(spec, mulsub=True)
+        framework = IsariaFramework(
+            custom, synthesis_config=SynthesisConfig(max_term_size=3)
+        )
+        compiler = framework.generate_compiler()
+        # the lane generalizer emits the canonical lift for the custom
+        # vector op even at tiny synthesis sizes
+        lift_targets = {
+            r.rhs.op
+            for r in compiler.ruleset.compilation
+            if r.lhs.op == "Vec"
+        }
+        assert "VecMulSub" in lift_targets
+
+
+class TestValidation:
+    def test_validate_accepts_equivalent(self, isaria_compiler):
+        instance = matmul_kernel(2, 2, 2)
+        compiled = isaria_compiler.compile_kernel(instance)
+        isaria_compiler.validate_equivalence(
+            instance.program.term, compiled.compiled_term
+        )
+
+    def test_compile_kernel_validate_flag(self, isaria_compiler):
+        instance = matmul_kernel(2, 2, 2)
+        kernel = isaria_compiler.compile_kernel(
+            instance, validate=False
+        )
+        assert kernel.machine_program.instrs
+
+    def test_compile_accepts_kernel_program(self, isaria_compiler):
+        instance = matmul_kernel(2, 2, 2)
+        kernel = isaria_compiler.compile_kernel(instance.program)
+        assert kernel.name == instance.program.name
+
+
+class TestCSource:
+    def test_c_source_names_sanitized(self, isaria_compiler):
+        from repro.compiler.frontend import trace_kernel
+
+        program = trace_kernel(
+            "my-kernel", lambda x: [x[0]], {"x": 4}, 4
+        )
+        kernel = isaria_compiler.compile_kernel(program)
+        assert "void my_kernel(" in kernel.c_source()

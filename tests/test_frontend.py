@@ -1,0 +1,107 @@
+"""Unit tests for the symbolic-evaluation front end."""
+
+import pytest
+
+from repro.compiler.frontend import (
+    SymArray,
+    SymScalar,
+    program_from_outputs,
+    scalar_outputs,
+    sym_sgn,
+    sym_sqrt,
+    trace_kernel,
+)
+from repro.lang import builders as B
+from repro.lang.parser import parse, to_sexpr
+
+
+class TestSymScalar:
+    def test_operators_build_terms(self):
+        x = SymArray("x", 4)
+        expr = (x[0] + x[1]) * 2 - x[2] / x[3]
+        assert expr.term == parse(
+            "(- (* (+ (Get x 0) (Get x 1)) 2) (/ (Get x 2) (Get x 3)))"
+        )
+
+    def test_reflected_operators(self):
+        x = SymArray("x", 1)
+        assert (1 + x[0]).term == parse("(+ 1 (Get x 0))")
+        assert (1 - x[0]).term == parse("(- 1 (Get x 0))")
+        assert (2 * x[0]).term == parse("(* 2 (Get x 0))")
+        assert (2 / x[0]).term == parse("(/ 2 (Get x 0))")
+
+    def test_unary(self):
+        x = SymArray("x", 1)
+        assert (-x[0]).term == parse("(neg (Get x 0))")
+        assert sym_sqrt(x[0]).term == parse("(sqrt (Get x 0))")
+        assert sym_sgn(4).term == parse("(sgn 4)")
+
+    def test_lift_rejects_junk(self):
+        with pytest.raises(TypeError):
+            SymScalar.lift("nope")
+        with pytest.raises(TypeError):
+            SymScalar(42)
+
+    def test_index_bounds(self):
+        x = SymArray("x", 2)
+        with pytest.raises(IndexError):
+            x[2]
+        assert len(x) == 2
+
+
+class TestProgramFromOutputs:
+    def test_pads_to_width(self):
+        outputs = [B.get("x", i) for i in range(5)]
+        program = program_from_outputs(outputs, width=4)
+        assert len(program.args) == 2
+        assert to_sexpr(program.args[1]) == (
+            "(Vec (Get x 4) 0 0 0)"
+        )
+
+    def test_exact_multiple_not_padded(self):
+        outputs = [B.get("x", i) for i in range(4)]
+        program = program_from_outputs(outputs, width=4)
+        assert len(program.args) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            program_from_outputs([], width=4)
+
+
+class TestTraceKernel:
+    def test_trace_and_recover_outputs(self):
+        def kern(x, y):
+            return [x[i] + y[i] for i in range(3)]
+
+        program = trace_kernel("add3", kern, {"x": 3, "y": 3}, width=4)
+        assert program.output_len == 3
+        assert program.padded_len == 4
+        outs = scalar_outputs(program)
+        assert len(outs) == 3
+        assert outs[0] == parse("(+ (Get x 0) (Get y 0))")
+
+    def test_control_flow_disappears(self):
+        # Python loops and conditionals run at trace time (symbolic
+        # evaluation): only dataflow remains.
+        def kern(x):
+            acc = x[0]
+            for i in range(1, 4):
+                if i % 2 == 0:
+                    acc = acc + x[i]
+                else:
+                    acc = acc * x[i]
+            return [acc]
+
+        program = trace_kernel("mix", kern, {"x": 4}, width=4)
+        assert scalar_outputs(program)[0] == parse(
+            "(+ (* (+ (* (Get x 0) (Get x 1)) (Get x 2)) (Get x 3)) 0)"
+        ) or scalar_outputs(program)[0] == parse(
+            "(* (+ (* (Get x 0) (Get x 1)) (Get x 2)) (Get x 3))"
+        )
+
+    def test_plain_numbers_lift(self):
+        def kern(x):
+            return [x[0], 7]
+
+        program = trace_kernel("lit", kern, {"x": 1}, width=4)
+        assert scalar_outputs(program)[1] == B.const(7)

@@ -1,0 +1,110 @@
+"""More symbolic-tracing scenarios (realistic kernel idioms)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.frontend import (
+    SymArray,
+    scalar_outputs,
+    trace_kernel,
+)
+
+
+class TestTracingIdioms:
+    def test_accumulator_rebinding(self, spec):
+        def kern(x):
+            acc = 0
+            for i in range(4):
+                acc = acc + x[i] * x[i]
+            return [acc]
+
+        program = trace_kernel("ssq", kern, {"x": 4}, 4)
+        interp = spec.interpreter()
+        value = interp.evaluate(
+            scalar_outputs(program)[0], {"x": [1.0, 2.0, 3.0, 4.0]}
+        )
+        assert float(value) == 30.0
+
+    def test_python_conditionals_trace_statically(self, spec):
+        def kern(x):
+            outs = []
+            for i in range(4):
+                if i % 2 == 0:
+                    outs.append(x[i] + 1)
+                else:
+                    outs.append(x[i] - 1)
+            return outs
+
+        program = trace_kernel("alt", kern, {"x": 4}, 4)
+        interp = spec.interpreter()
+        env = {"x": [10.0, 10.0, 10.0, 10.0]}
+        values = [
+            float(interp.evaluate(t, env))
+            for t in scalar_outputs(program)
+        ]
+        assert values == [11.0, 9.0, 11.0, 9.0]
+
+    def test_helper_functions_compose(self, spec):
+        def dot(xs, ys):
+            acc = xs[0] * ys[0]
+            for a, b in list(zip(xs, ys))[1:]:
+                acc = acc + a * b
+            return acc
+
+        def kern(x, y):
+            row_x = [x[i] for i in range(3)]
+            row_y = [y[i] for i in range(3)]
+            return [dot(row_x, row_y)]
+
+        program = trace_kernel("dot3", kern, {"x": 3, "y": 3}, 4)
+        interp = spec.interpreter()
+        value = interp.evaluate(
+            scalar_outputs(program)[0],
+            {"x": [1.0, 2.0, 3.0], "y": [4.0, 5.0, 6.0]},
+        )
+        assert float(value) == 32.0
+
+    def test_numpy_style_constants(self):
+        def kern(x):
+            return [x[0] * 0.5, x[0] * 2, 3.25]
+
+        program = trace_kernel("consts", kern, {"x": 1}, 4)
+        outs = scalar_outputs(program)
+        assert len(outs) == 3
+
+    def test_sym_array_iteration_protocol(self):
+        arr = SymArray("x", 3)
+        collected = [arr[i] for i in range(len(arr))]
+        assert len(collected) == 3
+
+
+class TestEndToEndTracedKernel:
+    def test_custom_kernel_through_full_pipeline(
+        self, spec, isaria_compiler
+    ):
+        # A small 1D stencil written by a "user".
+        def stencil(signal, weights):
+            return [
+                signal[i] * weights[0]
+                + signal[i + 1] * weights[1]
+                + signal[i + 2] * weights[2]
+                for i in range(4)
+            ]
+
+        program = trace_kernel(
+            "stencil3", stencil, {"signal": 6, "weights": 3}, 4
+        )
+        kernel = isaria_compiler.compile_kernel(program)
+        result = kernel.run(
+            {
+                "signal": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+                "weights": [0.5, 1.0, 0.25],
+            }
+        )
+        expected = [
+            1 * 0.5 + 2 * 1 + 3 * 0.25,
+            2 * 0.5 + 3 * 1 + 4 * 0.25,
+            3 * 0.5 + 4 * 1 + 5 * 0.25,
+            4 * 0.5 + 5 * 1 + 6 * 0.25,
+        ]
+        assert np.allclose(result.array("out")[:4], expected)

@@ -1,0 +1,74 @@
+"""The cost-model calibration invariants DESIGN.md relies on.
+
+These pin the properties that make the α/β phase split work (Fig. 8's
+geometry); anyone retuning instruction costs will hit these tests
+first.
+"""
+
+from repro.egraph.rewrite import parse_rewrite
+from repro.phases import (
+    aggregate_cost,
+    cost_differential,
+    default_params,
+)
+
+
+class TestClusterGeometryInvariants:
+    def test_scalar_rule_band_at_or_above_beta(self, spec, cost_model):
+        """Every plain scalar op pattern has CA at or above β.
+
+        Binary/ternary scalar rules land strictly above; the 1-ary
+        probes sit exactly at the boundary (a realistic scalar rule
+        always carries more structure and clears it).
+        """
+        params = default_params(spec)
+        for instr in spec.scalar_instructions():
+            wilds = " ".join(f"?w{i}" for i in range(instr.arity))
+            rule = parse_rewrite(
+                "probe", f"({instr.name} {wilds}) => ?w0"
+            )
+            ca = aggregate_cost(cost_model, rule)
+            if instr.arity >= 2:
+                assert ca > params.beta, instr.name
+            else:
+                assert ca >= params.beta, instr.name
+
+    def test_vector_rule_band_below_beta(self, spec, cost_model):
+        """Single-op vector↔vector rules sit at or below β."""
+        params = default_params(spec)
+        for instr in spec.vector_instructions():
+            wilds = [f"?w{i}" for i in range(instr.arity)]
+            lhs = f"({instr.name} {' '.join(wilds)})"
+            rhs = f"({instr.name} {' '.join(reversed(wilds))})"
+            if lhs == rhs:
+                continue
+            rule = parse_rewrite("probe", f"{lhs} => {rhs}")
+            assert aggregate_cost(cost_model, rule) <= params.beta, (
+                instr.name
+            )
+
+    def test_scalar_simplifications_below_alpha(self, spec, cost_model):
+        """No scalar↔scalar rule can cross the compilation threshold."""
+        params = default_params(spec)
+        worst = parse_rewrite(
+            "neg-neg", "(neg (neg ?a)) => ?a"
+        )  # erases two of the most expensive scalar ops
+        assert cost_differential(cost_model, worst) <= params.alpha
+
+    def test_lift_rules_far_above_alpha(self, spec, cost_model):
+        params = default_params(spec)
+        lift = parse_rewrite(
+            "lift",
+            "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3)) => "
+            "(VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+        )
+        cd = cost_differential(cost_model, lift)
+        assert cd > params.alpha * 10
+        assert cd > 1000  # the Vec-literal cliff
+
+    def test_vector_cheaper_than_scalar_per_op(self, spec):
+        for vinstr in spec.vector_instructions():
+            scalar = spec.instruction(vinstr.vector_of)
+            # a vector op must beat even two scalar ops (it replaces
+            # width of them)
+            assert vinstr.base_cost * 2 < scalar.base_cost

@@ -1,0 +1,109 @@
+"""Tests for zero-overhead hardware loops (Tensilica LOOP/LEND style)."""
+
+import pytest
+
+from repro.machine import Machine, ProgramBuilder, SimulationError
+from repro.machine.program import Instr, Program
+
+
+@pytest.fixture(scope="module")
+def machine(spec):
+    return Machine(spec)
+
+
+def sum_loop(use_hw: bool, n: int = 16):
+    b = ProgramBuilder()
+    i = b.s_const(0)
+    one = b.s_const(1)
+    acc = b.s_const(0.0)
+    if use_hw:
+        trips = b.s_const(n)
+        b.loop_begin(trips)
+    else:
+        bound = b.s_const(n)
+        b.label("loop")
+    x = b.s_load("x", 0, index=i)
+    b.s_op_into(acc, "+", acc, x)
+    b.s_op_into(i, "+", i, one)
+    if use_hw:
+        b.loop_end()
+    else:
+        b.blt(i, bound, "loop")
+    b.s_store("out", 0, acc)
+    b.halt()
+    return b.build()
+
+
+class TestSemantics:
+    def test_counts_iterations(self, machine):
+        result = machine.run(
+            sum_loop(True), {"x": list(range(16)), "out": [0.0]}
+        )
+        assert result.array("out") == [sum(range(16))]
+
+    def test_zero_trip_count_skips_body(self, machine):
+        b = ProgramBuilder()
+        zero = b.s_const(0)
+        b.loop_begin(zero)
+        poison = b.s_const(666.0)
+        b.s_store("out", 0, poison)
+        b.loop_end()
+        b.halt()
+        result = machine.run(b.build(), {"out": [1.0]})
+        assert result.array("out") == [1.0]
+
+    def test_nested_loops(self, machine):
+        b = ProgramBuilder()
+        outer = b.s_const(3)
+        inner = b.s_const(4)
+        acc = b.s_const(0.0)
+        one = b.s_const(1.0)
+        b.loop_begin(outer)
+        b.loop_begin(inner)
+        b.s_op_into(acc, "+", acc, one)
+        b.loop_end()
+        b.loop_end()
+        b.s_store("out", 0, acc)
+        b.halt()
+        result = machine.run(b.build(), {"out": [0.0]})
+        assert result.array("out") == [12.0]
+
+    def test_unmatched_loop_end_rejected(self, machine):
+        program = Program([Instr("loop.end"), Instr("halt")])
+        with pytest.raises((SimulationError, ValueError)):
+            machine.run(program, {})
+
+    def test_unterminated_loop_begin_rejected(self, machine):
+        b = ProgramBuilder()
+        c = b.s_const(1)
+        b.loop_begin(c)
+        b.halt()
+        with pytest.raises(ValueError):
+            machine.run(b.build(), {})
+
+
+class TestZeroOverhead:
+    def test_hw_loop_faster_than_branch_loop(self, machine):
+        mem = {"x": [1.0] * 16, "out": [0.0]}
+        hw = machine.run(sum_loop(True), dict(mem))
+        sw = machine.run(sum_loop(False), dict(mem))
+        assert hw.array("out") == sw.array("out")
+        # 16 taken branches at 2-cycle penalty each
+        assert hw.cycles + 16 <= sw.cycles
+
+    def test_trip_count_read_once_at_entry(self, machine):
+        # Overwriting the count register inside the body must not
+        # change the iteration count.
+        b = ProgramBuilder()
+        trips = b.s_const(5)
+        acc = b.s_const(0.0)
+        one = b.s_const(1.0)
+        hundred = b.s_const(100.0)
+        b.loop_begin(trips)
+        b.s_op_into(acc, "+", acc, one)
+        b.s_op_into(trips, "+", trips, hundred)
+        b.loop_end()
+        b.s_store("out", 0, acc)
+        b.halt()
+        result = machine.run(b.build(), {"out": [0.0]})
+        assert result.array("out") == [5.0]

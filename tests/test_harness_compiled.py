@@ -1,0 +1,39 @@
+"""Harness tests that exercise the eqsat-compiler measurement path."""
+
+from repro.bench.harness import measure_compiled, run_suite
+from repro.compiler.diospyros import DiospyrosCompiler
+from repro.kernels import matmul_kernel
+
+
+class TestMeasureCompiled:
+    def test_isaria_measurement(self, spec, isaria_compiler):
+        instance = matmul_kernel(2, 2, 2)
+        m = measure_compiled("isaria", isaria_compiler, instance)
+        assert m.error is None
+        assert m.correct
+        assert m.compile_time > 0
+        assert m.cycles > 0
+
+    def test_diospyros_measurement(self, spec):
+        compiler = DiospyrosCompiler(spec, max_rounds=2)
+        instance = matmul_kernel(2, 2, 2)
+        m = measure_compiled("diospyros", compiler, instance)
+        assert m.error is None
+        assert m.correct
+
+    def test_suite_with_both_compilers(self, spec, isaria_compiler):
+        rows = run_suite(
+            [matmul_kernel(2, 2, 2)],
+            spec,
+            isaria=isaria_compiler,
+            diospyros=DiospyrosCompiler(spec, max_rounds=2),
+            systems=("scalar",),
+        )
+        row = rows[0]
+        assert set(row.measurements) == {
+            "scalar", "isaria", "diospyros",
+        }
+        assert row.speedup("isaria") is not None
+        assert row.speedup("diospyros") is not None
+        # both eqsat compilers must beat or match naive scalar here
+        assert row.speedup("isaria") >= 1.0

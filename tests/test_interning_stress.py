@@ -1,0 +1,46 @@
+"""Interning and hashing behaviour under load."""
+
+from repro.lang import builders as B
+from repro.lang.term import Term, intern_table_size, make
+
+
+class TestInterningStress:
+    def test_many_identical_constructions(self):
+        before = intern_table_size()
+        terms = [
+            B.add(B.get("x", i % 4), B.const(i % 3)) for i in range(500)
+        ]
+        # only 12 distinct (4 gets x 3 consts) plus leaves
+        distinct = {id(t) for t in terms}
+        assert len(distinct) <= 12
+        after = intern_table_size()
+        assert after - before <= 24
+
+    def test_hash_stability(self):
+        term = B.mac(B.symbol("a"), B.symbol("b"), B.const(2))
+        assert hash(term) == hash(term)
+        clone = make("mac", B.symbol("a"), B.symbol("b"), B.const(2))
+        assert hash(clone) == hash(term)
+        assert clone is term
+
+    def test_payload_types_distinguish(self):
+        # int 1 vs the symbol "1" must be different leaves
+        assert B.const(1) is not B.symbol("1")
+        assert hash(B.const(1)) != hash(B.symbol("1")) or (
+            B.const(1) != B.symbol("1")
+        )
+
+    def test_structural_eq_with_fresh_term_object(self):
+        # Simulate a term that bypassed interning (e.g. constructed
+        # directly): structural equality must still work.
+        direct = Term("+", (B.const(1), B.const(2)), None)
+        interned = B.add(B.const(1), B.const(2))
+        assert direct == interned
+        assert hash(direct) == hash(interned)
+
+    def test_terms_usable_in_sets_and_dicts(self):
+        a = B.add(B.symbol("a"), B.symbol("b"))
+        b = B.add(B.symbol("b"), B.symbol("a"))
+        bucket = {a: 1, b: 2}
+        assert len(bucket) == 2
+        assert bucket[B.add(B.symbol("a"), B.symbol("b"))] == 1

@@ -1,0 +1,156 @@
+"""Unit tests for the interpreter and value model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.interp.env import (
+    corner_envs,
+    env_variables,
+    sample_envs,
+    term_inputs,
+)
+from repro.interp.interpreter import EvalError
+from repro.interp.value import UNDEFINED, values_equal
+from repro.lang.parser import parse
+
+
+@pytest.fixture(scope="module")
+def interp(spec):
+    return spec.interpreter()
+
+
+class TestScalarOps:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("(+ 2 3)", 5),
+            ("(- 2 3)", -1),
+            ("(* 2 3)", 6),
+            ("(/ 6 3)", 2),
+            ("(neg 2)", -2),
+            ("(sgn -7)", -1),
+            ("(sgn 0)", 0),
+            ("(sgn 3)", 1),
+            ("(sqrt 9)", 3),
+            ("(mac 1 2 3)", 7),
+        ],
+    )
+    def test_ground(self, interp, text, expected):
+        assert interp.evaluate(parse(text), {}) == expected
+
+    def test_division_exact(self, interp):
+        assert interp.evaluate(parse("(/ 1 3)"), {}) == Fraction(1, 3)
+
+    def test_variables(self, interp):
+        env = {"a": 2, "b": 5}
+        assert interp.evaluate(parse("(* a b)"), env) == 10
+
+    def test_gets(self, interp):
+        env = {"x": [1.0, 2.0, 3.0]}
+        assert interp.evaluate(parse("(Get x 2)"), env) == 3.0
+        env2 = {("x", 2): 9}
+        assert interp.evaluate(parse("(Get x 2)"), env2) == 9
+
+
+class TestUndefined:
+    def test_div_by_zero(self, interp):
+        assert interp.evaluate(parse("(/ 1 0)"), {}) is UNDEFINED
+
+    def test_sqrt_negative(self, interp):
+        assert interp.evaluate(parse("(sqrt -4)"), {}) is UNDEFINED
+
+    def test_propagates(self, interp):
+        assert interp.evaluate(parse("(+ 1 (/ 2 0))"), {}) is UNDEFINED
+
+    def test_vector_lane_collapses(self, interp):
+        term = parse("(Vec 1 (/ 1 0) 2 3)")
+        assert interp.evaluate(term, {}) is UNDEFINED
+
+
+class TestVectors:
+    def test_vec_literal(self, interp):
+        assert interp.evaluate(parse("(Vec 1 2 3 4)"), {}) == (1, 2, 3, 4)
+
+    def test_concat(self, interp):
+        term = parse("(Concat (Vec 1 2) (Vec 3 4))")
+        assert interp.evaluate(term, {}) == (1, 2, 3, 4)
+
+    def test_lanewise(self, interp):
+        term = parse("(VecMAC (Vec 1 1 1 1) (Vec 1 2 3 4) (Vec 2 2 2 2))")
+        assert interp.evaluate(term, {}) == (3, 5, 7, 9)
+
+    def test_single_lane_reduction(self, interp):
+        # Vector ops applied to scalars: the §3.1 trick.
+        assert interp.evaluate(parse("(VecAdd 2 3)"), {}) == 5
+        assert interp.evaluate(parse("(VecSqrt 16)"), {}) == 4
+
+    def test_width_mismatch_raises(self, interp):
+        term = parse("(VecAdd (Vec 1 2) (Vec 1 2 3))")
+        with pytest.raises(EvalError):
+            interp.evaluate(term, {})
+
+    def test_list_returns_tuple(self, interp):
+        term = parse("(List (Vec 1 2 3 4) (Vec 5 6 7 8))")
+        assert interp.evaluate(term, {}) == ((1, 2, 3, 4), (5, 6, 7, 8))
+
+
+class TestErrors:
+    def test_unbound_variable(self, interp):
+        with pytest.raises(EvalError):
+            interp.evaluate(parse("missing"), {})
+
+    def test_unbound_array(self, interp):
+        with pytest.raises(EvalError):
+            interp.evaluate(parse("(Get nothere 0)"), {})
+
+    def test_wildcard_not_evaluable(self, interp):
+        with pytest.raises(EvalError):
+            interp.evaluate(parse("?a"), {})
+
+    def test_scalar_op_on_vector_raises(self, interp):
+        with pytest.raises(EvalError):
+            interp.evaluate(parse("(+ (Vec 1 2 3 4) 1)"), {})
+
+
+class TestValuesEqual:
+    def test_scalar_tolerance(self):
+        assert values_equal(0.1 + 0.2, 0.3)
+        assert not values_equal(0.1, 0.2)
+
+    def test_exact_fraction(self):
+        assert values_equal(Fraction(1, 3), Fraction(1, 3))
+        assert not values_equal(Fraction(1, 3), Fraction(1, 4))
+
+    def test_undefined_only_equals_undefined(self):
+        assert values_equal(UNDEFINED, UNDEFINED)
+        assert not values_equal(UNDEFINED, 0)
+        assert not values_equal((1, 2), UNDEFINED)
+
+    def test_vectors(self):
+        assert values_equal((1, 2), (1.0, 2.0))
+        assert not values_equal((1, 2), (1, 2, 3))
+        assert not values_equal((1, 2), 1)
+
+
+class TestEnvGeneration:
+    def test_env_variables(self):
+        term = parse("(+ a (* (Get x 1) (Get x 0)))")
+        symbols, gets = env_variables(term)
+        assert symbols == ("a",)
+        assert set(gets) == {("x", 1), ("x", 0)}
+        assert set(term_inputs(term)) == {"a", ("x", 1), ("x", 0)}
+
+    def test_corner_envs_cover_zero_and_signs(self):
+        envs = corner_envs(("a",))
+        values = {env["a"] for env in envs}
+        assert Fraction(0) in values
+        assert Fraction(1) in values
+        assert Fraction(-1) in values
+
+    def test_sample_envs_deterministic(self):
+        a = sample_envs(("a", "b"), n_random=5, seed=3)
+        b = sample_envs(("a", "b"), n_random=5, seed=3)
+        assert a == b
+        c = sample_envs(("a", "b"), n_random=5, seed=4)
+        assert a != c

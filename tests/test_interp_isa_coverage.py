@@ -1,0 +1,82 @@
+"""Coverage of every base-ISA instruction through the interpreter."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.interp.value import UNDEFINED
+from repro.lang.parser import parse
+
+
+@pytest.fixture(scope="module")
+def interp(spec):
+    return spec.interpreter()
+
+
+class TestEveryScalarInstruction:
+    @pytest.mark.parametrize(
+        "text,env,expected",
+        [
+            ("(+ a b)", {"a": 3, "b": 4}, 7),
+            ("(- a b)", {"a": 3, "b": 4}, -1),
+            ("(* a b)", {"a": 3, "b": 4}, 12),
+            ("(/ a b)", {"a": 3, "b": 4}, Fraction(3, 4)),
+            ("(neg a)", {"a": 3}, -3),
+            ("(sgn a)", {"a": -0.5}, -1),
+            ("(sqrt a)", {"a": 2.25}, 1.5),
+            ("(mac a b c)", {"a": 1, "b": 2, "c": 3}, 7),
+        ],
+    )
+    def test_scalar(self, interp, text, env, expected):
+        value = interp.evaluate(parse(text), env)
+        if isinstance(expected, float):
+            assert math.isclose(float(value), expected)
+        else:
+            assert value == expected
+
+
+class TestEveryVectorInstruction:
+    V1 = "(Vec 4 9 16 25)"
+    V2 = "(Vec 2 3 4 5)"
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            (f"(VecAdd {V1} {V2})", (6, 12, 20, 30)),
+            (f"(VecMinus {V1} {V2})", (2, 6, 12, 20)),
+            (f"(VecMul {V1} {V2})", (8, 27, 64, 125)),
+            (f"(VecDiv {V1} {V2})", (2, 3, 4, 5)),
+            (f"(VecNeg {V2})", (-2, -3, -4, -5)),
+            (f"(VecSgn (VecNeg {V2}))", (-1, -1, -1, -1)),
+            (f"(VecSqrt {V1})", (2, 3, 4, 5)),
+            (f"(VecMAC {V2} {V2} {V2})", (6, 12, 20, 30)),
+        ],
+    )
+    def test_vector(self, interp, text, expected):
+        assert interp.evaluate(parse(text), {}) == expected
+
+    def test_vecdiv_partial_undefined(self, interp):
+        value = interp.evaluate(
+            parse("(VecDiv (Vec 1 2 3 4) (Vec 1 0 1 1))"), {}
+        )
+        assert value is UNDEFINED
+
+    def test_vecsqrt_negative_lane_undefined(self, interp):
+        value = interp.evaluate(
+            parse("(VecSqrt (Vec 1 -1 4 9))"), {}
+        )
+        assert value is UNDEFINED
+
+
+class TestLatencyTable:
+    def test_heavy_ops_have_higher_latency(self, spec):
+        assert spec.instruction("/").latency > spec.instruction("+").latency
+        assert (
+            spec.instruction("sqrt").latency
+            > spec.instruction("*").latency
+        )
+        assert (
+            spec.instruction("VecSqrt").latency
+            == spec.instruction("sqrt").latency
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for ISA specifications and custom instructions (§5.4)."""
+
+import pytest
+
+from repro.isa import customized_spec, fusion_g3_spec
+from repro.isa.spec import Instruction, IsaSpec
+from repro.lang.ops import OpKind
+from repro.lang.parser import parse
+
+
+class TestBaseSpec:
+    def test_scalar_and_vector_counterparts(self, spec):
+        for vector in spec.vector_instructions():
+            scalar = spec.scalar_counterpart(vector.name)
+            assert scalar is not None
+            assert spec.vector_counterpart(scalar) == vector.name
+
+    def test_registry_contains_all_instructions(self, spec):
+        registry = spec.registry()
+        for instr in spec.instructions:
+            assert instr.name in registry
+            assert registry[instr.name].arity == instr.arity
+
+    def test_op_costs_all_positive(self, spec):
+        assert all(c > 0 for c in spec.op_costs().values())
+
+    def test_vector_cheaper_than_scalar(self, spec):
+        # The DSP premise: a vector op amortizes its lanes.
+        for vector in spec.vector_instructions():
+            scalar = spec.instruction(vector.vector_of)
+            assert vector.base_cost < scalar.base_cost
+
+    def test_unknown_instruction_raises(self, spec):
+        with pytest.raises(KeyError):
+            spec.instruction("nope")
+        assert not spec.has_instruction("nope")
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self, spec):
+        with pytest.raises(ValueError):
+            IsaSpec(
+                name="dup",
+                vector_width=4,
+                instructions=spec.instructions + (spec.instructions[0],),
+            )
+
+    def test_zero_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("bad", 1, OpKind.SCALAR, lambda a: a, 0.0)
+
+    def test_narrow_width_rejected(self, spec):
+        with pytest.raises(ValueError):
+            IsaSpec(name="w1", vector_width=1,
+                    instructions=spec.instructions)
+
+
+class TestCustomInstructions:
+    def test_mulsub_semantics(self, spec):
+        custom = customized_spec(spec, mulsub=True)
+        interp = custom.interpreter()
+        assert interp.evaluate(parse("(mulsub 10 2 3)"), {}) == 4
+        term = parse(
+            "(VecMulSub (Vec 10 10 10 10) (Vec 1 2 3 4) (Vec 1 1 1 1))"
+        )
+        assert interp.evaluate(term, {}) == (9, 8, 7, 6)
+
+    def test_sqrtsgn_semantics(self, spec):
+        custom = customized_spec(spec, sqrtsgn=True)
+        interp = custom.interpreter()
+        # sqrtsgn(a, b) = sqrt(a) * sgn(-b)
+        assert interp.evaluate(parse("(sqrtsgn 9 -2)"), {}) == 3
+        assert interp.evaluate(parse("(sqrtsgn 9 2)"), {}) == -3
+        assert interp.evaluate(parse("(sqrtsgn 9 0)"), {}) == 0
+        from repro.interp.value import UNDEFINED
+
+        assert interp.evaluate(parse("(sqrtsgn -1 1)"), {}) is UNDEFINED
+
+    def test_four_configurations(self, spec):
+        none = customized_spec(spec)
+        assert none is spec
+        both = customized_spec(spec, mulsub=True, sqrtsgn=True)
+        assert both.has_instruction("VecMulSub")
+        assert both.has_instruction("VecSqrtSgn")
+        assert both.name.endswith("mulsub+sqrtsgn")
+        only = customized_spec(spec, sqrtsgn=True)
+        assert only.has_instruction("VecSqrtSgn")
+        assert not only.has_instruction("VecMulSub")
+
+    def test_extension_preserves_base(self, spec):
+        custom = customized_spec(spec, mulsub=True, sqrtsgn=True)
+        for instr in spec.instructions:
+            assert custom.has_instruction(instr.name)
+        assert custom.vector_width == spec.vector_width
+
+    def test_custom_registry_roundtrip(self, spec):
+        custom = customized_spec(spec, sqrtsgn=True)
+        registry = custom.registry()
+        assert "VecSqrtSgn" in registry
+        assert registry["VecSqrtSgn"].vector_of == "sqrtsgn"

@@ -1,0 +1,46 @@
+"""Head-to-head quality invariants between the two eqsat compilers.
+
+These encode the Fig. 4 comparability claim at test scale: on uniform
+kernels, the automatically generated compiler must match the
+hand-written baseline's result quality.
+"""
+
+import pytest
+
+from repro.compiler.diospyros import DiospyrosCompiler
+from repro.kernels import matmul_kernel
+from repro.lang.parser import parse
+
+
+@pytest.fixture(scope="module")
+def dios(spec):
+    return DiospyrosCompiler(spec)
+
+
+class TestHeadToHead:
+    def test_intro_example_same_quality(self, isaria_compiler, dios):
+        program = parse(
+            "(List (Vec (+ (Get x 0) (Get y 0)) (+ (Get x 1) (Get y 1))"
+            " (+ (Get x 2) (Get y 2)) (Get x 3)))"
+        )
+        _i_term, i_report = isaria_compiler.compile_term(program)
+        _d_term, d_report = dios.compile(program)
+        # both collapse the chunk to a single vector add
+        assert i_report.final_cost < 100
+        assert d_report.final_cost < 100
+
+    def test_matmul_cost_within_factor_two(self, isaria_compiler, dios):
+        program = matmul_kernel(2, 2, 2).program.term
+        _it, i_report = isaria_compiler.compile_term(program)
+        _dt, d_report = dios.compile(program)
+        ratio = i_report.final_cost / d_report.final_cost
+        assert 0.5 <= ratio <= 2.0, ratio
+
+    def test_both_validate_against_source(
+        self, isaria_compiler, dios, spec
+    ):
+        program = matmul_kernel(2, 2, 2).program.term
+        i_term, _ = isaria_compiler.compile_term(program)
+        d_term, _ = dios.compile(program)
+        isaria_compiler.validate_equivalence(program, i_term)
+        isaria_compiler.validate_equivalence(program, d_term)

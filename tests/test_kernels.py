@@ -1,0 +1,123 @@
+"""Unit tests for the kernel suite: traces match numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    conv2d_kernel,
+    default_suite,
+    matmul_kernel,
+    padded_memory,
+    qr_kernel,
+    quaternion_product_kernel,
+    run_reference,
+    suite_by_key,
+)
+from repro.kernels.qr import qr_reference
+
+
+def interp_outputs(spec, instance, inputs):
+    interp = spec.interpreter()
+    env = {k: [float(x) for x in v] for k, v in inputs.items()}
+    chunks = interp.evaluate(instance.program.term, env)
+    flat = [lane for chunk in chunks for lane in chunk]
+    return flat[: instance.output_len]
+
+
+class TestTraceVsReference:
+    @pytest.mark.parametrize(
+        "instance", default_suite(), ids=lambda k: k.key
+    )
+    def test_trace_matches_numpy(self, spec, instance):
+        inputs = instance.make_inputs(seed=7)
+        got = interp_outputs(spec, instance, inputs)
+        want = run_reference(instance, inputs)
+        assert np.allclose(got, want, rtol=1e-7, atol=1e-8), instance.key
+
+
+class TestShapes:
+    def test_conv2d_output_size(self):
+        instance = conv2d_kernel(4, 4, 3, 3)
+        assert instance.output_len == 6 * 6
+        assert instance.arrays == {"I": 16, "F": 9}
+
+    def test_matmul_output_size(self):
+        instance = matmul_kernel(2, 3, 5)
+        assert instance.output_len == 10
+        assert instance.arrays == {"A": 6, "B": 15}
+
+    def test_qprod_fixed_size(self):
+        instance = quaternion_product_kernel()
+        assert instance.output_len == 4
+
+    def test_qr_outputs_r_matrix(self):
+        instance = qr_kernel(3)
+        assert instance.output_len == 9
+
+
+class TestQrReference:
+    def test_upper_triangular(self):
+        rng = np.random.default_rng(5)
+        a = rng.uniform(-2, 2, size=(4, 4))
+        r = qr_reference(a)
+        assert np.allclose(np.tril(r, -1), 0.0, atol=1e-9)
+
+    def test_magnitudes_match_numpy_qr(self):
+        rng = np.random.default_rng(6)
+        a = rng.uniform(-2, 2, size=(4, 4))
+        ours = qr_reference(a)
+        _, theirs = np.linalg.qr(a)
+        assert np.allclose(np.abs(ours), np.abs(theirs), atol=1e-8)
+
+    def test_qr_kernel_uses_sqrt_sgn_pattern(self):
+        from repro.lang.pattern import contains_op
+
+        instance = qr_kernel(3)
+        term = instance.program.term
+        assert contains_op(term, "sqrt")
+        assert contains_op(term, "sgn")
+        assert contains_op(term, "/")
+
+
+class TestInputsAndMemory:
+    def test_make_inputs_deterministic(self):
+        instance = matmul_kernel(3, 3, 3)
+        assert instance.make_inputs(1) == instance.make_inputs(1)
+        assert instance.make_inputs(1) != instance.make_inputs(2)
+
+    def test_padded_memory_shapes(self):
+        instance = matmul_kernel(3, 3, 3)  # arrays of 9, out 9
+        memory = padded_memory(instance, instance.make_inputs(0))
+        assert len(memory["A"]) == 12
+        assert len(memory["B"]) == 12
+        assert len(memory["out"]) == 12
+        assert memory["A"][9:] == [0.0, 0.0, 0.0]
+
+    def test_padded_memory_validates_lengths(self):
+        instance = matmul_kernel(2, 2, 2)
+        with pytest.raises(ValueError):
+            padded_memory(instance, {"A": [1.0], "B": [0.0] * 4})
+
+
+class TestSuite:
+    def test_default_suite_families(self):
+        families = {inst.family for inst in default_suite()}
+        assert families == {"2DConv", "MatMul", "QP", "QrD"}
+
+    def test_suite_by_key_unique(self):
+        suite = suite_by_key()
+        assert len(suite) == len(default_suite())
+        assert "qprod" in suite
+
+    def test_custom_grid(self):
+        suite = default_suite(
+            conv2d_sizes=[(3, 3, 2, 2)],
+            matmul_sizes=[(2, 2, 2)],
+            qr_sizes=[3],
+            include_qprod=False,
+        )
+        assert [inst.key for inst in suite] == [
+            "2dconv-3x3-2x2",
+            "matmul-2x2x2",
+            "qr-3x3",
+        ]

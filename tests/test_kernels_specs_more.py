@@ -1,0 +1,84 @@
+"""Kernel-instance plumbing details."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    conv2d_kernel,
+    matmul_kernel,
+    padded_memory,
+    run_reference,
+)
+
+
+class TestRunReference:
+    def test_output_is_flat_float_array(self):
+        instance = matmul_kernel(2, 2, 2)
+        out = run_reference(instance, instance.make_inputs(0))
+        assert out.dtype == float
+        assert out.ndim == 1
+        assert out.shape == (4,)
+
+    def test_reference_independent_of_trace(self):
+        # The reference is numpy math, not an evaluation of the traced
+        # term: check a case computable by hand.
+        instance = matmul_kernel(2, 2, 2)
+        inputs = {"A": [1, 2, 3, 4], "B": [5, 6, 7, 8]}
+        out = run_reference(instance, inputs)
+        assert list(out) == [19.0, 22.0, 43.0, 50.0]
+
+    def test_conv_reference_by_hand(self):
+        instance = conv2d_kernel(2, 2, 2, 2)
+        inputs = {"I": [1, 0, 0, 0], "F": [1, 2, 3, 4]}
+        out = run_reference(instance, inputs)
+        # impulse at (0,0): output = the filter itself padded into 3x3
+        assert list(out) == [1.0, 2.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0,
+                             0.0]
+
+
+class TestMakeInputs:
+    def test_key_changes_distribution(self):
+        a = matmul_kernel(2, 2, 2).make_inputs(0)
+        b = conv2d_kernel(2, 2, 2, 2).make_inputs(0)
+        assert list(a) != list(b) or a != b
+
+    def test_values_bounded(self):
+        inputs = matmul_kernel(3, 3, 3).make_inputs(7)
+        for values in inputs.values():
+            assert all(-4.0 <= v <= 4.0 for v in values)
+
+
+class TestPaddedMemory:
+    def test_output_padded_to_chunk_multiple(self):
+        instance = conv2d_kernel(2, 2, 2, 2)  # 9 outputs -> 12 padded
+        memory = padded_memory(instance, instance.make_inputs(0))
+        assert len(memory["out"]) == 12
+
+    def test_inputs_zero_padded_not_garbage(self):
+        instance = matmul_kernel(3, 3, 3)
+        memory = padded_memory(instance, instance.make_inputs(0))
+        assert memory["A"][9:] == [0.0] * 3
+
+    def test_original_inputs_preserved(self):
+        instance = matmul_kernel(2, 2, 2)
+        inputs = {"A": [1, 2, 3, 4], "B": [5, 6, 7, 8]}
+        memory = padded_memory(instance, inputs)
+        assert memory["A"] == [1.0, 2.0, 3.0, 4.0]
+        assert memory["B"] == [5.0, 6.0, 7.0, 8.0]
+
+
+class TestKernelKeyStability:
+    @pytest.mark.parametrize(
+        "make,key",
+        [
+            (lambda: matmul_kernel(2, 3, 4), "matmul-2x3x4"),
+            (lambda: conv2d_kernel(3, 4, 2, 3), "2dconv-3x4-2x3"),
+        ],
+    )
+    def test_keys(self, make, key):
+        assert make().key == key
+
+    def test_program_term_deterministic(self):
+        a = matmul_kernel(3, 3, 3).program.term
+        b = matmul_kernel(3, 3, 3).program.term
+        assert a is b  # interning + deterministic trace

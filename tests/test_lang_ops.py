@@ -1,0 +1,86 @@
+"""Unit tests for the operator registry."""
+
+import pytest
+
+from repro.lang.ops import (
+    OpKind,
+    Operator,
+    OperatorRegistry,
+    VARIADIC,
+    default_registry,
+)
+
+
+class TestDefaultRegistry:
+    def test_paper_fig1_operators_present(self):
+        registry = default_registry()
+        for name in (
+            "+", "-", "*", "/", "neg", "sgn", "sqrt",
+            "Vec", "Concat", "List",
+            "VecAdd", "VecMinus", "VecMul", "VecDiv",
+            "VecNeg", "VecSgn", "VecSqrt", "VecMAC",
+        ):
+            assert name in registry, name
+
+    def test_counterpart_links(self):
+        registry = default_registry()
+        assert registry.scalar_counterpart("VecAdd") == "+"
+        assert registry.vector_counterpart("+") == "VecAdd"
+        assert registry.scalar_counterpart("VecMAC") == "mac"
+        assert registry.vector_counterpart("sqrt") == "VecSqrt"
+        assert registry.scalar_counterpart("+") is None
+        assert registry.vector_counterpart("Vec") is None
+
+    def test_variadic_structure_ops(self):
+        registry = default_registry()
+        assert registry["Vec"].is_variadic
+        assert registry["List"].is_variadic
+        assert registry["Vec"].arity == VARIADIC
+        assert not registry["Concat"].is_variadic
+
+    def test_kinds(self):
+        registry = default_registry()
+        assert registry["+"].kind is OpKind.SCALAR
+        assert registry["VecAdd"].kind is OpKind.VECTOR
+        assert registry["Vec"].kind is OpKind.STRUCTURE
+        assert registry["Const"].kind is OpKind.LEAF
+
+    def test_commutativity_flags(self):
+        registry = default_registry()
+        assert registry["+"].commutative
+        assert registry["*"].commutative
+        assert not registry["-"].commutative
+        assert registry["VecAdd"].commutative
+
+
+class TestRegistryMutation:
+    def test_register_custom(self):
+        registry = default_registry()
+        custom = Operator("Frob", 2, OpKind.SCALAR)
+        registry.register(custom)
+        assert "Frob" in registry
+        assert registry.get("Frob") is custom
+
+    def test_conflicting_signature_rejected(self):
+        registry = default_registry()
+        with pytest.raises(ValueError):
+            registry.register(Operator("+", 3, OpKind.SCALAR))
+
+    def test_idempotent_register(self):
+        registry = default_registry()
+        op = registry["+"]
+        registry.register(op)  # no error
+
+    def test_copy_is_independent(self):
+        registry = default_registry()
+        clone = registry.copy()
+        clone.register(Operator("New", 1, OpKind.SCALAR))
+        assert "New" in clone
+        assert "New" not in registry
+
+    def test_scalar_and_vector_listings(self):
+        registry = default_registry()
+        scalars = {op.name for op in registry.scalar_ops()}
+        vectors = {op.name for op in registry.vector_ops()}
+        assert "+" in scalars and "VecAdd" in vectors
+        assert not scalars & vectors

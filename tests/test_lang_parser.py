@@ -1,0 +1,67 @@
+"""Unit tests for the s-expression reader/printer."""
+
+import pytest
+
+from repro.lang import builders as B
+from repro.lang.parser import ParseError, parse, parse_many, to_sexpr
+
+
+class TestParse:
+    def test_atoms(self):
+        assert parse("3") == B.const(3)
+        assert parse("-2") == B.const(-2)
+        assert parse("0.5") == B.const(0.5)
+        assert parse("x") == B.symbol("x")
+        assert parse("?a") == B.wildcard("a")
+
+    def test_compound(self):
+        term = parse("(+ (Get x 0) (Get y 1))")
+        assert term == B.add(B.get("x", 0), B.get("y", 1))
+
+    def test_get_becomes_leaf(self):
+        term = parse("(Get x 3)")
+        assert term.is_leaf
+        assert term.payload == ("x", 3)
+
+    def test_vector_ops(self):
+        term = parse("(VecAdd (Vec 1 2 3 4) (Vec ?a ?b ?c ?d))")
+        assert term.op == "VecAdd"
+        assert term.args[0].op == "Vec"
+        assert len(term.args[1].args) == 4
+
+    def test_comments_and_whitespace(self):
+        term = parse("; heading\n  (+ 1 ; inline\n 2)\n")
+        assert term == B.add(B.const(1), B.const(2))
+
+    def test_parse_many(self):
+        terms = parse_many("(+ 1 2) x (neg ?a)")
+        assert len(terms) == 3
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "(", ")", "(+ 1 2", "(+ 1 2))", "(Get x)", "(Get 1 2)", "?"],
+    )
+    def test_malformed_raises(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(+ (Get x 0) (Get y 0))",
+            "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3))",
+            "(VecMAC ?c ?a ?b)",
+            "(List (Vec 1 2 3 4) (VecSqrt (Vec 0 0 0 0)))",
+            "(sqrt (sgn (neg x)))",
+            "(- 0.5 (/ a b))",
+        ],
+    )
+    def test_parse_print_parse(self, text):
+        term = parse(text)
+        assert parse(to_sexpr(term)) == term
+
+    def test_float_consts_roundtrip(self):
+        term = B.const(0.1)
+        assert parse(to_sexpr(term)) is term

@@ -1,0 +1,91 @@
+"""Unit tests for pattern matching, substitution, renaming."""
+
+import pytest
+
+from repro.lang import builders as B
+from repro.lang.parser import parse
+from repro.lang.pattern import (
+    contains_op,
+    instantiate,
+    is_ground,
+    match,
+    rename_wildcards,
+    suffix_wildcards,
+    wildcards_of,
+)
+
+
+class TestWildcardsOf:
+    def test_order_is_first_occurrence(self):
+        pattern = parse("(+ (* ?b ?a) ?b)")
+        assert wildcards_of(pattern) == ("b", "a")
+
+    def test_ground(self):
+        assert is_ground(parse("(+ 1 (Get x 0))"))
+        assert not is_ground(parse("(+ 1 ?a)"))
+
+
+class TestInstantiate:
+    def test_basic(self):
+        pattern = parse("(+ ?a (neg ?b))")
+        result = instantiate(
+            pattern, {"a": B.const(1), "b": B.get("x", 0)}
+        )
+        assert result == parse("(+ 1 (neg (Get x 0)))")
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(KeyError):
+            instantiate(parse("(+ ?a ?b)"), {"a": B.const(1)})
+
+    def test_no_change_reuses_term(self):
+        ground = parse("(+ 1 2)")
+        assert instantiate(ground, {}) is ground
+
+
+class TestMatch:
+    def test_simple_binding(self):
+        binding = match(parse("(+ ?a ?b)"), parse("(+ 1 (Get x 0))"))
+        assert binding == {"a": B.const(1), "b": B.get("x", 0)}
+
+    def test_nonlinear_requires_equal(self):
+        pattern = parse("(+ ?a ?a)")
+        assert match(pattern, parse("(+ 2 2)")) == {"a": B.const(2)}
+        assert match(pattern, parse("(+ 2 3)")) is None
+
+    def test_structure_mismatch(self):
+        assert match(parse("(+ ?a ?b)"), parse("(- 1 2)")) is None
+        assert match(parse("(+ ?a 0)"), parse("(+ 1 2)")) is None
+
+    def test_leaf_payload_match(self):
+        assert match(parse("(Get x 0)"), parse("(Get x 0)")) == {}
+        assert match(parse("(Get x 0)"), parse("(Get x 1)")) is None
+
+    def test_match_then_instantiate_roundtrip(self):
+        pattern = parse("(VecAdd ?a (Vec ?x ?y ?z ?w))")
+        target = parse(
+            "(VecAdd (Vec 1 2 3 4) (Vec (Get x 0) 5 6 (neg 7)))"
+        )
+        binding = match(pattern, target)
+        assert binding is not None
+        assert instantiate(pattern, binding) == target
+
+
+class TestRename:
+    def test_rename(self):
+        pattern = parse("(+ ?a ?b)")
+        renamed = rename_wildcards(pattern, {"a": "x"})
+        assert renamed == parse("(+ ?x ?b)")
+
+    def test_suffix(self):
+        pattern = parse("(mac ?c ?a ?b)")
+        assert suffix_wildcards(pattern, ".2") == parse(
+            "(mac ?c.2 ?a.2 ?b.2)"
+        )
+
+
+class TestContainsOp:
+    def test_contains(self):
+        term = parse("(VecAdd (Vec 1 2 3 4) ?a)")
+        assert contains_op(term, "Vec")
+        assert contains_op(term, "VecAdd")
+        assert not contains_op(term, "VecMul")

@@ -1,0 +1,115 @@
+"""Unit tests for terms: interning, immutability, traversal, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.lang import builders as B
+from repro.lang import term as T
+
+
+class TestInterning:
+    def test_same_construction_returns_same_object(self):
+        a = B.add(B.get("x", 0), B.const(1))
+        b = B.add(B.get("x", 0), B.const(1))
+        assert a is b
+
+    def test_distinct_terms_differ(self):
+        assert B.const(1) is not B.const(2)
+        assert B.add(B.const(1), B.const(2)) != B.add(
+            B.const(2), B.const(1)
+        )
+
+    def test_integral_float_normalizes_to_int(self):
+        assert B.const(2.0) is B.const(2)
+        assert B.const(2.5) is not B.const(2)
+
+    def test_payload_distinguishes_leaves(self):
+        assert B.symbol("a") != B.symbol("b")
+        assert B.get("x", 0) != B.get("x", 1)
+        assert B.get("x", 0) != B.get("y", 0)
+        assert B.symbol("a") != B.wildcard("a")
+
+
+class TestImmutability:
+    def test_setattr_raises(self):
+        term = B.const(1)
+        with pytest.raises(AttributeError):
+            term.op = "Symbol"
+
+    def test_const_rejects_non_numbers(self):
+        with pytest.raises(TypeError):
+            B.const("hello")
+        with pytest.raises(TypeError):
+            B.const(True)
+
+    def test_make_rejects_non_term_children(self):
+        with pytest.raises(TypeError):
+            T.make("+", B.const(1), 2)
+
+
+class TestPredicates:
+    def test_leaf_kinds(self):
+        assert T.is_const(B.const(0))
+        assert T.is_symbol(B.symbol("a"))
+        assert T.is_get(B.get("x", 3))
+        assert T.is_wildcard(B.wildcard("w"))
+        assert T.is_leaf(B.const(0))
+        assert not T.is_leaf(B.add(B.const(0), B.const(1)))
+
+
+class TestTraversal:
+    def test_subterms_distinct(self):
+        x = B.get("x", 0)
+        term = B.add(x, x)
+        subs = list(T.subterms(term))
+        assert subs == [term, x]
+
+    def test_term_size_counts_tree_occurrences(self):
+        x = B.get("x", 0)
+        shared = B.add(x, x)  # tree size 3
+        term = B.mul(shared, shared)  # tree size 7
+        assert T.term_size(term) == 7
+
+    def test_term_depth(self):
+        assert T.term_depth(B.const(1)) == 1
+        assert T.term_depth(B.add(B.const(1), B.const(2))) == 2
+        nested = B.add(B.add(B.const(1), B.const(2)), B.const(3))
+        assert T.term_depth(nested) == 3
+
+    def test_deep_shared_dag_is_fast(self):
+        # 60 doublings: tree size 2^60-ish, DAG size 61.
+        term = B.get("x", 0)
+        for _ in range(60):
+            term = B.add(term, term)
+        assert T.term_size(term) == 2 ** 61 - 1
+        assert T.term_depth(term) == 61
+        assert len(list(T.subterms(term))) == 61
+
+    def test_deep_chain_no_recursion_error(self):
+        term = B.get("x", 0)
+        for i in range(10_000):
+            term = B.add(term, B.const(1))
+        assert T.term_depth(term) == 10_001
+
+
+class TestFold:
+    def test_fold_visits_each_distinct_subterm_once(self):
+        calls = []
+        x = B.get("x", 0)
+        term = B.mul(B.add(x, x), x)
+        T.fold_term(term, lambda t, cs: calls.append(t))
+        assert len(calls) == 3  # x, add, mul
+
+    def test_fold_children_first(self):
+        order = []
+        term = B.add(B.const(1), B.neg(B.const(2)))
+        T.fold_term(term, lambda t, cs: order.append(t.op))
+        assert order.index("neg") < order.index("+")
+
+
+class TestPickle:
+    def test_roundtrip_reinterns(self):
+        term = B.add(B.get("x", 0), B.vec(B.const(1), B.symbol("a")))
+        clone = pickle.loads(pickle.dumps(term))
+        assert clone is term  # back through the intern table

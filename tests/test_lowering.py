@@ -1,0 +1,156 @@
+"""Unit tests for lowering compiled terms onto the machine."""
+
+import pytest
+
+from repro.compiler.lowering import LoweringError, lower_program
+from repro.lang.parser import parse
+from repro.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def machine(spec):
+    return Machine(spec)
+
+
+def lower_and_run(spec, machine, text, memory, arrays):
+    program = lower_program(parse(text), spec, arrays)
+    return machine.run(program, memory)
+
+
+class TestVecLiteralStrategies:
+    def test_contiguous_run_is_one_load(self, spec):
+        program = lower_program(
+            parse("(List (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3)))"),
+            spec,
+            {"x": 4},
+        )
+        assert program.count("v.load") == 1
+        assert program.count("v.insert") == 0
+
+    def test_constant_vector(self, spec, machine):
+        res = lower_and_run(
+            spec, machine, "(List (Vec 1 2 3 4))",
+            {"out": [0.0] * 4}, {},
+        )
+        assert res.array("out") == [1.0, 2.0, 3.0, 4.0]
+
+    def test_two_window_shuffle(self, spec, machine):
+        text = "(List (Vec (Get x 1) (Get y 2) (Get x 0) (Get y 3)))"
+        program = lower_program(parse(text), spec, {"x": 4, "y": 4})
+        assert program.count("v.shuffle") == 1
+        assert program.count("v.insert") == 0
+        res = machine.run(
+            program,
+            {"x": [1, 2, 3, 4], "y": [10, 20, 30, 40], "out": [0.0] * 4},
+        )
+        assert res.array("out") == [2.0, 30.0, 1.0, 40.0]
+
+    def test_permuted_single_window(self, spec, machine):
+        text = "(List (Vec (Get x 3) (Get x 2) (Get x 1) (Get x 0)))"
+        program = lower_program(parse(text), spec, {"x": 4})
+        assert program.count("v.load") == 1
+        res = machine.run(
+            program, {"x": [1, 2, 3, 4], "out": [0.0] * 4}
+        )
+        assert res.array("out") == [4.0, 3.0, 2.0, 1.0]
+
+    def test_gets_and_zeros_shuffle_with_consts(self, spec, machine):
+        text = "(List (Vec (Get x 0) (Get x 1) (Get x 2) 0))"
+        program = lower_program(parse(text), spec, {"x": 4})
+        assert program.count("v.insert") == 0
+        res = machine.run(
+            program, {"x": [5, 6, 7, 8], "out": [0.0] * 4}
+        )
+        assert res.array("out") == [5.0, 6.0, 7.0, 0.0]
+
+    def test_three_windows_fall_back_to_inserts(self, spec):
+        text = (
+            "(List (Vec (Get x 0) (Get y 0) (Get z 0) (Get x 5)))"
+        )
+        program = lower_program(
+            parse(text), spec, {"x": 8, "y": 4, "z": 4}
+        )
+        assert program.count("v.insert") >= 3
+
+    def test_computed_lanes_use_inserts(self, spec, machine):
+        text = "(List (Vec (+ (Get x 0) (Get x 1)) 0 0 0))"
+        program = lower_program(parse(text), spec, {"x": 4})
+        assert program.count("v.insert") == 1
+        res = machine.run(
+            program, {"x": [3, 4, 0, 0], "out": [0.0] * 4}
+        )
+        assert res.array("out") == [7.0, 0.0, 0.0, 0.0]
+
+    def test_identical_computed_lanes_splat(self, spec):
+        text = (
+            "(List (Vec (+ (Get x 0) 1) (+ (Get x 0) 1) "
+            "(+ (Get x 0) 1) (+ (Get x 0) 1)))"
+        )
+        program = lower_program(parse(text), spec, {"x": 4})
+        assert program.count("v.splat") == 1
+
+
+class TestVectorOps:
+    def test_vecadd_end_to_end(self, spec, machine):
+        text = (
+            "(List (VecAdd (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))"
+            " (Vec (Get y 0) (Get y 1) (Get y 2) (Get y 3))))"
+        )
+        res = lower_and_run(
+            spec, machine, text,
+            {"x": [1, 2, 3, 4], "y": [5, 6, 7, 8], "out": [0.0] * 4},
+            {"x": 4, "y": 4},
+        )
+        assert res.array("out") == [6.0, 8.0, 10.0, 12.0]
+
+    def test_cse_shares_subterms(self, spec):
+        text = (
+            "(List (VecMul (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))"
+            " (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))))"
+        )
+        program = lower_program(parse(text), spec, {"x": 4})
+        assert program.count("v.load") == 1  # shared Vec literal
+
+    def test_multi_chunk_output_stores(self, spec):
+        text = (
+            "(List (Vec 1 2 3 4) (Vec 5 6 7 8))"
+        )
+        program = lower_program(parse(text), spec, {})
+        assert program.count("v.store") == 2
+
+
+class TestErrors:
+    def test_concat_unsupported(self, spec):
+        with pytest.raises(LoweringError):
+            lower_program(
+                parse("(List (Concat (Vec 1 2 3 4) (Vec 5 6 7 8)))"),
+                spec, {},
+            )
+
+    def test_wrong_width_vec(self, spec):
+        with pytest.raises(LoweringError):
+            lower_program(parse("(List (Vec 1 2))"), spec, {})
+
+    def test_top_level_must_be_list(self, spec):
+        with pytest.raises(LoweringError):
+            lower_program(parse("(Vec 1 2 3 4)"), spec, {})
+
+    def test_scalar_chunk_rejected(self, spec):
+        with pytest.raises(LoweringError):
+            lower_program(parse("(List (+ 1 2))"), spec, {})
+
+    def test_free_variable_rejected(self, spec):
+        with pytest.raises(LoweringError):
+            lower_program(parse("(List (Vec a 0 0 0))"), spec, {})
+
+    def test_unknown_array_rejected(self, spec):
+        with pytest.raises(LoweringError):
+            lower_program(
+                parse("(List (Vec (Get ghost 0) 0 0 0))"), spec, {}
+            )
+
+    def test_out_of_bounds_get(self, spec):
+        with pytest.raises(LoweringError):
+            lower_program(
+                parse("(List (Vec (Get x 9) 0 0 0))"), spec, {"x": 4}
+            )

@@ -1,0 +1,75 @@
+"""Lowering bounds-checking and fallback behaviour."""
+
+import pytest
+
+from repro.compiler.lowering import LoweringError, lower_program
+from repro.interp.interpreter import EvalError, Interpreter
+from repro.lang.parser import parse
+from repro.machine import Machine
+
+
+class TestWindowBounds:
+    def test_tail_window_of_padded_array_usable(self, spec):
+        # x has 5 elements (padded to 8): window [4..8) is in padded
+        # bounds, so the shuffle path may use it.
+        text = "(List (Vec (Get x 4) (Get x 4) (Get x 4) (Get x 4)))"
+        program = lower_program(parse(text), spec, {"x": 5})
+        machine = Machine(spec)
+        result = machine.run(
+            program,
+            {"x": [0.0, 0.0, 0.0, 0.0, 9.0, 0.0, 0.0, 0.0],
+             "out": [0.0] * 4},
+        )
+        assert result.array("out") == [9.0] * 4
+
+    def test_get_index_in_padding_region_allowed(self, spec):
+        # Index 5 of a 5-long array is within the padded region: the
+        # compiler may have rewritten a zero there; reads are safe
+        # because the harness zero-pads.
+        text = "(List (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3)))"
+        lower_program(parse(text), spec, {"x": 5})  # no error
+
+    def test_negative_index_rejected(self, spec):
+        with pytest.raises((LoweringError, ValueError)):
+            from repro.lang import builders as B
+
+            bad = B.prog(
+                B.vec(B.get("x", -1), B.const(0), B.const(0),
+                      B.const(0))
+            )
+            lower_program(bad, spec, {"x": 4})
+
+
+class TestInterpreterConfigErrors:
+    def test_missing_semantics_raises(self):
+        from repro.lang.ops import OpKind
+
+        interp = Interpreter({}, {})
+        with pytest.raises(EvalError):
+            interp.evaluate(parse("(+ 1 2)"), {})
+
+    def test_vector_kind_scalar_args_single_lane(self, spec):
+        # the §3.1 reduction works through a hand-built interpreter too
+        from repro.lang.ops import OpKind
+
+        interp = Interpreter(
+            {"VecAdd": lambda a, b: a + b},
+            {"VecAdd": OpKind.VECTOR},
+        )
+        assert interp.evaluate(parse("(VecAdd 2 3)"), {}) == 5
+
+
+class TestMachineConfig:
+    def test_custom_instruction_budget(self, spec):
+        from repro.machine import ProgramBuilder, SimulationError
+
+        machine = Machine(spec, max_instructions=3)
+        b = ProgramBuilder()
+        for i in range(5):
+            b.s_const(float(i))
+        b.halt()
+        with pytest.raises(SimulationError):
+            machine.run(b.build(), {})
+
+    def test_vector_width_property(self, spec):
+        assert Machine(spec).vector_width == spec.vector_width

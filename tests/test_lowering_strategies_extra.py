@@ -1,0 +1,115 @@
+"""More lowering coverage: strategy selection and generated code."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.lowering import lower_program
+from repro.lang.parser import parse
+from repro.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def machine(spec):
+    return Machine(spec)
+
+
+class TestStrategySelection:
+    def test_unaligned_contiguous_run(self, spec, machine):
+        # Gets 1..4 of an 8-long array: contiguous but not aligned —
+        # still a single load at offset 1 (our machine allows it).
+        text = "(List (Vec (Get x 1) (Get x 2) (Get x 3) (Get x 4)))"
+        program = lower_program(parse(text), spec, {"x": 8})
+        assert program.count("v.load") == 1
+        result = machine.run(
+            program,
+            {"x": [float(i) for i in range(8)], "out": [0.0] * 4},
+        )
+        assert result.array("out") == [1.0, 2.0, 3.0, 4.0]
+
+    def test_cross_window_contiguous_needs_shuffle(self, spec, machine):
+        # Gets 2..5 span two aligned windows; contiguity wins first:
+        # our lowering prefers one unaligned load.
+        text = "(List (Vec (Get x 2) (Get x 3) (Get x 4) (Get x 5)))"
+        program = lower_program(parse(text), spec, {"x": 8})
+        result = machine.run(
+            program,
+            {"x": [float(i) for i in range(8)], "out": [0.0] * 4},
+        )
+        assert result.array("out") == [2.0, 3.0, 4.0, 5.0]
+
+    def test_duplicated_gets_single_window(self, spec, machine):
+        text = "(List (Vec (Get x 0) (Get x 0) (Get x 1) (Get x 1)))"
+        program = lower_program(parse(text), spec, {"x": 4})
+        assert program.count("v.shuffle") == 1
+        result = machine.run(
+            program, {"x": [7.0, 8.0, 0.0, 0.0], "out": [0.0] * 4}
+        )
+        assert result.array("out") == [7.0, 7.0, 8.0, 8.0]
+
+    def test_mixed_const_nonzero_and_gets(self, spec, machine):
+        text = "(List (Vec (Get x 0) 5 (Get x 1) 9))"
+        program = lower_program(parse(text), spec, {"x": 4})
+        result = machine.run(
+            program, {"x": [1.0, 2.0, 0.0, 0.0], "out": [0.0] * 4}
+        )
+        assert result.array("out") == [1.0, 5.0, 2.0, 9.0]
+
+    def test_nested_vector_expression(self, spec, machine):
+        text = (
+            "(List (VecMAC (Vec 1 1 1 1)"
+            " (VecAdd (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))"
+            "         (Vec 1 1 1 1))"
+            " (Vec (Get y 0) (Get y 1) (Get y 2) (Get y 3))))"
+        )
+        program = lower_program(parse(text), spec, {"x": 4, "y": 4})
+        result = machine.run(
+            program,
+            {
+                "x": [1.0, 2.0, 3.0, 4.0],
+                "y": [2.0, 2.0, 2.0, 2.0],
+                "out": [0.0] * 4,
+            },
+        )
+        # 1 + (x+1)*y
+        assert result.array("out") == [5.0, 7.0, 9.0, 11.0]
+
+    def test_scalar_expression_inside_lane(self, spec, machine):
+        text = (
+            "(List (Vec (mac (Get x 0) (Get x 1) (Get x 2))"
+            " (sqrt (Get x 3)) (sgn (neg (Get x 0))) (/ (Get x 1) 2)))"
+        )
+        program = lower_program(parse(text), spec, {"x": 4})
+        result = machine.run(
+            program, {"x": [2.0, 4.0, 3.0, 16.0], "out": [0.0] * 4}
+        )
+        assert np.allclose(
+            result.array("out"), [14.0, 4.0, -1.0, 2.0]
+        )
+
+
+class TestSharedStructure:
+    def test_repeated_chunk_lowered_once(self, spec):
+        chunk = "(VecAdd (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))" \
+                " (Vec 1 1 1 1))"
+        program = lower_program(
+            parse(f"(List {chunk} {chunk})"), spec, {"x": 4}
+        )
+        # one compute, two stores
+        assert program.count("v.op") == 1
+        assert program.count("v.store") == 2
+
+    def test_deep_shared_scalar_tree(self, spec, machine):
+        text = (
+            "(List (Vec (* (+ (Get x 0) (Get x 1)) (+ (Get x 0) "
+            "(Get x 1))) 0 0 0))"
+        )
+        program = lower_program(parse(text), spec, {"x": 4})
+        adds = [
+            i for i in program.instrs
+            if i.opcode == "s.op" and i.op == "+"
+        ]
+        assert len(adds) == 1  # CSE
+        result = machine.run(
+            program, {"x": [2.0, 3.0, 0.0, 0.0], "out": [0.0] * 4}
+        )
+        assert result.array("out")[0] == 25.0

@@ -1,0 +1,260 @@
+"""Unit tests for the machine model and cycle-level simulator."""
+
+import pytest
+
+from repro.machine import Machine, ProgramBuilder, SimulationError
+from repro.machine.program import Instr, Program
+
+
+@pytest.fixture(scope="module")
+def machine(spec):
+    return Machine(spec)
+
+
+class TestProgramBuilder:
+    def test_fresh_registers(self):
+        b = ProgramBuilder()
+        assert b.scalar_reg() != b.scalar_reg()
+        assert b.vector_reg() != b.vector_reg()
+        assert b.fresh_label() != b.fresh_label()
+
+    def test_labels_resolution(self):
+        b = ProgramBuilder()
+        b.label("top")
+        b.jump("top")
+        program = b.build()
+        assert program.labels() == {"top": 0}
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        b.label("x")
+        with pytest.raises(ValueError):
+            b.build().labels()
+
+    def test_count_by_prefix(self):
+        b = ProgramBuilder()
+        b.s_const(1.0)
+        b.v_const((0.0,) * 4)
+        b.halt()
+        program = b.build()
+        assert program.count("s.") == 1
+        assert program.count("v.") == 1
+
+    def test_str_rendering(self):
+        b = ProgramBuilder()
+        r = b.s_const(1.5)
+        b.s_store("out", 0, r)
+        text = str(b.build())
+        assert "s.const" in text and "out[0]" in text
+
+
+class TestScalarExecution:
+    def test_arith(self, machine):
+        b = ProgramBuilder()
+        x = b.s_load("x", 0)
+        y = b.s_load("x", 1)
+        b.s_store("out", 0, b.s_op("+", x, y))
+        b.s_store("out", 1, b.s_op("*", x, y))
+        b.s_store("out", 2, b.s_op("-", x, y))
+        b.s_store("out", 3, b.s_op("/", x, y))
+        b.halt()
+        res = machine.run(b.build(), {"x": [8.0, 2.0], "out": [0.0] * 4})
+        assert res.array("out") == [10.0, 16.0, 6.0, 4.0]
+
+    def test_saturating_semantics(self, machine):
+        # Hardware-style total float ops: /0 and sqrt(-) give 0.
+        b = ProgramBuilder()
+        one = b.s_const(1.0)
+        zero = b.s_const(0.0)
+        neg = b.s_const(-4.0)
+        b.s_store("out", 0, b.s_op("/", one, zero))
+        b.s_store("out", 1, b.s_op("sqrt", neg))
+        b.halt()
+        res = machine.run(b.build(), {"out": [9.0, 9.0]})
+        assert res.array("out") == [0.0, 0.0]
+
+    def test_indexed_addressing(self, machine):
+        b = ProgramBuilder()
+        idx = b.s_const(2)
+        val = b.s_load("x", 1, index=idx)  # x[3]
+        b.s_store("out", 0, val)
+        b.halt()
+        res = machine.run(b.build(), {"x": [0, 1, 2, 3.5], "out": [0.0]})
+        assert res.array("out") == [3.5]
+
+
+class TestVectorExecution:
+    def test_vector_ops(self, machine):
+        b = ProgramBuilder()
+        vx = b.v_load("x", 0)
+        vy = b.v_load("y", 0)
+        b.v_store("out", 0, b.v_op("VecMAC", vx, vy, vy))
+        b.halt()
+        res = machine.run(
+            b.build(),
+            {"x": [1, 1, 1, 1], "y": [1, 2, 3, 4], "out": [0.0] * 4},
+        )
+        assert res.array("out") == [2.0, 5.0, 10.0, 17.0]
+
+    def test_insert_extract_shuffle_splat(self, machine):
+        b = ProgramBuilder()
+        v = b.v_load("x", 0)
+        v2 = b.v_insert(v, 2, b.s_const(9.0))
+        b.v_store("out", 0, b.v_shuffle(v2, v2, (3, 2, 1, 0)))
+        b.s_store("out", 4, b.v_extract(v2, 2))
+        b.v_store("out", 8, b.v_splat(b.s_const(7.0)))
+        b.halt()
+        res = machine.run(
+            b.build(), {"x": [1, 2, 3, 4], "out": [0.0] * 12}
+        )
+        assert res.array("out")[:4] == [4.0, 9.0, 2.0, 1.0]
+        assert res.array("out")[4] == 9.0
+        assert res.array("out")[8:] == [7.0] * 4
+
+
+class TestControlFlow:
+    def test_loop_sum(self, machine):
+        b = ProgramBuilder()
+        i = b.s_const(0)
+        n = b.s_const(8)
+        one = b.s_const(1)
+        acc = b.s_const(0.0)
+        b.label("loop")
+        x = b.s_load("x", 0, index=i)
+        b.s_op_into(acc, "+", acc, x)
+        b.s_op_into(i, "+", i, one)
+        b.blt(i, n, "loop")
+        b.s_store("out", 0, acc)
+        b.halt()
+        res = machine.run(
+            b.build(), {"x": list(range(8)), "out": [0.0]}
+        )
+        assert res.array("out") == [28.0]
+
+    def test_bnez_and_jump(self, machine):
+        b = ProgramBuilder()
+        flag = b.s_load("x", 0)
+        b.bnez(flag, "then")
+        b.s_store("out", 0, b.s_const(100.0))
+        b.jump("end")
+        b.label("then")
+        b.s_store("out", 0, b.s_const(200.0))
+        b.label("end")
+        b.halt()
+        res = machine.run(b.build(), {"x": [1.0], "out": [0.0]})
+        assert res.array("out") == [200.0]
+        res = machine.run(b.build(), {"x": [0.0], "out": [0.0]})
+        assert res.array("out") == [100.0]
+
+    def test_infinite_loop_guard(self, spec):
+        machine = Machine(spec, max_instructions=1000)
+        b = ProgramBuilder()
+        b.label("spin")
+        b.jump("spin")
+        with pytest.raises(SimulationError):
+            machine.run(b.build(), {})
+
+
+class TestTiming:
+    def test_vector_beats_scalar_on_elementwise_add(self, machine):
+        scalar = ProgramBuilder()
+        for i in range(4):
+            x = scalar.s_load("x", i)
+            y = scalar.s_load("y", i)
+            scalar.s_store("out", i, scalar.s_op("+", x, y))
+        scalar.halt()
+
+        vector = ProgramBuilder()
+        vector.v_store(
+            "out", 0,
+            vector.v_op("VecAdd", vector.v_load("x", 0),
+                        vector.v_load("y", 0)),
+        )
+        vector.halt()
+
+        mem = {"x": [1.0] * 4, "y": [2.0] * 4, "out": [0.0] * 4}
+        s = machine.run(scalar.build(), dict(mem))
+        v = machine.run(vector.build(), dict(mem))
+        assert s.array("out") == v.array("out")
+        assert v.cycles * 2 < s.cycles
+
+    def test_dependent_chain_slower_than_independent(self, machine):
+        dep = ProgramBuilder()
+        acc = dep.s_load("x", 0)
+        for i in range(1, 8):
+            acc = dep.s_op("*", acc, dep.s_load("x", i))
+        dep.s_store("out", 0, acc)
+        dep.halt()
+
+        indep = ProgramBuilder()
+        regs = [indep.s_load("x", i) for i in range(8)]
+        pairs = [
+            indep.s_op("*", regs[i], regs[i + 1]) for i in range(0, 8, 2)
+        ]
+        top = indep.s_op(
+            "*",
+            indep.s_op("*", pairs[0], pairs[1]),
+            indep.s_op("*", pairs[2], pairs[3]),
+        )
+        indep.s_store("out", 0, top)
+        indep.halt()
+
+        mem = {"x": [1.0] * 8, "out": [0.0]}
+        chain = machine.run(dep.build(), dict(mem))
+        tree = machine.run(indep.build(), dict(mem))
+        assert tree.cycles < chain.cycles
+
+    def test_taken_branch_costs_more(self, machine):
+        taken = ProgramBuilder()
+        one = taken.s_const(1.0)
+        taken.bnez(one, "skip")
+        taken.label("skip")
+        taken.s_store("out", 0, one)
+        taken.halt()
+
+        untaken = ProgramBuilder()
+        zero = untaken.s_const(0.0)
+        untaken.bnez(zero, "skip")
+        untaken.label("skip")
+        untaken.s_store("out", 0, zero)
+        untaken.halt()
+
+        t = machine.run(taken.build(), {"out": [0.0]})
+        u = machine.run(untaken.build(), {"out": [0.0]})
+        assert t.cycles > u.cycles
+
+
+class TestErrors:
+    def test_out_of_bounds_read(self, machine):
+        b = ProgramBuilder()
+        b.s_load("x", 10)
+        b.halt()
+        with pytest.raises(SimulationError):
+            machine.run(b.build(), {"x": [1.0]})
+
+    def test_unknown_array(self, machine):
+        b = ProgramBuilder()
+        b.s_load("ghost", 0)
+        b.halt()
+        with pytest.raises(SimulationError):
+            machine.run(b.build(), {})
+
+    def test_unknown_label(self, machine):
+        b = ProgramBuilder()
+        b.jump("nowhere")
+        with pytest.raises(SimulationError):
+            machine.run(b.build(), {})
+
+    def test_unknown_opcode(self, machine):
+        program = Program([Instr("warp")])
+        with pytest.raises(SimulationError):
+            machine.run(program, {})
+
+    def test_memory_isolated_between_runs(self, machine):
+        b = ProgramBuilder()
+        b.s_store("out", 0, b.s_const(5.0))
+        b.halt()
+        mem = {"out": [0.0]}
+        machine.run(b.build(), mem)
+        assert mem["out"] == [0.0]  # caller's memory untouched

@@ -1,0 +1,119 @@
+"""More machine-model tests: dual issue, latency, SimResult details."""
+
+import pytest
+
+from repro.machine import Machine, ProgramBuilder
+
+
+@pytest.fixture(scope="module")
+def machine(spec):
+    return Machine(spec)
+
+
+class TestDualIssue:
+    def test_scalar_and_vector_coissue(self, machine):
+        # Independent scalar and vector ops occupy different units and
+        # should dual-issue, finishing faster than two scalar ops.
+        mixed = ProgramBuilder()
+        s1 = mixed.s_load("x", 0)
+        v1 = mixed.v_load("x", 0)
+        a = mixed.s_op("+", s1, s1)
+        b = mixed.v_op("VecAdd", v1, v1)
+        mixed.s_store("out", 0, a)
+        mixed.v_store("out", 4, b)
+        mixed.halt()
+
+        serial = ProgramBuilder()
+        s1 = serial.s_load("x", 0)
+        s2 = serial.s_load("x", 1)
+        a = serial.s_op("+", s1, s1)
+        b = serial.s_op("+", s2, s2)
+        serial.s_store("out", 0, a)
+        serial.s_store("out", 1, b)
+        serial.halt()
+
+        mem = {"x": [1.0] * 4, "out": [0.0] * 8}
+        m = machine.run(mixed.build(), dict(mem))
+        s = machine.run(serial.build(), dict(mem))
+        assert m.cycles <= s.cycles
+
+    def test_same_unit_cannot_coissue(self, machine):
+        b = ProgramBuilder()
+        regs = [b.s_const(float(i)) for i in range(2)]
+        r1 = b.s_op("+", regs[0], regs[1])
+        r2 = b.s_op("+", regs[1], regs[0])
+        b.s_store("out", 0, r1)
+        b.s_store("out", 1, r2)
+        b.halt()
+        result = machine.run(b.build(), {"out": [0.0, 0.0]})
+        # two scalar-unit ops can never share a cycle: at least 2
+        # issue cycles for them alone
+        assert result.cycles >= 4
+
+
+class TestLatencies:
+    def test_division_slower_than_add(self, machine):
+        def chain(op, n=6):
+            b = ProgramBuilder()
+            acc = b.s_load("x", 0)
+            operand = b.s_load("x", 1)
+            for _ in range(n):
+                acc = b.s_op(op, acc, operand)
+            b.s_store("out", 0, acc)
+            b.halt()
+            return b.build()
+
+        mem = {"x": [8.0, 2.0], "out": [0.0]}
+        adds = machine.run(chain("+"), dict(mem))
+        divs = machine.run(chain("/"), dict(mem))
+        assert divs.cycles > adds.cycles * 2
+
+    def test_custom_instruction_latency_respected(self, spec):
+        from repro.isa import customized_spec
+
+        custom = customized_spec(spec, sqrtsgn=True)
+        machine = Machine(custom)
+        b = ProgramBuilder()
+        a = b.s_load("x", 0)
+        s = b.s_load("x", 1)
+        r = b.s_op("sqrtsgn", a, s)
+        b.s_store("out", 0, r)
+        b.halt()
+        result = machine.run(b.build(), {"x": [9.0, -1.0], "out": [0.0]})
+        assert result.array("out") == [3.0]
+
+
+class TestSimResult:
+    def test_opcode_counts(self, machine):
+        b = ProgramBuilder()
+        v = b.v_load("x", 0)
+        b.v_store("out", 0, b.v_op("VecAdd", v, v))
+        b.halt()
+        result = machine.run(
+            b.build(), {"x": [1.0] * 4, "out": [0.0] * 4}
+        )
+        assert result.opcode_counts["v.load"] == 1
+        assert result.opcode_counts["v.op"] == 1
+        assert result.n_instructions == 4
+
+    def test_vector_splat_of_loaded_scalar(self, machine):
+        b = ProgramBuilder()
+        s = b.s_load("x", 2)
+        b.v_store("out", 0, b.v_splat(s))
+        b.halt()
+        result = machine.run(
+            b.build(), {"x": [0, 0, 5.0, 0], "out": [0.0] * 4}
+        )
+        assert result.array("out") == [5.0] * 4
+
+    def test_shuffle_from_two_sources(self, machine):
+        b = ProgramBuilder()
+        a = b.v_load("x", 0)
+        c = b.v_load("y", 0)
+        b.v_store("out", 0, b.v_shuffle(a, c, (0, 4, 1, 5)))
+        b.halt()
+        result = machine.run(
+            b.build(),
+            {"x": [1, 2, 3, 4], "y": [9, 8, 7, 6], "out": [0.0] * 4},
+        )
+        assert result.array("out") == [1.0, 9.0, 2.0, 8.0]

@@ -1,0 +1,87 @@
+"""Program-level loop bookkeeping and scheduler block splitting."""
+
+import pytest
+
+from repro.machine.program import Instr, Program, ProgramBuilder
+from repro.machine.schedule import _blocks
+
+
+class TestLoopMatches:
+    def test_simple_pair(self):
+        b = ProgramBuilder()
+        c = b.s_const(2)
+        b.loop_begin(c)
+        b.s_const(0.0)
+        b.loop_end()
+        b.halt()
+        program = b.build()
+        matches = program.loop_matches()
+        assert len(matches) == 1
+        (begin, end), = matches.items()
+        assert program.instrs[begin].opcode == "loop.begin"
+        assert program.instrs[end].opcode == "loop.end"
+
+    def test_nested(self):
+        b = ProgramBuilder()
+        c = b.s_const(2)
+        b.loop_begin(c)
+        b.loop_begin(c)
+        b.loop_end()
+        b.loop_end()
+        b.halt()
+        matches = b.build().loop_matches()
+        begins = sorted(matches)
+        assert matches[begins[0]] > matches[begins[1]]
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ValueError):
+            Program([Instr("loop.end")]).loop_matches()
+        b = ProgramBuilder()
+        c = b.s_const(1)
+        b.loop_begin(c)
+        with pytest.raises(ValueError):
+            b.build().loop_matches()
+
+
+class TestBlockSplitting:
+    def test_loops_are_barriers(self):
+        b = ProgramBuilder()
+        r = b.s_const(1.0)
+        c = b.s_const(3)
+        b.loop_begin(c)
+        b.s_op_into(r, "+", r, r)
+        b.loop_end()
+        b.s_store("out", 0, r)
+        b.halt()
+        kinds = [
+            (schedulable, [i.opcode for i in instrs])
+            for schedulable, instrs in _blocks(b.build())
+        ]
+        barrier_ops = [
+            ops[0] for schedulable, ops in kinds if not schedulable
+        ]
+        assert "loop.begin" in barrier_ops
+        assert "loop.end" in barrier_ops
+        assert "halt" in barrier_ops
+
+    def test_body_stays_inside_loop(self, spec):
+        # The loop body instruction must remain between begin/end after
+        # scheduling the whole program.
+        from repro.machine import Machine, schedule_program
+
+        b = ProgramBuilder()
+        r = b.s_const(1.0)
+        c = b.s_const(3)
+        b.loop_begin(c)
+        b.s_op_into(r, "+", r, r)
+        b.loop_end()
+        b.s_store("out", 0, r)
+        b.halt()
+        machine = Machine(spec)
+        scheduled = schedule_program(b.build(), machine)
+        opcodes = [i.opcode for i in scheduled.instrs]
+        begin = opcodes.index("loop.begin")
+        end = opcodes.index("loop.end")
+        assert "s.op" in opcodes[begin:end]
+        result = machine.run(scheduled, {"out": [0.0]})
+        assert result.array("out") == [8.0]

@@ -1,0 +1,64 @@
+"""Execution-trace recording tests."""
+
+import pytest
+
+from repro.machine import Machine, ProgramBuilder
+
+
+@pytest.fixture(scope="module")
+def machine(spec):
+    return Machine(spec)
+
+
+def small_program():
+    b = ProgramBuilder()
+    x = b.s_load("x", 0)
+    y = b.s_load("x", 1)
+    b.s_store("out", 0, b.s_op("+", x, y))
+    b.halt()
+    return b.build()
+
+
+class TestTrace:
+    def test_disabled_by_default(self, machine):
+        result = machine.run(small_program(), {"x": [1, 2], "out": [0]})
+        assert result.trace is None
+        with pytest.raises(ValueError):
+            result.format_trace()
+
+    def test_records_issue_cycles(self, machine):
+        result = machine.run(
+            small_program(), {"x": [1, 2], "out": [0]}, trace=True
+        )
+        assert result.trace is not None
+        assert len(result.trace) == result.n_instructions
+        cycles = [c for c, _ in result.trace]
+        assert cycles == sorted(cycles)  # in-order issue
+
+    def test_format_trace(self, machine):
+        result = machine.run(
+            small_program(), {"x": [1, 2], "out": [0]}, trace=True
+        )
+        text = result.format_trace()
+        assert "s.load" in text
+        assert "s.op" in text
+
+    def test_format_trace_limit(self, machine):
+        result = machine.run(
+            small_program(), {"x": [1, 2], "out": [0]}, trace=True
+        )
+        text = result.format_trace(limit=2)
+        assert "more)" in text
+
+    def test_trace_shows_dual_issue(self, machine):
+        # somewhere in a mixed program, two instructions share a cycle
+        b = ProgramBuilder()
+        s = b.s_const(1.0)
+        v = b.v_const((1.0,) * 4)
+        for _ in range(4):
+            s = b.s_op("+", s, s)
+            v = b.v_op("VecAdd", v, v)
+        b.halt()
+        result = machine.run(b.build(), {}, trace=True)
+        cycles = [c for c, _ in result.trace]
+        assert len(cycles) != len(set(cycles)), "no dual issue observed"

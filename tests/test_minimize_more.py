@@ -1,0 +1,70 @@
+"""More minimization behaviour tests."""
+
+from repro.egraph.rewrite import parse_rewrite
+from repro.ruler.minimize import _filter_pass, is_derivable, minimize_rules
+
+
+class TestFilterPass:
+    def test_derivable_candidates_dropped_in_one_pass(self):
+        accepted = [
+            parse_rewrite("comm", "(+ ?w0 ?w1) => (+ ?w1 ?w0)"),
+            parse_rewrite("zero", "(+ ?w0 0) => ?w0"),
+        ]
+        remaining = [
+            # derivable: commute then drop zero
+            parse_rewrite("d1", "(+ 0 ?w0) => ?w0"),
+            # not derivable from the accepted two
+            parse_rewrite("k1", "(* ?w0 1) => ?w0"),
+        ]
+        from repro.ruler.minimize import _FILTER_LIMITS
+
+        kept = _filter_pass(remaining, accepted, _FILTER_LIMITS)
+        names = {r.name for r in kept}
+        assert "d1" not in names
+        assert "k1" in names
+
+    def test_multi_step_derivation(self):
+        accepted = [
+            parse_rewrite("sub", "(- ?w0 ?w1) => (+ ?w0 (neg ?w1))"),
+            parse_rewrite("comm", "(+ ?w0 ?w1) => (+ ?w1 ?w0)"),
+        ]
+        # (- a b) => (+ (neg b) a): two steps
+        rule = parse_rewrite(
+            "two-step", "(- ?w0 ?w1) => (+ (neg ?w1) ?w0)"
+        )
+        assert is_derivable(rule, accepted)
+
+    def test_not_derivable_without_bridge(self):
+        accepted = [parse_rewrite("comm", "(+ ?w0 ?w1) => (+ ?w1 ?w0)")]
+        rule = parse_rewrite("sub", "(- ?w0 ?w1) => (+ ?w0 (neg ?w1))")
+        assert not is_derivable(rule, accepted)
+
+
+class TestBatching:
+    def test_batch_one_equals_greedy(self):
+        candidates = [
+            parse_rewrite("a", "(+ ?w0 0) => ?w0"),
+            parse_rewrite("b", "(+ 0 ?w0) => ?w0"),  # needs comm; kept
+            parse_rewrite("c", "(+ (+ ?w0 0) 0) => ?w0"),  # derivable
+        ]
+        kept, aborted = minimize_rules(candidates, batch_size=1)
+        assert not aborted
+        names = [r.name for r in kept]
+        assert "a" in names and "b" in names
+        assert "c" not in names
+
+    def test_empty_candidates(self):
+        kept, aborted = minimize_rules([])
+        assert kept == [] and not aborted
+
+    def test_large_batch_keeps_everything_in_batch(self):
+        candidates = [
+            parse_rewrite("a", "(+ ?w0 0) => ?w0"),
+            parse_rewrite("a-dup", "(+ (+ ?w0 0) 0) => (+ ?w0 0)"),
+        ]
+        # both land in one batch: the derivable duplicate survives
+        kept, _ = minimize_rules(candidates, batch_size=2)
+        assert len(kept) == 2
+        # with batch_size=1 the second is filtered
+        kept, _ = minimize_rules(candidates, batch_size=1)
+        assert len(kept) == 1

@@ -1,0 +1,53 @@
+"""Assorted small-unit coverage."""
+
+from repro.bench.harness import Measurement, SuiteRow
+from repro.lang.parser import parse
+from repro.phases.cost import check_strict_monotonicity
+
+
+class TestSuiteRowEdges:
+    def test_speedup_none_when_missing(self):
+        row = SuiteRow(key="k", family="F")
+        assert row.speedup("isaria") is None
+
+    def test_speedup_none_on_zero_cycles(self):
+        row = SuiteRow(key="k", family="F")
+        row.measurements["scalar"] = Measurement("scalar", 100, True)
+        row.measurements["isaria"] = Measurement("isaria", 0, True)
+        assert row.speedup("isaria") is None
+
+    def test_errored_measurement_has_no_cycles(self):
+        row = SuiteRow(key="k", family="F")
+        row.measurements["nature"] = Measurement(
+            "nature", 123, False, error="boom"
+        )
+        assert row.cycles("nature") is None
+
+
+class TestMonotonicityChecker:
+    class _BrokenModel:
+        """A cost model that violates Definition 2 on purpose."""
+
+        def term_cost(self, term):
+            # every term costs 1: children never strictly cheaper
+            return 1.0
+
+    def test_flags_violations(self):
+        violations = check_strict_monotonicity(
+            self._BrokenModel(), [parse("(+ a b)")]
+        )
+        assert len(violations) == 2  # both children flagged
+
+    def test_clean_model_no_violations(self, cost_model):
+        assert (
+            check_strict_monotonicity(cost_model, [parse("(+ a b)")])
+            == []
+        )
+
+
+class TestMeasurementDefaults:
+    def test_fields(self):
+        m = Measurement("scalar", 10, True)
+        assert m.compile_time == 0.0
+        assert m.n_instructions == 0
+        assert m.error is None

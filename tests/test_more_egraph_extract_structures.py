@@ -1,0 +1,80 @@
+"""Extraction over structurally interesting graphs."""
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.extract import Extractor, extract_best
+from repro.egraph.rewrite import parse_rewrite
+from repro.egraph.runner import RunnerLimits, run_saturation
+from repro.lang.parser import parse
+
+
+def unit_cost(op, payload, child_terms):
+    return 1.0
+
+
+class TestSharedSubgraphExtraction:
+    def test_diamond_reuse(self):
+        # root uses the same subclass twice: the extracted term must
+        # reference one consistent representative.
+        g = EGraph()
+        root = g.add_term(
+            parse("(* (+ (Get x 0) 0) (+ (Get x 0) 0))")
+        )
+        run_saturation(
+            g,
+            [parse_rewrite("id", "(+ ?a 0) => ?a")],
+            RunnerLimits(max_iterations=3),
+        )
+        _cost, term = extract_best(g, root, unit_cost)
+        assert term == parse("(* (Get x 0) (Get x 0))")
+
+    def test_multi_root_extraction_consistent(self):
+        g = EGraph()
+        a = g.add_term(parse("(+ (Get x 0) 0)"))
+        b = g.add_term(parse("(neg (+ (Get x 0) 0))"))
+        run_saturation(
+            g,
+            [parse_rewrite("id", "(+ ?a 0) => ?a")],
+            RunnerLimits(max_iterations=3),
+        )
+        extractor = Extractor(g, unit_cost)
+        term_a = extractor.best_term(a)
+        term_b = extractor.best_term(b)
+        assert term_a == parse("(Get x 0)")
+        assert term_b == parse("(neg (Get x 0))")
+
+    def test_extraction_through_list(self, cost_model):
+        g = EGraph()
+        root = g.add_term(
+            parse("(List (Vec 1 2 3 4) (Vec (Get x 0) (Get x 1) "
+                  "(Get x 2) (Get x 3)))")
+        )
+        cost, term = extract_best(g, root, cost_model)
+        assert term.op == "List"
+        assert len(term.args) == 2
+
+
+class TestCostTieBreaking:
+    def test_equal_cost_choice_is_deterministic(self):
+        g = EGraph()
+        a = g.add_term(parse("(+ (Get x 0) (Get y 0))"))
+        b = g.add_term(parse("(+ (Get y 0) (Get x 0))"))
+        g.union(a, b)
+        g.rebuild()
+        first = extract_best(g, a, unit_cost)[1]
+        second = extract_best(g, a, unit_cost)[1]
+        assert first == second
+
+    def test_strictly_better_always_wins(self, cost_model):
+        g = EGraph()
+        expensive = g.add_term(
+            parse("(Vec (+ (Get x 0) 0) (Get x 1) (Get x 2) (Get x 3))")
+        )
+        cheap = g.add_term(
+            parse("(Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))")
+        )
+        g.union(expensive, cheap)
+        g.rebuild()
+        _cost, term = extract_best(g, expensive, cost_model)
+        assert term == parse(
+            "(Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))"
+        )

@@ -1,0 +1,101 @@
+"""Exhaustive machine-op semantics against direct computation."""
+
+import math
+import random
+
+import pytest
+
+from repro.machine import Machine, ProgramBuilder
+
+
+@pytest.fixture(scope="module")
+def machine(spec):
+    return Machine(spec)
+
+
+def run_scalar_op(machine, op, args):
+    b = ProgramBuilder()
+    regs = [b.s_load("in", i) for i in range(len(args))]
+    b.s_store("out", 0, b.s_op(op, *regs))
+    b.halt()
+    result = machine.run(
+        b.build(),
+        {"in": list(args) + [0.0] * (4 - len(args)), "out": [0.0]},
+    )
+    return result.array("out")[0]
+
+
+class TestScalarOpGrid:
+    @pytest.mark.parametrize("a", [-2.5, -1.0, 0.0, 0.5, 3.0])
+    @pytest.mark.parametrize("b", [-2.0, 0.0, 1.5])
+    def test_binary_ops(self, machine, a, b):
+        assert run_scalar_op(machine, "+", (a, b)) == a + b
+        assert run_scalar_op(machine, "-", (a, b)) == a - b
+        assert run_scalar_op(machine, "*", (a, b)) == a * b
+        expected_div = 0.0 if b == 0 else a / b
+        assert run_scalar_op(machine, "/", (a, b)) == pytest.approx(
+            expected_div
+        )
+
+    @pytest.mark.parametrize("a", [-4.0, -0.1, 0.0, 0.25, 9.0])
+    def test_unary_ops(self, machine, a):
+        assert run_scalar_op(machine, "neg", (a,)) == -a
+        assert run_scalar_op(machine, "sgn", (a,)) == (
+            (a > 0) - (a < 0)
+        )
+        expected_sqrt = math.sqrt(a) if a >= 0 else 0.0
+        assert run_scalar_op(machine, "sqrt", (a,)) == pytest.approx(
+            expected_sqrt
+        )
+
+    def test_mac_grid(self, machine):
+        rng = random.Random(0)
+        for _ in range(10):
+            c, a, b = (rng.uniform(-3, 3) for _ in range(3))
+            assert run_scalar_op(
+                machine, "mac", (c, a, b)
+            ) == pytest.approx(c + a * b)
+
+
+class TestVectorOpGrid:
+    def test_all_vector_ops_lanewise(self, machine, spec):
+        rng = random.Random(1)
+        xs = [rng.uniform(0.1, 4.0) for _ in range(4)]
+        ys = [rng.uniform(0.1, 4.0) for _ in range(4)]
+        zs = [rng.uniform(0.1, 4.0) for _ in range(4)]
+        cases = {
+            "VecAdd": [x + y for x, y in zip(xs, ys)],
+            "VecMinus": [x - y for x, y in zip(xs, ys)],
+            "VecMul": [x * y for x, y in zip(xs, ys)],
+            "VecDiv": [x / y for x, y in zip(xs, ys)],
+            "VecMAC": [z + x * y for z, x, y in zip(zs, xs, ys)],
+        }
+        for op, expected in cases.items():
+            b = ProgramBuilder()
+            vz = b.v_load("z", 0)
+            vx = b.v_load("x", 0)
+            vy = b.v_load("y", 0)
+            srcs = (vz, vx, vy) if op == "VecMAC" else (vx, vy)
+            b.v_store("out", 0, b.v_op(op, *srcs))
+            b.halt()
+            result = machine.run(
+                b.build(),
+                {"x": xs, "y": ys, "z": zs, "out": [0.0] * 4},
+            )
+            assert result.array("out") == pytest.approx(expected), op
+
+    def test_unary_vector_ops(self, machine):
+        xs = [4.0, 0.25, 1.0, 9.0]
+        b = ProgramBuilder()
+        vx = b.v_load("x", 0)
+        b.v_store("out", 0, b.v_op("VecSqrt", vx))
+        b.v_store("out", 4, b.v_op("VecNeg", vx))
+        b.v_store("out", 8, b.v_op("VecSgn", b.v_op("VecNeg", vx)))
+        b.halt()
+        result = machine.run(
+            b.build(), {"x": xs, "out": [0.0] * 12}
+        )
+        out = result.array("out")
+        assert out[:4] == pytest.approx([2.0, 0.5, 1.0, 3.0])
+        assert out[4:8] == [-4.0, -0.25, -1.0, -9.0]
+        assert out[8:] == [-1.0, -1.0, -1.0, -1.0]

@@ -1,0 +1,96 @@
+"""More Nature-library tests: loop structure and scratch handling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nature import nature_program
+from repro.kernels import (
+    conv2d_kernel,
+    matmul_kernel,
+    padded_memory,
+    run_reference,
+)
+from repro.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def machine(spec):
+    return Machine(spec)
+
+
+def run_nature(machine, spec, instance, seed=1):
+    program, extra = nature_program(instance, spec)
+    inputs = instance.make_inputs(seed)
+    memory = padded_memory(instance, inputs)
+    for name, size in extra.items():
+        memory[name] = [0.0] * size
+    result = machine.run(program, memory)
+    got = result.array(instance.program.output)[: instance.output_len]
+    want = run_reference(instance, inputs)
+    assert np.allclose(got, want, rtol=1e-4, atol=1e-5), instance.key
+    return program, result
+
+
+class TestMatmulStructure:
+    def test_aligned_size_uses_no_scratch(self, spec):
+        program, extra = nature_program(matmul_kernel(4, 4, 4), spec)
+        assert extra == {}
+        assert program.count("v.op") > 0
+
+    def test_tail_columns_use_scalar_mac(self, spec):
+        program, _extra = nature_program(matmul_kernel(4, 4, 5), spec)
+        macs = [
+            i for i in program.instrs
+            if i.opcode == "s.op" and i.op == "mac"
+        ]
+        assert macs  # one tail column => scalar reduction
+
+    def test_tiny_matmul_correct(self, spec, machine):
+        run_nature(machine, spec, matmul_kernel(1, 1, 1))
+
+    @pytest.mark.parametrize("m,k,n", [(3, 4, 5), (5, 3, 4), (2, 6, 2)])
+    def test_rectangular_correct(self, spec, machine, m, k, n):
+        run_nature(machine, spec, matmul_kernel(m, k, n))
+
+    def test_vector_loop_iterations_scale(self, spec, machine):
+        _p4, r4 = run_nature(machine, spec, matmul_kernel(4, 4, 4))
+        _p8, r8 = run_nature(machine, spec, matmul_kernel(8, 4, 8))
+        # 4x the output in roughly 2-6x the cycles (loops, not unrolled)
+        assert 2 * r4.cycles < r8.cycles < 8 * r4.cycles
+
+
+class TestConvStructure:
+    def test_scratch_image_allocated(self, spec):
+        instance = conv2d_kernel(3, 3, 2, 2)
+        _program, extra = nature_program(instance, spec)
+        assert "nat_P" in extra
+        p_rows = 3 + 2 * (2 - 1)
+        p_cols = 3 + 2 * (2 - 1) + spec.vector_width
+        width = spec.vector_width
+        padded = ((p_rows * p_cols + width - 1) // width) * width
+        assert extra["nat_P"] == padded
+
+    @pytest.mark.parametrize(
+        "shape", [(3, 3, 2, 2), (4, 4, 3, 3), (5, 3, 2, 3), (3, 5, 3, 2)]
+    )
+    def test_correct_across_shapes(self, spec, machine, shape):
+        run_nature(machine, spec, conv2d_kernel(*shape))
+
+    def test_zero_border_isolated_from_inputs(self, spec, machine):
+        # An impulse image: the padded-borders must contribute zeros.
+        instance = conv2d_kernel(3, 3, 3, 3)
+        program, extra = nature_program(instance, spec)
+        inputs = {
+            "I": [0.0] * 9,
+            "F": [float(i) for i in range(9)],
+        }
+        inputs["I"][4] = 1.0  # centre impulse
+        memory = padded_memory(instance, inputs)
+        for name, size in extra.items():
+            memory[name] = [7777.0] * size  # poison the scratch
+        result = machine.run(program, memory)
+        got = result.array("out")[: instance.output_len]
+        want = run_reference(instance, inputs)
+        assert np.allclose(got, want, rtol=1e-5), (
+            "scratch poison leaked through the zero border"
+        )

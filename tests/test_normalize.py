@@ -1,0 +1,83 @@
+"""Unit tests for front-end canonicalization."""
+
+import random
+
+from repro.compiler.normalize import normalize
+from repro.interp.env import term_inputs
+from repro.interp.value import values_equal
+from repro.lang.parser import parse
+
+
+class TestNormalizeShapes:
+    def test_mixed_signs_become_p_minus_n(self):
+        term = parse("(+ (- (Get a 0) (Get a 1)) (Get a 2))")
+        assert normalize(term) == parse(
+            "(- (+ (Get a 0) (Get a 2)) (Get a 1))"
+        )
+
+    def test_all_positive_stays_sum(self):
+        term = parse("(+ (+ (Get a 0) (Get a 1)) (Get a 2))")
+        assert normalize(term) == term
+
+    def test_all_negative_becomes_neg_sum(self):
+        term = parse("(- (neg (Get a 0)) (Get a 1))")
+        assert normalize(term) == parse(
+            "(neg (+ (Get a 0) (Get a 1)))"
+        )
+
+    def test_neg_pushed_through(self):
+        term = parse("(neg (- (Get a 0) (Get a 1)))")
+        assert normalize(term) == parse("(- (Get a 1) (Get a 0))")
+
+    def test_double_negation_cancels(self):
+        term = parse("(neg (neg (Get a 0)))")
+        assert normalize(term) == parse("(Get a 0)")
+
+    def test_zero_literals_dropped(self):
+        term = parse("(+ (Get a 0) 0)")
+        assert normalize(term) == parse("(Get a 0)")
+        assert normalize(parse("(- 0 0)")) == parse("0")
+
+    def test_normalizes_inside_multiplications(self):
+        term = parse("(* (Get a 0) (- (Get a 1) (neg (Get a 2))))")
+        assert normalize(term) == parse(
+            "(* (Get a 0) (+ (Get a 1) (Get a 2)))"
+        )
+
+    def test_qprod_lanes_share_root_shape(self):
+        from repro.kernels import quaternion_product_kernel
+
+        instance = quaternion_product_kernel()
+        chunk = instance.program.term.args[0]
+        assert {lane.op for lane in chunk.args} == {"-"}
+
+
+class TestNormalizeSemantics:
+    def test_random_equivalence(self, spec):
+        interp = spec.interpreter()
+        rng = random.Random(11)
+        samples = [
+            "(- (+ (Get a 0) (Get a 1)) (+ (Get a 2) (Get a 3)))",
+            "(+ (neg (Get a 0)) (- (Get a 1) (neg (Get a 2))))",
+            "(* (- (Get a 0) (Get a 1)) (- (Get a 2) (Get a 3)))",
+            "(/ (- (Get a 0) (neg (Get a 1))) (+ (Get a 2) 1))",
+            "(sqrt (* (Get a 0) (Get a 0)))",
+            "(mac (Get a 0) (- (Get a 1) (Get a 2)) (Get a 3))",
+        ]
+        for text in samples:
+            term = parse(text)
+            canon = normalize(term)
+            for _ in range(10):
+                env = {
+                    atom: rng.uniform(-5, 5)
+                    for atom in term_inputs(term)
+                }
+                assert values_equal(
+                    interp.evaluate(term, env),
+                    interp.evaluate(canon, env),
+                ), text
+
+    def test_idempotent(self):
+        term = parse("(+ (- (Get a 0) (Get a 1)) (neg (Get a 2)))")
+        once = normalize(term)
+        assert normalize(once) == once

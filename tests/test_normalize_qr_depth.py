@@ -1,0 +1,40 @@
+"""Normalization behaviour on the deep QR traces."""
+
+import numpy as np
+
+from repro.compiler.frontend import scalar_outputs
+from repro.kernels import qr_kernel, run_reference
+
+
+class TestQrNormalization:
+    def test_outputs_preserve_reference(self, spec):
+        instance = qr_kernel(3)
+        interp = spec.interpreter()
+        inputs = instance.make_inputs(11)
+        env = {k: [float(x) for x in v] for k, v in inputs.items()}
+        normalized = scalar_outputs(instance.program)
+        raw = scalar_outputs(instance.program, source=True)
+        want = run_reference(instance, inputs)
+        for terms in (normalized, raw):
+            got = [float(interp.evaluate(t, env)) for t in terms]
+            assert np.allclose(got, want, rtol=1e-6), "trace mismatch"
+
+    def test_no_negs_in_additive_positions(self):
+        # After normalization, neg only survives as a whole-lane root
+        # or under non-additive operators.
+        from repro.lang.term import subterms
+
+        instance = qr_kernel(3)
+        for chunk in instance.program.term.args:
+            for lane in chunk.args:
+                for sub in subterms(lane):
+                    if sub.op in ("+", "-"):
+                        for arg in sub.args[:1]:
+                            assert arg.op != "neg", sub
+
+    def test_division_structure_intact(self):
+        from repro.lang.pattern import contains_op
+
+        instance = qr_kernel(3)
+        assert contains_op(instance.program.term, "/")
+        assert contains_op(instance.program.term, "sqrt")

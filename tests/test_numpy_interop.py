@@ -1,0 +1,49 @@
+"""numpy interoperability: kernels and machine accept numpy values."""
+
+import numpy as np
+
+from repro.baselines import compile_scalar
+from repro.kernels import matmul_kernel, padded_memory, run_reference
+from repro.machine import Machine
+
+
+class TestNumpyInputs:
+    def test_machine_accepts_numpy_arrays(self, spec):
+        instance = matmul_kernel(2, 2, 2)
+        program = compile_scalar(instance.program, spec)
+        inputs = {
+            "A": np.array([1.0, 2.0, 3.0, 4.0]),
+            "B": np.array([5.0, 6.0, 7.0, 8.0]),
+        }
+        memory = padded_memory(instance, inputs)
+        result = Machine(spec).run(program, memory)
+        assert result.array("out")[:4] == [19.0, 22.0, 43.0, 50.0]
+
+    def test_reference_accepts_lists_and_arrays(self):
+        instance = matmul_kernel(2, 2, 2)
+        as_list = run_reference(
+            instance, {"A": [1, 0, 0, 1], "B": [2, 3, 4, 5]}
+        )
+        as_array = run_reference(
+            instance,
+            {"A": np.eye(2).ravel(), "B": np.array([2.0, 3, 4, 5])},
+        )
+        assert np.allclose(as_list, as_array)
+
+    def test_float32_inputs_coerced(self, spec):
+        instance = matmul_kernel(2, 2, 2)
+        program = compile_scalar(instance.program, spec)
+        inputs = {
+            "A": np.ones(4, dtype=np.float32),
+            "B": np.ones(4, dtype=np.float32),
+        }
+        memory = padded_memory(instance, inputs)
+        result = Machine(spec).run(program, memory)
+        assert result.array("out")[:4] == [2.0, 2.0, 2.0, 2.0]
+
+    def test_interpreter_accepts_numpy_scalars(self, spec):
+        from repro.lang.parser import parse
+
+        interp = spec.interpreter()
+        env = {"a": np.float64(2.0), "b": np.float64(3.0)}
+        assert float(interp.evaluate(parse("(+ a b)"), env)) == 5.0

@@ -1,0 +1,73 @@
+"""Parser edge cases beyond the basics."""
+
+import pytest
+
+from repro.lang import builders as B
+from repro.lang.parser import ParseError, parse, parse_many, to_sexpr
+
+
+class TestNumericEdges:
+    def test_negative_float(self):
+        assert parse("-0.25") == B.const(-0.25)
+
+    def test_integral_float_literal(self):
+        # 2.0 normalizes to the int leaf
+        assert parse("2.0") is B.const(2)
+
+    def test_scientific_notation(self):
+        assert parse("1e-3") == B.const(0.001)
+
+    def test_symbol_with_digits(self):
+        term = parse("x1")
+        assert term == B.symbol("x1")
+
+    def test_dash_symbol_vs_number(self):
+        # a lone '-' in head position is the subtraction operator
+        assert parse("(- 1 2)").op == "-"
+
+
+class TestWhitespaceAndNesting:
+    def test_deep_nesting(self):
+        depth = 60
+        text = "(neg " * depth + "x" + ")" * depth
+        term = parse(text)
+        from repro.lang.term import term_depth
+
+        assert term_depth(term) == depth + 1
+
+    def test_newlines_and_tabs(self):
+        term = parse("(+\n\t1\n\t2)")
+        assert term == B.add(B.const(1), B.const(2))
+
+    def test_parse_many_mixed(self):
+        terms = parse_many("1 (neg 2)\n; comment\n(Get a 0)")
+        assert len(terms) == 3
+        assert terms[2] == B.get("a", 0)
+
+    def test_empty_parse_many(self):
+        assert parse_many("; only a comment") == []
+
+
+class TestGetEdgeCases:
+    def test_get_requires_symbol_then_const(self):
+        with pytest.raises(ParseError):
+            parse("(Get 1 x)")
+        with pytest.raises(ParseError):
+            parse("(Get x 1 2)")
+
+    def test_get_roundtrip_large_index(self):
+        term = B.get("buffer", 12345)
+        assert parse(to_sexpr(term)) is term
+
+
+class TestPrinterEdges:
+    def test_zero_arg_compound(self):
+        from repro.lang.term import make
+
+        term = make("List")
+        assert to_sexpr(term) == "(List)"
+
+    def test_float_repr_roundtrips(self):
+        for value in (0.1, -2.5, 1e-7, 3.141592653589793):
+            term = B.const(value)
+            assert parse(to_sexpr(term)) is term

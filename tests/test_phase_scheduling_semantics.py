@@ -1,0 +1,57 @@
+"""Semantics of the phased schedule itself (Fig. 3 mechanics)."""
+
+import dataclasses
+
+from repro.compiler.compile import CompileOptions, compile_term
+from repro.kernels import matmul_kernel
+from repro.lang.parser import parse
+
+
+class TestRoundProgression:
+    def test_costs_monotone_across_rounds(self, isaria_compiler):
+        program = matmul_kernel(2, 2, 2).program.term
+        _t, report = isaria_compiler.compile_term(program)
+        costs = [r.extracted_cost for r in report.rounds]
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+        assert report.final_cost <= costs[-1] + 1e-9
+
+    def test_round_zero_skips_expansion_later_rounds_run_it(
+        self, isaria_compiler
+    ):
+        program = matmul_kernel(2, 2, 2).program.term
+        _t, report = isaria_compiler.compile_term(program)
+        assert report.rounds[0].expansion is None
+        if len(report.rounds) > 1:
+            assert report.rounds[1].expansion is not None
+
+    def test_expansion_start_round_zero(self, isaria_compiler):
+        options = dataclasses.replace(
+            isaria_compiler.options,
+            expansion_start_round=0,
+            max_rounds=2,
+        )
+        program = parse(
+            "(List (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3)))"
+        )
+        _t, report = isaria_compiler.compile_term(
+            program, options=options
+        )
+        assert report.rounds[0].expansion is not None
+
+    def test_max_rounds_respected(self, isaria_compiler):
+        options = dataclasses.replace(
+            isaria_compiler.options, max_rounds=1
+        )
+        program = matmul_kernel(2, 2, 2).program.term
+        _t, report = isaria_compiler.compile_term(
+            program, options=options
+        )
+        assert len(report.rounds) == 1
+
+    def test_trivial_program_short_circuits(self, isaria_compiler):
+        program = parse("(List (Vec 1 2 3 4))")
+        compiled, report = isaria_compiler.compile_term(program)
+        assert compiled == program  # already minimal
+        # loop must terminate quickly (no improvement possible past
+        # the first expansion round)
+        assert len(report.rounds) <= 2

@@ -1,0 +1,160 @@
+"""Unit tests for the cost model and phase assignment (§3.2)."""
+
+import pytest
+
+from repro.egraph.rewrite import parse_rewrite
+from repro.lang.parser import parse
+from repro.phases import (
+    Phase,
+    PhaseParams,
+    aggregate_cost,
+    assign_phase,
+    assign_phases,
+    check_strict_monotonicity,
+    cost_differential,
+    default_params,
+)
+
+
+class TestCostModel:
+    def test_leaf_costs(self, cost_model):
+        assert cost_model.term_cost(parse("1")) == cost_model.leaf_cost
+        assert cost_model.term_cost(parse("(Get x 0)")) == (
+            cost_model.leaf_cost
+        )
+        assert cost_model.term_cost(parse("?a")) == cost_model.leaf_cost
+
+    def test_scalar_vs_vector_op(self, cost_model):
+        scalar = cost_model.term_cost(parse("(+ ?a ?b)"))
+        vector = cost_model.term_cost(parse("(VecAdd ?a ?b)"))
+        assert scalar > vector
+
+    def test_vec_of_leaves_is_cheap(self, cost_model):
+        leafy = cost_model.term_cost(parse("(Vec ?a ?b ?c ?d)"))
+        computed = cost_model.term_cost(
+            parse("(Vec (+ ?a 0) ?b ?c ?d)")
+        )
+        assert computed > leafy + cost_model.vec_lane_compute_cost / 2
+
+    def test_contiguous_get_run_is_a_load(self, cost_model):
+        load = cost_model.term_cost(
+            parse("(Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))")
+        )
+        gather = cost_model.term_cost(
+            parse("(Vec (Get x 0) (Get x 2) (Get x 1) (Get x 3))")
+        )
+        assert load < gather
+
+    def test_constant_vector_is_cheap(self, cost_model):
+        assert cost_model.term_cost(parse("(Vec 1 2 3 4)")) == (
+            cost_model.vec_contiguous_cost + 4 * cost_model.leaf_cost
+        )
+
+    def test_unknown_op_raises(self, cost_model):
+        with pytest.raises(KeyError):
+            cost_model.node_cost("Frobnicate", None, ())
+
+    def test_strict_monotonicity_on_samples(self, cost_model):
+        samples = [
+            parse(t)
+            for t in (
+                "(+ (Get x 0) (Get y 0))",
+                "(VecMAC (Vec 1 2 3 4) ?a ?b)",
+                "(List (Vec ?a ?b ?c ?d))",
+                "(Concat (Vec 1 2 3 4) (Vec 5 6 7 8))",
+                "(sqrt (/ ?a ?b))",
+            )
+        ]
+        assert check_strict_monotonicity(cost_model, samples) == []
+
+
+class TestMetrics:
+    def test_cost_differential_sign(self, cost_model):
+        lowering = parse_rewrite(
+            "lift",
+            "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3)) => "
+            "(VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+        )
+        assert cost_differential(cost_model, lowering) > 1000
+
+    def test_symmetric_rule_zero_differential(self, cost_model):
+        comm = parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)")
+        assert cost_differential(cost_model, comm) == 0
+        assert aggregate_cost(cost_model, comm) == (
+            2 * cost_model.term_cost(parse("(+ ?a ?b)"))
+        )
+
+
+class TestAssignment:
+    def test_lift_rule_is_compilation(self, spec, cost_model):
+        rule = parse_rewrite(
+            "lift",
+            "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3)) => "
+            "(VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+        )
+        params = default_params(spec)
+        assert assign_phase(cost_model, rule, params) is Phase.COMPILATION
+
+    def test_scalar_rule_is_expansion(self, spec, cost_model):
+        params = default_params(spec)
+        for text in (
+            "(+ ?a ?b) => (+ ?b ?a)",
+            "(+ (+ ?a ?b) ?c) => (+ ?a (+ ?b ?c))",
+            "(neg (neg ?a)) => ?a",
+            "(- ?a ?b) => (+ ?a (neg ?b))",
+        ):
+            rule = parse_rewrite("r", text)
+            assert assign_phase(cost_model, rule, params) is (
+                Phase.EXPANSION
+            ), text
+
+    def test_vector_rule_is_optimization(self, spec, cost_model):
+        params = default_params(spec)
+        for text in (
+            "(VecAdd ?a ?b) => (VecAdd ?b ?a)",
+            "(VecAdd ?c (VecMul ?a ?b)) => (VecMAC ?c ?a ?b)",
+            "(VecAdd (VecAdd ?a ?b) ?c) => (VecAdd ?a (VecAdd ?b ?c))",
+        ):
+            rule = parse_rewrite("r", text)
+            assert assign_phase(cost_model, rule, params) is (
+                Phase.OPTIMIZATION
+            ), text
+
+    def test_extreme_params_collapse_to_one_phase(self, cost_model):
+        # Very large beta: everything non-compilation becomes
+        # optimization (the paper's Fig. 9 top-right corner).
+        rules = [
+            parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)"),
+            parse_rewrite("vcomm", "(VecAdd ?a ?b) => (VecAdd ?b ?a)"),
+        ]
+        ruleset = assign_phases(
+            cost_model, rules, PhaseParams(alpha=10**9, beta=10**9)
+        )
+        assert not ruleset.expansion
+        assert not ruleset.compilation
+        assert len(ruleset.optimization) == 2
+
+    def test_counts_and_iteration(self, cost_model, spec):
+        rules = [
+            parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)"),
+            parse_rewrite("vcomm", "(VecAdd ?a ?b) => (VecAdd ?b ?a)"),
+        ]
+        ruleset = assign_phases(cost_model, rules, default_params(spec))
+        assert len(ruleset) == 2
+        assert set(ruleset.counts()) == {
+            "expansion",
+            "compilation",
+            "optimization",
+        }
+        assert sorted(r.name for r in ruleset.all_rules()) == [
+            "comm",
+            "vcomm",
+        ]
+        assert "2 rules" in ruleset.summary()
+
+
+class TestDefaultParams:
+    def test_defaults_reasonable(self, spec):
+        params = default_params(spec)
+        assert params.alpha > 0
+        assert 0 < params.beta < params.alpha

@@ -1,0 +1,97 @@
+"""Extra tests: PhasedRuleSet container and assignment edge cases."""
+
+from repro.egraph.rewrite import parse_rewrite
+from repro.phases import (
+    Phase,
+    PhaseParams,
+    assign_phase,
+    assign_phases,
+)
+
+
+def _rules():
+    return [
+        parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)"),
+        parse_rewrite("vcomm", "(VecAdd ?a ?b) => (VecAdd ?b ?a)"),
+        parse_rewrite(
+            "lift",
+            "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3)) => "
+            "(VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+        ),
+    ]
+
+
+class TestPhasedRuleSet:
+    def test_iteration_order_is_phase_order(self, cost_model, spec):
+        from repro.phases import default_params
+
+        ruleset = assign_phases(cost_model, _rules(),
+                                default_params(spec))
+        names = [r.name for r in ruleset]
+        # expansion first, then compilation, then optimization
+        assert names.index("comm") < names.index("lift")
+        assert names.index("lift") < names.index("vcomm")
+
+    def test_all_rules_preserves_everything(self, cost_model, spec):
+        from repro.phases import default_params
+
+        ruleset = assign_phases(cost_model, _rules(),
+                                default_params(spec))
+        assert {r.name for r in ruleset.all_rules()} == {
+            "comm", "vcomm", "lift",
+        }
+
+    def test_empty_ruleset(self, cost_model):
+        ruleset = assign_phases(
+            cost_model, [], PhaseParams(alpha=1, beta=1)
+        )
+        assert len(ruleset) == 0
+        assert ruleset.all_rules() == []
+        assert "0 rules" in ruleset.summary()
+
+
+class TestBoundaryAssignments:
+    def test_cd_exactly_alpha_is_not_compilation(self, cost_model):
+        # the rule's CD must be STRICTLY greater than alpha
+        rule = parse_rewrite("nn", "(neg (neg ?a)) => ?a")
+        from repro.phases import cost_differential
+
+        cd = cost_differential(cost_model, rule)
+        params = PhaseParams(alpha=cd, beta=0.0)
+        assert assign_phase(cost_model, rule, params) is not (
+            Phase.COMPILATION
+        )
+        params = PhaseParams(alpha=cd - 0.5, beta=0.0)
+        assert assign_phase(cost_model, rule, params) is (
+            Phase.COMPILATION
+        )
+
+    def test_ca_exactly_beta_is_optimization(self, cost_model):
+        rule = parse_rewrite("vcomm", "(VecAdd ?a ?b) => (VecAdd ?b ?a)")
+        from repro.phases import aggregate_cost
+
+        ca = aggregate_cost(cost_model, rule)
+        params = PhaseParams(alpha=10**9, beta=ca)
+        assert assign_phase(cost_model, rule, params) is (
+            Phase.OPTIMIZATION
+        )
+        params = PhaseParams(alpha=10**9, beta=ca - 0.5)
+        assert assign_phase(cost_model, rule, params) is Phase.EXPANSION
+
+    def test_direction_matters(self, cost_model, spec):
+        from repro.phases import default_params
+
+        params = default_params(spec)
+        forward = parse_rewrite(
+            "lift",
+            "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3)) => "
+            "(VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+        )
+        backward = forward.reversed("unlift")
+        assert assign_phase(cost_model, forward, params) is (
+            Phase.COMPILATION
+        )
+        # the reverse *raises* cost: not compilation
+        assert assign_phase(cost_model, backward, params) is not (
+            Phase.COMPILATION
+        )

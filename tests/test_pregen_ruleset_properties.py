@@ -1,0 +1,112 @@
+"""Properties of the shipped rule set (the default compiler's rules)."""
+
+import pytest
+
+from repro.core.pregen import DEFAULT_RULES_FILE, load_pregenerated_rules
+from repro.isa import fusion_g3_spec
+from repro.phases import CostModel, assign_phases, default_params
+
+pytestmark = pytest.mark.skipif(
+    not DEFAULT_RULES_FILE.exists(),
+    reason="pregenerated rules not built",
+)
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    spec = fusion_g3_spec()
+    rules = load_pregenerated_rules()
+    return assign_phases(CostModel(spec), rules, default_params(spec))
+
+
+class TestPhasePopulations:
+    def test_all_phases_populated(self, ruleset):
+        counts = ruleset.counts()
+        assert counts["expansion"] > 50
+        assert counts["compilation"] > 20
+        assert counts["optimization"] > 20
+
+    def test_canonical_lifts_in_compilation(self, ruleset):
+        lift_targets = {
+            r.rhs.op
+            for r in ruleset.compilation
+            if r.lhs.op == "Vec"
+        }
+        assert {
+            "VecAdd", "VecMinus", "VecMul", "VecDiv",
+            "VecNeg", "VecSqrt", "VecSgn", "VecMAC",
+        } <= lift_targets
+
+    def test_identity_introductions_in_expansion(self, ruleset):
+        bare = [r for r in ruleset.expansion if r.lhs.op == "Wild"]
+        texts = {str(r) for r in bare}
+        assert "?w0 => (+ ?w0 0)" in texts
+
+    def test_commutativity_and_associativity_present(self, ruleset):
+        texts = {str(r) for r in ruleset.all_rules()}
+        assert "(+ ?w0 ?w1) => (+ ?w1 ?w0)" in texts
+        assert "(* ?w0 ?w1) => (* ?w1 ?w0)" in texts
+        assert any(
+            "(+ (+ " in t and "Vec" not in t for t in texts
+        ), "no scalar associativity rules"
+
+    def test_mac_bridge_present(self, ruleset):
+        texts = {str(r) for r in ruleset.all_rules()}
+        assert any(
+            t.startswith("(mac ?w0 ?w1 ?w2) =>")
+            or "=> (mac ?w0 ?w1 ?w2)" in t
+            for t in texts
+        )
+
+    def test_vector_mac_fusion_present(self, ruleset):
+        texts = {str(r) for r in ruleset.optimization}
+        assert any("VecMAC" in t for t in texts)
+
+
+class TestRuleHygiene:
+    def test_no_duplicate_rules(self, ruleset):
+        texts = [str(r) for r in ruleset.all_rules()]
+        assert len(texts) == len(set(texts))
+
+    def test_no_trivial_rules(self, ruleset):
+        for rule in ruleset.all_rules():
+            assert rule.lhs != rule.rhs, str(rule)
+
+    def test_rhs_wildcards_bound(self, ruleset):
+        from repro.lang.pattern import wildcards_of
+
+        for rule in ruleset.all_rules():
+            assert set(wildcards_of(rule.rhs)) <= set(
+                wildcards_of(rule.lhs)
+            ), str(rule)
+
+    def test_sample_rules_sound(self, ruleset):
+        """Spot-verify a deterministic sample at full width."""
+        from repro.lang.ops import OpKind
+        from repro.lang.term import subterms
+        from repro.ruler.verify import verify_rule, verify_vector_rule
+
+        spec = fusion_g3_spec()
+        sample = ruleset.all_rules()[::37]  # ~25 rules
+
+        def vectorish(rule):
+            for side in (rule.lhs, rule.rhs):
+                for sub in subterms(side):
+                    if sub.op == "Vec" or (
+                        spec.has_instruction(sub.op)
+                        and spec.instruction(sub.op).kind
+                        is OpKind.VECTOR
+                    ):
+                        return True
+            return False
+
+        for rule in sample:
+            if vectorish(rule):
+                result = verify_vector_rule(
+                    rule.lhs, rule.rhs, spec, n_samples=8
+                )
+            else:
+                result = verify_rule(
+                    rule.lhs, rule.rhs, spec, n_samples=24, seed=5
+                )
+            assert result.ok, (str(rule), result.detail)

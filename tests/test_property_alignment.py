@@ -1,0 +1,66 @@
+"""Property-based chunk-alignment tests."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.compiler.normalize import align_chunk_lanes
+from repro.interp.env import term_inputs
+from repro.isa import fusion_g3_spec
+from repro.lang import builders as B
+
+_SPEC = fusion_g3_spec()
+_INTERP = _SPEC.interpreter()
+
+
+def additive_lanes():
+    products = st.tuples(
+        st.sampled_from(["x", "y"]), st.integers(0, 3),
+        st.sampled_from(["x", "y"]), st.integers(0, 3),
+    ).map(lambda p: B.mul(B.get(p[0], p[1]), B.get(p[2], p[3])))
+
+    @st.composite
+    def lane(draw):
+        n_pos = draw(st.integers(0, 3))
+        n_neg = draw(st.integers(0, 3 - min(n_pos, 2)))
+        terms_pos = [draw(products) for _ in range(n_pos)]
+        terms_neg = [draw(products) for _ in range(n_neg)]
+        acc = None
+        for t in terms_pos:
+            acc = t if acc is None else B.add(acc, t)
+        for t in terms_neg:
+            acc = B.neg(t) if acc is None else B.sub(acc, t)
+        return acc if acc is not None else B.const(0)
+
+    return lane()
+
+
+def lane_shape(term):
+    if not term.args:
+        return "leaf"
+    return (term.op,) + tuple(lane_shape(a) for a in term.args)
+
+
+@given(st.lists(additive_lanes(), min_size=4, max_size=4),
+       st.integers(0, 3))
+@settings(max_examples=80, deadline=None)
+def test_alignment_isomorphic_and_semantics_preserving(lanes, seed):
+    import random
+
+    aligned = align_chunk_lanes(lanes)
+    assert len(aligned) == 4
+    shapes = {lane_shape(lane) for lane in aligned}
+    assert len(shapes) == 1
+
+    rng = random.Random(seed)
+    env = {
+        "x": [rng.uniform(-3, 3) for _ in range(4)],
+        "y": [rng.uniform(-3, 3) for _ in range(4)],
+    }
+    for before, after in zip(lanes, aligned):
+        needed = set(term_inputs(before)) | set(term_inputs(after))
+        assert needed <= {"x", "y"} | needed  # sanity
+        lhs = float(_INTERP.evaluate(before, env))
+        rhs = float(_INTERP.evaluate(after, env))
+        assert abs(lhs - rhs) < 1e-9

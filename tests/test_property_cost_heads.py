@@ -1,0 +1,68 @@
+"""Property test: head-based and term-based cost agree everywhere."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.isa import fusion_g3_spec
+from repro.lang import builders as B
+from repro.lang.term import make
+from repro.phases import CostModel
+
+_MODEL = CostModel(fusion_g3_spec())
+
+
+def cost_terms():
+    leaves = st.one_of(
+        st.integers(-3, 3).map(B.const),
+        st.sampled_from(["a", "b"]).map(B.symbol),
+        st.tuples(
+            st.sampled_from(["x", "y"]), st.integers(0, 7)
+        ).map(lambda p: B.get(*p)),
+        st.sampled_from(["w0", "w1"]).map(B.wildcard),
+    )
+
+    def extend(children):
+        scalar_ops = st.sampled_from(["+", "-", "*", "neg", "mac"])
+        vec4 = st.builds(
+            lambda a, b, c, d: B.vec(a, b, c, d),
+            children, children, children, children,
+        )
+        return st.one_of(
+            st.builds(
+                lambda op, a, b: make(
+                    op, a, b
+                ) if op != "neg" else make(op, a),
+                scalar_ops, children, children,
+            ),
+            vec4,
+            st.builds(B.vec_add, children, children),
+            st.builds(B.vec_mac, children, children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+@given(cost_terms())
+@settings(max_examples=120, deadline=None)
+def test_node_cost_parities(term):
+    try:
+        via_terms = _MODEL.node_cost(term.op, term.payload, term.args)
+    except KeyError:
+        return
+    heads = tuple((a.op, a.payload) for a in term.args)
+    via_heads = _MODEL.node_cost_heads(term.op, term.payload, heads)
+    assert abs(via_terms - via_heads) < 1e-12
+
+
+@given(cost_terms())
+@settings(max_examples=120, deadline=None)
+def test_term_cost_positive_and_monotone(term):
+    try:
+        total = _MODEL.term_cost(term)
+    except KeyError:
+        return
+    assert total > 0
+    for arg in term.args:
+        assert _MODEL.term_cost(arg) < total

@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for the e-graph core.
+
+Invariants checked on random term sets and union sequences:
+
+- hashcons: re-adding any term gives its original class;
+- union-find: equivalence is reflexive/symmetric/transitive;
+- congruence: equal children imply equal parents after rebuild;
+- extraction: the extracted term is represented in the class and its
+  reported cost equals the cost function applied to the term.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.extract import Extractor
+from repro.lang import builders as B
+from repro.lang.term import Term
+
+
+def terms(max_depth: int = 3):
+    leaves = st.one_of(
+        st.integers(min_value=-2, max_value=2).map(B.const),
+        st.sampled_from(["a", "b", "c"]).map(B.symbol),
+        st.tuples(
+            st.sampled_from(["x", "y"]),
+            st.integers(min_value=0, max_value=3),
+        ).map(lambda p: B.get(*p)),
+    )
+
+    def extend(children):
+        unary = st.builds(B.neg, children)
+        binary = st.one_of(
+            st.builds(B.add, children, children),
+            st.builds(B.mul, children, children),
+            st.builds(B.sub, children, children),
+        )
+        ternary = st.builds(B.mac, children, children, children)
+        return st.one_of(unary, binary, ternary)
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def unit_cost(op, payload, child_terms):
+    return 1.0
+
+
+class TestHashcons:
+    @given(st.lists(terms(), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_readding_terms_is_stable(self, term_list):
+        g = EGraph()
+        ids = [g.add_term(t) for t in term_list]
+        for t, class_id in zip(term_list, ids):
+            assert g.find(g.add_term(t)) == g.find(class_id)
+
+    @given(st.lists(terms(), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_structural_equality_implies_same_class(self, term_list):
+        g = EGraph()
+        for t in term_list:
+            g.add_term(t)
+        seen: dict[Term, int] = {}
+        for t in term_list:
+            class_id = g.find(g.add_term(t))
+            if t in seen:
+                assert seen[t] == class_id
+            seen[t] = class_id
+
+
+class TestUnionCongruence:
+    @given(
+        st.lists(terms(), min_size=2, max_size=6),
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence_relation(self, term_list, merges):
+        g = EGraph()
+        ids = [g.add_term(t) for t in term_list]
+        for i, j in merges:
+            g.union(ids[i % len(ids)], ids[j % len(ids)])
+        g.rebuild()
+        n = len(ids)
+        for i in range(n):
+            assert g.equivalent(ids[i], ids[i])
+            for j in range(n):
+                assert g.equivalent(ids[i], ids[j]) == g.equivalent(
+                    ids[j], ids[i]
+                )
+                for k in range(n):
+                    if g.equivalent(ids[i], ids[j]) and g.equivalent(
+                        ids[j], ids[k]
+                    ):
+                        assert g.equivalent(ids[i], ids[k])
+
+    @given(terms(), terms())
+    @settings(max_examples=60, deadline=None)
+    def test_congruence_of_parents(self, t1, t2):
+        g = EGraph()
+        f1 = g.add_term(B.neg(t1))
+        f2 = g.add_term(B.neg(t2))
+        a = g.add_term(t1)
+        b = g.add_term(t2)
+        g.union(a, b)
+        g.rebuild()
+        assert g.equivalent(f1, f2)
+
+    @given(st.lists(terms(), min_size=2, max_size=6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_hashcons_canonical_after_rebuild(self, term_list, data):
+        g = EGraph()
+        ids = [g.add_term(t) for t in term_list]
+        i = data.draw(st.integers(0, len(ids) - 1))
+        j = data.draw(st.integers(0, len(ids) - 1))
+        g.union(ids[i], ids[j])
+        g.rebuild()
+        # every hashcons entry must map a canonical node to a
+        # canonical class
+        for node, class_id in g._hashcons.items():
+            assert g.canonicalize(node) == node
+            assert g.find(class_id) in {
+                c.id for c in g.classes()
+            }
+
+
+class TestExtractionProperties:
+    @given(st.lists(terms(), min_size=1, max_size=6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_extracted_cost_consistent(self, term_list, data):
+        g = EGraph()
+        ids = [g.add_term(t) for t in term_list]
+        if len(ids) > 1:
+            i = data.draw(st.integers(0, len(ids) - 1))
+            j = data.draw(st.integers(0, len(ids) - 1))
+            g.union(ids[i], ids[j])
+            g.rebuild()
+        extractor = Extractor(g, unit_cost)
+        for class_id in ids:
+            cost, term = extractor.best(class_id)
+            # cost of a term under unit cost = its tree size
+            from repro.lang.term import term_size
+
+            assert cost == term_size(term)
+            # extracted term re-adds into the same class
+            assert g.equivalent(g.add_term(term), class_id)
+
+    @given(terms(), terms())
+    @settings(max_examples=40, deadline=None)
+    def test_extraction_picks_min_of_unioned(self, t1, t2):
+        from repro.lang.term import term_size
+
+        g = EGraph()
+        a = g.add_term(t1)
+        b = g.add_term(t2)
+        g.union(a, b)
+        g.rebuild()
+        extractor = Extractor(g, unit_cost)
+        cost, _ = extractor.best(a)
+        assert cost <= min(term_size(t1), term_size(t2))

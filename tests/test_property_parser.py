@@ -1,0 +1,60 @@
+"""Property-based parser round-trips over random terms/patterns."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang import builders as B
+from repro.lang.parser import parse, to_sexpr
+from repro.lang.term import make
+
+
+def random_terms():
+    leaves = st.one_of(
+        st.integers(-1000, 1000).map(B.const),
+        st.floats(
+            allow_nan=False,
+            allow_infinity=False,
+            min_value=-1e6,
+            max_value=1e6,
+        ).map(B.const),
+        st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).map(
+            B.symbol
+        ),
+        st.tuples(
+            st.from_regex(r"[A-Za-z]{1,5}", fullmatch=True),
+            st.integers(0, 99),
+        ).map(lambda p: B.get(*p)),
+        st.from_regex(r"[a-z][a-z0-9]{0,4}", fullmatch=True).map(
+            B.wildcard
+        ),
+    )
+
+    ops = st.sampled_from(
+        ["+", "-", "*", "/", "neg", "sgn", "sqrt", "mac",
+         "VecAdd", "VecMAC", "Vec", "Concat", "List"]
+    )
+
+    def extend(children):
+        return st.builds(
+            lambda op, args: make(op, *args),
+            ops,
+            st.lists(children, min_size=1, max_size=4),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=10)
+
+
+@given(random_terms())
+@settings(max_examples=150, deadline=None)
+def test_parse_print_roundtrip(term):
+    assert parse(to_sexpr(term)) is term
+
+
+@given(random_terms())
+@settings(max_examples=100, deadline=None)
+def test_printed_form_stable(term):
+    once = to_sexpr(term)
+    twice = to_sexpr(parse(once))
+    assert once == twice

@@ -1,0 +1,123 @@
+"""Property-based tests for the interpreter, normalization, cost
+model, and rewrite soundness."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.compiler.normalize import normalize
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import parse_rewrite
+from repro.egraph.runner import RunnerLimits, run_saturation
+from repro.interp.env import term_inputs
+from repro.interp.value import UNDEFINED, values_equal
+from repro.isa import fusion_g3_spec
+from repro.lang import builders as B
+from repro.phases.cost import CostModel
+
+_SPEC = fusion_g3_spec()
+_INTERP = _SPEC.interpreter()
+_COST = CostModel(_SPEC)
+
+# Scalar terms over +,-,*,neg,mac (total ops, no undefinedness).
+def total_terms():
+    leaves = st.one_of(
+        st.integers(min_value=-3, max_value=3).map(B.const),
+        st.sampled_from(["a", "b", "c"]).map(B.symbol),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(B.neg, children),
+            st.builds(B.add, children, children),
+            st.builds(B.sub, children, children),
+            st.builds(B.mul, children, children),
+            st.builds(B.mac, children, children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=10)
+
+
+envs = st.fixed_dictionaries(
+    {
+        "a": st.integers(min_value=-5, max_value=5),
+        "b": st.integers(min_value=-5, max_value=5),
+        "c": st.integers(min_value=-5, max_value=5),
+    }
+)
+
+
+class TestInterpreterProperties:
+    @given(total_terms(), envs)
+    @settings(max_examples=80, deadline=None)
+    def test_total_fragment_never_undefined(self, term, env):
+        assert _INTERP.evaluate(term, env) is not UNDEFINED
+
+    @given(total_terms(), envs)
+    @settings(max_examples=80, deadline=None)
+    def test_normalization_preserves_semantics(self, term, env):
+        assert values_equal(
+            _INTERP.evaluate(term, env),
+            _INTERP.evaluate(normalize(term), env),
+        )
+
+    @given(total_terms())
+    @settings(max_examples=60, deadline=None)
+    def test_normalization_idempotent(self, term):
+        once = normalize(term)
+        assert normalize(once) == once
+
+
+class TestCostModelProperties:
+    @given(total_terms())
+    @settings(max_examples=80, deadline=None)
+    def test_strict_monotonicity(self, term):
+        parent = _COST.term_cost(term)
+        for arg in term.args:
+            assert _COST.term_cost(arg) < parent
+
+    @given(total_terms())
+    @settings(max_examples=80, deadline=None)
+    def test_cost_positive(self, term):
+        assert _COST.term_cost(term) > 0
+
+
+_RULES = [
+    parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)"),
+    parse_rewrite("assoc", "(+ (+ ?a ?b) ?c) => (+ ?a (+ ?b ?c))"),
+    parse_rewrite("mul-comm", "(* ?a ?b) => (* ?b ?a)"),
+    parse_rewrite("sub-neg", "(- ?a ?b) => (+ ?a (neg ?b))"),
+    parse_rewrite("mac-def", "(mac ?c ?a ?b) => (+ ?c (* ?a ?b))"),
+    parse_rewrite("add-zero", "(+ ?a 0) => ?a"),
+    parse_rewrite("mul-one", "(* ?a 1) => ?a"),
+    parse_rewrite("distribute",
+                  "(* ?a (+ ?b ?c)) => (+ (* ?a ?b) (* ?a ?c))"),
+]
+
+
+class TestSaturationSoundness:
+    @given(total_terms(), envs)
+    @settings(max_examples=30, deadline=None)
+    def test_everything_in_root_class_is_equivalent(self, term, env):
+        """After saturating with sound rules, every extractable term in
+        the root's class evaluates like the original — the e-graph
+        never conflates inequivalent programs."""
+        g = EGraph()
+        root = g.add_term(term)
+        run_saturation(
+            g,
+            _RULES,
+            RunnerLimits(
+                max_iterations=3, max_nodes=3000, time_limit=2.0
+            ),
+        )
+        from repro.egraph.extract import Extractor
+
+        extractor = Extractor(g, lambda op, payload, child_terms: 1.0)
+        if not extractor.has_solution(root):
+            return
+        _cost, best = extractor.best(root)
+        expected = _INTERP.evaluate(term, env)
+        assume(set(term_inputs(best)) <= set(env))
+        assert values_equal(expected, _INTERP.evaluate(best, env))

@@ -1,0 +1,64 @@
+"""Public-API hygiene: exports exist, are documented, and are stable."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.lang",
+    "repro.interp",
+    "repro.isa",
+    "repro.egraph",
+    "repro.ruler",
+    "repro.phases",
+    "repro.compiler",
+    "repro.core",
+    "repro.machine",
+    "repro.baselines",
+    "repro.kernels",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_imports_and_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES[1:])
+def test_public_callables_documented(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_key_entry_points_signature():
+    from repro.core import IsariaFramework, default_compiler
+    from repro.compiler import trace_kernel
+
+    params = inspect.signature(IsariaFramework).parameters
+    assert set(params) >= {
+        "spec", "synthesis_config", "phase_params", "compile_options",
+    }
+    params = inspect.signature(trace_kernel).parameters
+    assert set(params) >= {"name", "fn", "arrays", "width"}
+    assert callable(default_compiler)

@@ -1,0 +1,80 @@
+"""Structural checks on the QR kernel through compilation stages.
+
+QR is the pipeline's stress test: deep division/sqrt chains, heavy
+sharing, and the custom-instruction patterns of §5.4.  These tests pin
+the structural properties that make it compile at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import qr_kernel, run_reference
+from repro.lang.pattern import contains_op
+from repro.lang.term import subterms, term_depth, term_size
+
+
+class TestQrTraceStructure:
+    def test_dag_much_smaller_than_tree(self):
+        instance = qr_kernel(3)
+        term = instance.program.term
+        dag_nodes = sum(1 for _ in subterms(term))
+        tree_nodes = term_size(term)
+        assert tree_nodes > dag_nodes * 5  # heavy sharing
+
+    def test_depth_is_bounded(self):
+        # depth grows with n but must stay recursion-safe
+        d3 = term_depth(qr_kernel(3).program.term)
+        d4 = term_depth(qr_kernel(4).program.term)
+        assert d3 < d4 < 500
+
+    def test_sqrt_sgn_product_pattern_present(self):
+        # the alpha = sqrt(norm)*sgn(-x0) shape §5.4 hardens
+        instance = qr_kernel(3)
+        found = False
+        for sub in subterms(instance.program.term):
+            if (
+                sub.op == "*"
+                and sub.args[0].op == "sqrt"
+                and sub.args[1].op == "sgn"
+                and sub.args[1].args[0].op == "neg"
+            ):
+                found = True
+                break
+        assert found, "QR trace lost the sqrt-sgn-product pattern"
+
+    def test_division_by_vnorm_present(self):
+        instance = qr_kernel(3)
+        assert contains_op(instance.program.term, "/")
+
+
+class TestQrNumerics:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_reference_recovers_r(self, spec, n):
+        instance = qr_kernel(n)
+        inputs = instance.make_inputs(13)
+        want = run_reference(instance, inputs)
+        a = np.array(inputs["A"]).reshape(n, n)
+        r = np.array(want).reshape(n, n)
+        # R reproduces A's column norms on the diagonal magnitudes
+        assert abs(abs(r[0, 0]) - np.linalg.norm(a[:, 0])) < 1e-8
+
+    def test_orthogonality_implied(self):
+        # || A ||_F == || R ||_F (Householder reflections preserve it)
+        instance = qr_kernel(3)
+        inputs = instance.make_inputs(3)
+        r = run_reference(instance, inputs)
+        a_norm = np.linalg.norm(np.array(inputs["A"]))
+        r_norm = np.linalg.norm(np.array(r))
+        assert abs(a_norm - r_norm) < 1e-8
+
+
+@pytest.mark.slow
+class TestQrCompile:
+    def test_qr2_compiles_and_matches(self, spec, isaria_compiler):
+        instance = qr_kernel(2)
+        kernel = isaria_compiler.compile_kernel(instance)
+        inputs = instance.make_inputs(1)
+        result = kernel.run(inputs)
+        got = result.array("out")[: instance.output_len]
+        want = run_reference(instance, inputs)
+        assert np.allclose(got, want, rtol=1e-3, atol=1e-4)

@@ -1,0 +1,78 @@
+"""Congruence-repair cascade scenarios (the hairiest e-graph paths)."""
+
+from repro.egraph.egraph import EGraph
+from repro.lang.parser import parse
+
+
+class TestRepairCascades:
+    def test_union_during_repair_extends_worklist(self):
+        # Merging leaves triggers parent congruence, whose union must
+        # itself be repaired (grandparent congruence).
+        g = EGraph()
+        ggp_a = g.add_term(parse("(neg (neg (Get a 0)))"))
+        ggp_b = g.add_term(parse("(neg (neg (Get b 0)))"))
+        g.union(
+            g.add_term(parse("(Get a 0)")),
+            g.add_term(parse("(Get b 0)")),
+        )
+        g.rebuild()
+        assert g.equivalent(ggp_a, ggp_b)
+
+    def test_two_independent_cascades_same_rebuild(self):
+        g = EGraph()
+        pa = g.add_term(parse("(sgn (Get a 0))"))
+        pb = g.add_term(parse("(sgn (Get b 0))"))
+        qc = g.add_term(parse("(sqrt (Get c 0))"))
+        qd = g.add_term(parse("(sqrt (Get d 0))"))
+        g.union(g.add_term(parse("(Get a 0)")),
+                g.add_term(parse("(Get b 0)")))
+        g.union(g.add_term(parse("(Get c 0)")),
+                g.add_term(parse("(Get d 0)")))
+        g.rebuild()
+        assert g.equivalent(pa, pb)
+        assert g.equivalent(qc, qd)
+        assert not g.equivalent(pa, qc)
+
+    def test_hashcons_sound_after_cross_merges(self):
+        g = EGraph()
+        t1 = g.add_term(parse("(+ (Get a 0) (Get b 0))"))
+        t2 = g.add_term(parse("(+ (Get b 0) (Get a 0))"))
+        g.union(
+            g.add_term(parse("(Get a 0)")),
+            g.add_term(parse("(Get b 0)")),
+        )
+        g.rebuild()
+        # with a == b, both additions are congruent
+        assert g.equivalent(t1, t2)
+        # and re-adding either maps into the merged class
+        assert g.equivalent(
+            g.add_term(parse("(+ (Get a 0) (Get a 0))")), t1
+        )
+
+    def test_node_dedup_after_merge(self):
+        g = EGraph()
+        t1 = g.add_term(parse("(neg (Get a 0))"))
+        g.add_term(parse("(neg (Get b 0))"))
+        g.union(
+            g.add_term(parse("(Get a 0)")),
+            g.add_term(parse("(Get b 0)")),
+        )
+        g.rebuild()
+        merged = g.eclass(t1)
+        # the two (neg ...) nodes canonicalize identically: one remains
+        assert len(merged.nodes) == 1
+
+    def test_parents_list_repaired(self):
+        g = EGraph()
+        g.add_term(parse("(+ (neg (Get a 0)) 1)"))
+        g.add_term(parse("(+ (neg (Get b 0)) 1)"))
+        g.union(
+            g.add_term(parse("(Get a 0)")),
+            g.add_term(parse("(Get b 0)")),
+        )
+        g.rebuild()
+        # the leaf class's parent list references canonical classes
+        leaf = g.eclass(g.add_term(parse("(Get a 0)")))
+        for pnode, pclass in leaf.parents:
+            assert g.canonicalize(pnode) == pnode
+            assert g.find(pclass) == pclass

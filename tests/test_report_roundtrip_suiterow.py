@@ -1,0 +1,27 @@
+"""SuiteRow-to-report integration on real (small) measurements."""
+
+from repro.bench import run_suite, speedup_table_md, suite_report_md
+from repro.kernels import matmul_kernel
+
+
+class TestRealRowsToReport:
+    def test_report_from_measured_rows(self, spec):
+        rows = run_suite(
+            [matmul_kernel(2, 2, 2), matmul_kernel(2, 3, 3)],
+            spec,
+            systems=("scalar", "slp", "nature"),
+        )
+        report = suite_report_md(rows, "Tiny sweep")
+        assert "matmul-2x2x2" in report
+        assert "matmul-2x3x3" in report
+        assert "Correctness:" in report
+        # all measured systems were correct
+        assert "Failures" not in report
+
+    def test_speedup_table_alignment_with_cycles(self, spec):
+        rows = run_suite(
+            [matmul_kernel(2, 2, 2)], spec, systems=("scalar", "slp")
+        )
+        table = speedup_table_md(rows, systems=("slp",))
+        scalar_cycles = rows[0].cycles("scalar")
+        assert f"| {scalar_cycles} |" in table

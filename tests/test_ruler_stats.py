@@ -1,0 +1,65 @@
+"""Tests for rule-set statistics."""
+
+from repro.egraph.rewrite import parse_rewrite
+from repro.ruler.stats import (
+    coverage_gaps,
+    ops_used,
+    size_histogram,
+    summarize,
+)
+
+
+def _rules():
+    return [
+        parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)"),
+        parse_rewrite("mac", "(+ ?c (* ?a ?b)) => (mac ?c ?a ?b)"),
+        parse_rewrite(
+            "lift",
+            "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3)) => "
+            "(VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+        ),
+    ]
+
+
+class TestOpsUsed:
+    def test_counts_rules_not_occurrences(self):
+        counts = ops_used(_rules())
+        assert counts["+"] == 3  # mentioned by all three rules
+        assert counts["mac"] == 1
+        assert counts["VecAdd"] == 1
+        assert "Const" not in counts  # leaves excluded
+        assert "Wild" not in counts
+
+
+class TestSizeHistogram:
+    def test_buckets(self):
+        histogram = size_histogram(_rules())
+        assert sum(histogram.values()) == 3
+        assert histogram[">20"] == 1  # the lift rule is big
+
+    def test_custom_bins(self):
+        histogram = size_histogram(_rules(), bins=(100,))
+        assert histogram["1-100"] == 3
+
+
+class TestCoverageGaps:
+    def test_reports_unmentioned_instructions(self, spec):
+        gaps = coverage_gaps(_rules(), spec)
+        assert "VecSqrt" in gaps
+        assert "+" not in gaps
+
+    def test_full_ruleset_has_no_gaps(self, spec, synthesis_size3):
+        gaps = coverage_gaps(synthesis_size3.rules, spec)
+        assert gaps == [], gaps
+
+
+class TestSummarize:
+    def test_text_structure(self, spec):
+        text = summarize(_rules(), spec)
+        assert text.startswith("3 rules")
+        assert "top operators:" in text
+        assert "uncovered instructions:" in text
+
+    def test_without_spec(self):
+        text = summarize(_rules())
+        assert "uncovered" not in text

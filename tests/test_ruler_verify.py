@@ -1,0 +1,114 @@
+"""Unit tests for rule verification (exact + fuzz)."""
+
+from repro.lang.parser import parse
+from repro.ruler.verify import (
+    pattern_to_term,
+    polynomial_of,
+    verify_rule,
+    verify_vector_rule,
+)
+
+
+class TestPolynomialNormalization:
+    def test_commutativity_exact(self, spec):
+        assert polynomial_of(parse("(+ ?a ?b)"), spec) == polynomial_of(
+            parse("(+ ?b ?a)"), spec
+        )
+
+    def test_distribution_exact(self, spec):
+        assert polynomial_of(
+            parse("(* ?a (+ ?b ?c))"), spec
+        ) == polynomial_of(parse("(+ (* ?a ?b) (* ?a ?c))"), spec)
+
+    def test_mac_expands(self, spec):
+        assert polynomial_of(parse("(mac ?c ?a ?b)"), spec) == (
+            polynomial_of(parse("(+ ?c (* ?a ?b))"), spec)
+        )
+
+    def test_vector_ops_reduce_to_scalar(self, spec):
+        assert polynomial_of(parse("(VecAdd ?a ?b)"), spec) == (
+            polynomial_of(parse("(+ ?a ?b)"), spec)
+        )
+
+    def test_non_polynomial_is_none(self, spec):
+        assert polynomial_of(parse("(sqrt ?a)"), spec) is None
+        assert polynomial_of(parse("(/ ?a ?b)"), spec) is None
+        assert polynomial_of(parse("(+ ?a (sgn ?b))"), spec) is None
+
+    def test_cancellation(self, spec):
+        assert polynomial_of(parse("(- ?a ?a)"), spec) == {}
+
+
+class TestVerifyRule:
+    def test_sound_polynomial_rule(self, spec):
+        result = verify_rule(
+            parse("(* ?a (+ ?b ?c))"),
+            parse("(+ (* ?a ?b) (* ?a ?c))"),
+            spec,
+        )
+        assert result.ok and result.method == "exact"
+
+    def test_unsound_polynomial_rule(self, spec):
+        result = verify_rule(parse("(+ ?a ?b)"), parse("(* ?a ?b)"), spec)
+        assert not result.ok and result.method == "exact"
+
+    def test_sound_fuzz_rule(self, spec):
+        result = verify_rule(
+            parse("(sgn (sgn ?a))"), parse("(sgn ?a)"), spec
+        )
+        assert result.ok and result.method == "fuzz"
+
+    def test_definedness_mismatch_rejected(self, spec):
+        # (/ (* a b) b) == a except at b = 0, where only the lhs is
+        # undefined: must be rejected.
+        result = verify_rule(
+            parse("(/ (* ?a ?b) ?b)"), parse("?a"), spec
+        )
+        assert not result.ok
+
+    def test_sqrt_of_square_rejected(self, spec):
+        # sqrt(a^2) = |a|, not a.
+        result = verify_rule(parse("(sqrt (* ?a ?a))"), parse("?a"), spec)
+        assert not result.ok
+
+    def test_division_identity_accepted(self, spec):
+        result = verify_rule(parse("(/ ?a 1)"), parse("?a"), spec)
+        assert result.ok
+
+
+class TestVerifyVectorRule:
+    def test_sound_vector_rule(self, spec):
+        result = verify_vector_rule(
+            parse("(VecAdd ?a ?b)"), parse("(VecAdd ?b ?a)"), spec
+        )
+        assert result.ok
+
+    def test_sound_lift_rule(self, spec):
+        lhs = parse(
+            "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3))"
+        )
+        rhs = parse(
+            "(VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))"
+        )
+        assert verify_vector_rule(lhs, rhs, spec).ok
+
+    def test_unsound_lift_rejected(self, spec):
+        lhs = parse(
+            "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3))"
+        )
+        rhs = parse(
+            "(VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b0 ?b0 ?b0))"
+        )
+        assert not verify_vector_rule(lhs, rhs, spec).ok
+
+    def test_mixed_kind_wildcards(self, spec):
+        # ?c is a vector, the Vec lanes are scalars.
+        lhs = parse("(VecMul ?c (Vec 1 1 1 1))")
+        rhs = parse("?c")
+        assert verify_vector_rule(lhs, rhs, spec).ok
+
+
+class TestPatternToTerm:
+    def test_wildcards_become_symbols(self):
+        term = pattern_to_term(parse("(+ ?a (neg ?b))"))
+        assert term == parse("(+ a (neg b))")

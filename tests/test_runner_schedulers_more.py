@@ -1,0 +1,86 @@
+"""Scheduler interplay with saturation: bans, thresholds, recovery."""
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import parse_rewrite
+from repro.egraph.runner import (
+    BackoffScheduler,
+    RunnerLimits,
+    run_saturation,
+)
+from repro.lang.parser import parse
+
+
+class TestBanRecovery:
+    def test_banned_rule_fires_after_ban(self):
+        # comm floods past a tiny threshold, gets banned, and must
+        # still complete the closure once unbanned.
+        g = EGraph()
+        root = g.add_term(parse("(+ (+ (+ a b) c) d)"))
+        report = run_saturation(
+            g,
+            [parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)")],
+            RunnerLimits(
+                max_iterations=12, match_limit=2, ban_length=1
+            ),
+        )
+        assert report.saturated
+        assert g.lookup_term(parse("(+ d (+ (+ a b) c))")) == g.find(
+            root
+        )
+
+    def test_custom_scheduler_injection(self):
+        g = EGraph()
+        g.add_term(parse("(+ a b)"))
+        scheduler = BackoffScheduler(match_limit=100, ban_length=1)
+        report = run_saturation(
+            g,
+            [parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)")],
+            RunnerLimits(max_iterations=5),
+            scheduler=scheduler,
+        )
+        assert report.saturated
+        assert not scheduler.any_banned(99)
+
+
+class TestSaturationWithMixedRules:
+    def test_identity_plus_structural(self):
+        g = EGraph()
+        root = g.add_term(parse("(Vec (Get x 0) (Get x 1) (Get x 2) "
+                                "(Get x 3))"))
+        rules = [
+            parse_rewrite("pad", "?a => (+ ?a 0)"),
+            parse_rewrite(
+                "lift",
+                "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3))"
+                " => (VecAdd (Vec ?a0 ?a1 ?a2 ?a3) "
+                "(Vec ?b0 ?b1 ?b2 ?b3))",
+            ),
+        ]
+        run_saturation(g, rules, RunnerLimits(max_iterations=6))
+        # padding every lane enables the lift: the class must contain
+        # (VecAdd (Vec x...) (Vec 0 0 0 0))
+        target = parse(
+            "(VecAdd (Vec (Get x 0) (Get x 1) (Get x 2) (Get x 3))"
+            " (Vec 0 0 0 0))"
+        )
+        assert g.lookup_term(target) == g.find(root)
+
+    def test_frontier_and_bans_together(self):
+        g = EGraph()
+        g.add_term(parse("(+ (+ (+ a b) c) d)"))
+        report = run_saturation(
+            g,
+            [
+                parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)"),
+                parse_rewrite(
+                    "assoc", "(+ (+ ?a ?b) ?c) => (+ ?a (+ ?b ?c))"
+                ),
+            ],
+            RunnerLimits(
+                max_iterations=8, match_limit=4, ban_length=1,
+                max_nodes=5_000,
+            ),
+            frontier=True,
+        )
+        assert report.n_iterations >= 2
+        assert g.n_nodes > 8  # explored beyond the original term

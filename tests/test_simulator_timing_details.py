@@ -1,0 +1,75 @@
+"""Finer-grained timing semantics of the simulator."""
+
+import pytest
+
+from repro.machine import Machine, ProgramBuilder
+
+
+@pytest.fixture(scope="module")
+def machine(spec):
+    return Machine(spec)
+
+
+class TestForwarding:
+    def test_result_forwarding_latency(self, machine, spec):
+        # Dependent adds: each must wait its producer's latency.
+        b = ProgramBuilder()
+        acc = b.s_const(0.0)
+        one = b.s_const(1.0)
+        n = 10
+        for _ in range(n):
+            acc = b.s_op("+", acc, one)
+        b.s_store("out", 0, acc)
+        b.halt()
+        result = machine.run(b.build(), {"out": [0.0]})
+        add_latency = spec.instruction("+").latency
+        # at least n sequential adds' worth of cycles
+        assert result.cycles >= n * add_latency
+
+    def test_independent_ops_pipeline(self, machine):
+        b = ProgramBuilder()
+        regs = [b.s_const(float(i)) for i in range(8)]
+        sums = [
+            b.s_op("+", regs[i], regs[i + 1]) for i in range(0, 8, 2)
+        ]
+        for i, s in enumerate(sums):
+            b.s_store("out", i, s)
+        b.halt()
+        result = machine.run(b.build(), {"out": [0.0] * 4})
+        # 16 instructions at <=2/cycle with 1-cycle adds: well under
+        # a fully serialized bound
+        assert result.cycles < 16
+
+
+class TestDrainAccounting:
+    def test_inflight_latency_counted(self, machine, spec):
+        # A long-latency op right before halt must still be paid for.
+        b = ProgramBuilder()
+        x = b.s_load("x", 0)
+        b.s_op("sqrt", x)  # result unused but in flight
+        b.halt()
+        with_op = machine.run(b.build(), {"x": [4.0]})
+
+        b2 = ProgramBuilder()
+        b2.s_load("x", 0)
+        b2.halt()
+        without = machine.run(b2.build(), {"x": [4.0]})
+        assert with_op.cycles >= without.cycles + (
+            spec.instruction("sqrt").latency - 2
+        )
+
+
+class TestIssueRules:
+    def test_three_units_do_not_triple_issue(self, machine):
+        # Issue width is 2: three independent ops on three different
+        # units cannot all share one cycle.
+        b = ProgramBuilder()
+        s = b.s_const(1.0)
+        v = b.v_const((1.0,) * 4)
+        b.s_op("+", s, s)        # scalar unit
+        b.v_op("VecAdd", v, v)   # vector unit
+        b.s_load("x", 0)         # mem unit
+        b.halt()
+        result = machine.run(b.build(), {"x": [0.0] * 4})
+        # 5 non-halt instructions at <=2/cycle: >= 3 issue cycles
+        assert result.cycles >= 3

@@ -1,0 +1,142 @@
+"""Focused SLP packing tests (the baseline's decision points)."""
+
+import numpy as np
+
+from repro.baselines.slp import _SlpGen
+from repro.compiler.frontend import trace_kernel
+from repro.baselines import compile_slp
+from repro.kernels.specs import padded_memory
+from repro.lang.parser import parse
+from repro.machine import Machine
+
+
+def run(spec, fn, arrays, memory):
+    program = trace_kernel("t", fn, arrays, spec.vector_width,
+                           normalize=False)
+    machine_prog = compile_slp(program, spec)
+    result = Machine(spec).run(machine_prog, memory)
+    return machine_prog, result
+
+
+class TestPackDecisions:
+    def test_splat_pack(self, spec):
+        gen = _SlpGen(spec)
+        lanes = tuple(parse("(Get x 0)") for _ in range(4))
+        assert gen.pack(lanes) is not None
+        assert gen._builder.program.count("v.splat") == 1
+
+    def test_const_pack(self, spec):
+        gen = _SlpGen(spec)
+        lanes = tuple(parse(str(i)) for i in range(4))
+        assert gen.pack(lanes) is not None
+        assert gen._builder.program.count("v.const") == 1
+
+    def test_contiguous_load_pack(self, spec):
+        gen = _SlpGen(spec)
+        lanes = tuple(parse(f"(Get x {i})") for i in range(4))
+        assert gen.pack(lanes) is not None
+        assert gen._builder.program.count("v.load") == 1
+        assert gen._builder.program.count("v.shuffle") == 0
+
+    def test_permuted_load_pack_uses_shuffle(self, spec):
+        gen = _SlpGen(spec)
+        lanes = tuple(parse(f"(Get x {i})") for i in (3, 1, 0, 2))
+        assert gen.pack(lanes) is not None
+        assert gen._builder.program.count("v.shuffle") == 1
+
+    def test_cross_window_gather_fails(self, spec):
+        gen = _SlpGen(spec)
+        lanes = tuple(parse(f"(Get x {i})") for i in (0, 2, 5, 7))
+        assert gen.pack(lanes) is None
+
+    def test_cross_array_pack_fails(self, spec):
+        gen = _SlpGen(spec)
+        lanes = (
+            parse("(Get x 0)"), parse("(Get y 1)"),
+            parse("(Get x 2)"), parse("(Get x 3)"),
+        )
+        assert gen.pack(lanes) is None
+
+    def test_isomorphic_op_pack(self, spec):
+        gen = _SlpGen(spec)
+        lanes = tuple(
+            parse(f"(* (Get x {i}) (Get y {i}))") for i in range(4)
+        )
+        assert gen.pack(lanes) is not None
+        program = gen._builder.program
+        assert any(
+            i.opcode == "v.op" and i.op == "VecMul"
+            for i in program.instrs
+        )
+
+    def test_mixed_unrelated_ops_fail(self, spec):
+        gen = _SlpGen(spec)
+        lanes = (
+            parse("(* (Get x 0) (Get y 0))"),
+            parse("(/ (Get x 1) (Get y 1))"),
+            parse("(* (Get x 2) (Get y 2))"),
+            parse("(* (Get x 3) (Get y 3))"),
+        )
+        assert gen.pack(lanes) is None
+
+    def test_memoization_shares_packs(self, spec):
+        gen = _SlpGen(spec)
+        lanes = tuple(parse(f"(Get x {i})") for i in range(4))
+        first = gen.pack(lanes)
+        second = gen.pack(lanes)
+        assert first == second
+        assert gen._builder.program.count("v.load") == 1
+
+
+class TestAltOpPack:
+    def test_addsub_lanes_vectorize(self, spec):
+        def kern(x, y):
+            return [
+                x[0] + y[0], x[1] - y[1], x[2] + y[2], x[3] - y[3],
+            ]
+
+        memory = {
+            "x": [1.0, 2.0, 3.0, 4.0],
+            "y": [10.0, 10.0, 10.0, 10.0],
+            "out": [0.0] * 4,
+        }
+        program, result = run(spec, kern, {"x": 4, "y": 4}, memory)
+        assert result.array("out") == [11.0, -8.0, 13.0, -6.0]
+        assert any(
+            i.opcode == "v.op" and i.op == "VecMAC"
+            for i in program.instrs
+        )
+
+    def test_signs_encoded_in_const_vector(self, spec):
+        def kern(x, y):
+            return [x[0] - y[0], x[1] + y[1], x[2] - y[2], x[3] + y[3]]
+
+        program, _ = run(
+            spec, kern, {"x": 4, "y": 4},
+            {"x": [0.0] * 4, "y": [0.0] * 4, "out": [0.0] * 4},
+        )
+        sign_consts = [
+            i.imm for i in program.instrs if i.opcode == "v.const"
+        ]
+        assert (-1.0, 1.0, -1.0, 1.0) in sign_consts
+
+
+class TestEndToEndGroups:
+    def test_partial_group_fallback(self, spec):
+        # First group packs, second (irregular) falls back to scalar.
+        def kern(x, y):
+            packed = [x[i] + y[i] for i in range(4)]
+            ragged = [x[0] * y[1], x[1] / y[2], x[2] - y[3], x[3]]
+            return packed + ragged
+
+        memory = {
+            "x": [1.0, 2.0, 3.0, 4.0],
+            "y": [1.0, 2.0, 4.0, 8.0],
+            "out": [0.0] * 8,
+        }
+        program, result = run(spec, kern, {"x": 4, "y": 4}, memory)
+        got = result.array("out")
+        assert got[:4] == [2.0, 4.0, 7.0, 12.0]
+        assert np.allclose(got[4:], [2.0, 0.5, -5.0, 4.0])
+        assert program.count("v.store") >= 1
+        assert program.count("s.store") >= 3

@@ -1,0 +1,120 @@
+"""Extra end-to-end checks across kernels and compilers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import compile_scalar, compile_slp
+from repro.kernels import (
+    conv2d_kernel,
+    matmul_kernel,
+    padded_memory,
+    qr_kernel,
+    run_reference,
+)
+from repro.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def machine(spec):
+    return Machine(spec)
+
+
+class TestCrossSeedCorrectness:
+    """Each baseline must be correct on several random input draws."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_scalar_conv(self, spec, machine, seed):
+        instance = conv2d_kernel(4, 4, 2, 2)
+        inputs = instance.make_inputs(seed)
+        program = compile_scalar(instance.program, spec)
+        result = machine.run(program, padded_memory(instance, inputs))
+        assert np.allclose(
+            result.array("out")[: instance.output_len],
+            run_reference(instance, inputs),
+            rtol=1e-4,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_slp_matmul(self, spec, machine, seed):
+        instance = matmul_kernel(4, 2, 4)
+        inputs = instance.make_inputs(seed)
+        program = compile_slp(instance.program, spec)
+        result = machine.run(program, padded_memory(instance, inputs))
+        assert np.allclose(
+            result.array("out")[: instance.output_len],
+            run_reference(instance, inputs),
+            rtol=1e-4,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_scalar_qr_well_conditioned(self, spec, machine, seed):
+        instance = qr_kernel(3)
+        inputs = instance.make_inputs(seed)
+        program = compile_scalar(instance.program, spec)
+        result = machine.run(program, padded_memory(instance, inputs))
+        assert np.allclose(
+            result.array("out")[: instance.output_len],
+            run_reference(instance, inputs),
+            rtol=1e-3,
+            atol=1e-4,
+        )
+
+
+class TestNonSquareShapes:
+    @pytest.mark.parametrize(
+        "m,k,n", [(1, 4, 4), (4, 1, 4), (2, 5, 3), (3, 2, 7)]
+    )
+    def test_matmul_rectangular(self, spec, machine, m, k, n):
+        instance = matmul_kernel(m, k, n)
+        inputs = instance.make_inputs(1)
+        program = compile_scalar(instance.program, spec)
+        result = machine.run(program, padded_memory(instance, inputs))
+        assert np.allclose(
+            result.array("out")[: instance.output_len],
+            run_reference(instance, inputs),
+            rtol=1e-4,
+        )
+
+    @pytest.mark.parametrize(
+        "shape", [(2, 5, 2, 2), (5, 2, 2, 3), (3, 4, 1, 2), (4, 3, 2, 1)]
+    )
+    def test_conv_rectangular(self, spec, machine, shape):
+        instance = conv2d_kernel(*shape)
+        inputs = instance.make_inputs(1)
+        program = compile_scalar(instance.program, spec)
+        result = machine.run(program, padded_memory(instance, inputs))
+        assert np.allclose(
+            result.array("out")[: instance.output_len],
+            run_reference(instance, inputs),
+            rtol=1e-4,
+        )
+
+    def test_one_by_one_filter(self, spec, machine):
+        instance = conv2d_kernel(3, 3, 1, 1)
+        inputs = instance.make_inputs(2)
+        program = compile_scalar(instance.program, spec)
+        result = machine.run(program, padded_memory(instance, inputs))
+        assert np.allclose(
+            result.array("out")[: instance.output_len],
+            run_reference(instance, inputs),
+            rtol=1e-5,
+        )
+
+
+class TestDegenerateInputs:
+    def test_all_zero_inputs(self, spec, machine):
+        instance = matmul_kernel(3, 3, 3)
+        inputs = {"A": [0.0] * 9, "B": [0.0] * 9}
+        program = compile_scalar(instance.program, spec)
+        result = machine.run(program, padded_memory(instance, inputs))
+        assert result.array("out")[:9] == [0.0] * 9
+
+    def test_identity_matrix(self, spec, machine):
+        instance = matmul_kernel(3, 3, 3)
+        eye = [1.0, 0, 0, 0, 1.0, 0, 0, 0, 1.0]
+        b = [float(i) for i in range(9)]
+        program = compile_scalar(instance.program, spec)
+        result = machine.run(
+            program, padded_memory(instance, {"A": eye, "B": b})
+        )
+        assert result.array("out")[:9] == b

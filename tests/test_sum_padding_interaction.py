@@ -1,0 +1,73 @@
+"""Interaction of padding constants with extraction and lowering.
+
+Alignment pads lanes with zero-products; these must (a) never survive
+into machine code as real work when avoidable and (b) be harmless when
+they do survive.
+"""
+
+import numpy as np
+
+from repro.compiler.frontend import trace_kernel
+from repro.compiler.lowering import lower_program
+from repro.lang.parser import parse, to_sexpr
+from repro.machine import Machine
+
+
+class TestZeroLanesInMachineCode:
+    def test_zero_lane_in_vec_literal_costs_nothing_extra(self, spec):
+        # (Vec m m m 0): the const lane rides along in the shuffle
+        # blend; no scalar zero computation is emitted.
+        text = "(List (Vec (Get x 0) (Get x 1) (Get x 2) 0))"
+        program = lower_program(parse(text), spec, {"x": 4})
+        assert program.count("s.const") == 0
+        assert program.count("v.insert") == 0
+
+    def test_zero_product_lanes_fold_to_zero_vector(
+        self, spec, isaria_compiler
+    ):
+        # A ragged sum padded at trace time: after compilation the
+        # zero products must not generate multiplies for every lane.
+        def kern(x):
+            return [
+                x[0] + x[1] + x[2],
+                x[1],
+                x[2] + x[3],
+                x[0] + x[1] + x[3],
+            ]
+
+        program = trace_kernel("ragged", kern, {"x": 4}, 4)
+        kernel = isaria_compiler.compile_kernel(program)
+        result = kernel.run({"x": [1.0, 2.0, 3.0, 4.0]})
+        assert np.allclose(
+            result.array("out"), [6.0, 2.0, 7.0, 7.0]
+        )
+
+    def test_padding_visible_in_traced_term(self):
+        def kern(x):
+            return [x[0] + x[1], x[2], x[3], x[0]]
+
+        program = trace_kernel("pad", kern, {"x": 4}, 4)
+        text = to_sexpr(program.term)
+        # the shorter lanes were padded to binary additions
+        chunk = program.term.args[0]
+        assert all(lane.op == "+" for lane in chunk.args), text
+
+
+class TestMachineSemanticsOfResidualPadding:
+    def test_zero_products_execute_harmlessly(self, spec):
+        text = (
+            "(List (VecMul (Vec (Get x 0) 0 (Get x 1) 0)"
+            " (Vec (Get y 0) 0 (Get y 1) 0)))"
+        )
+        program = lower_program(parse(text), spec, {"x": 2, "y": 2})
+        # machine memory is always padded to the vector width (the
+        # lower_program contract; padded_memory does this for kernels)
+        result = Machine(spec).run(
+            program,
+            {
+                "x": [3.0, 4.0, 0.0, 0.0],
+                "y": [5.0, 6.0, 0.0, 0.0],
+                "out": [0.0] * 4,
+            },
+        )
+        assert result.array("out") == [15.0, 0.0, 24.0, 0.0]

@@ -1,0 +1,20 @@
+"""Tests for the maintenance tools."""
+
+import sys
+
+from repro.core.cache import rules_from_text
+
+
+class TestRegenRules:
+    def test_main_writes_rules_file(self, tmp_path, monkeypatch):
+        from repro.tools import regen_rules
+
+        target = tmp_path / "rules.txt"
+        monkeypatch.setattr(regen_rules, "DEFAULT_RULES_FILE", target)
+        monkeypatch.setattr(sys, "argv", ["regen_rules", "3"])
+        regen_rules.main()
+        assert target.exists()
+        rules = rules_from_text(target.read_text())
+        assert len(rules) > 30
+        # header records provenance
+        assert "max_term_size=3" in target.read_text()

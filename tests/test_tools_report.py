@@ -1,0 +1,38 @@
+"""Tests for the report CLI (heavy dependencies stubbed)."""
+
+import sys
+
+from repro.bench.harness import Measurement, SuiteRow
+
+
+def test_report_main_writes_markdown(tmp_path, monkeypatch):
+    from repro.tools import report as report_tool
+
+    row = SuiteRow(key="matmul-2x2x2", family="MatMul")
+    row.measurements["scalar"] = Measurement("scalar", 100, True)
+    row.measurements["isaria"] = Measurement(
+        "isaria", 20, True, compile_time=1.0
+    )
+
+    class _FakeCompiler:
+        spec = object()
+
+    monkeypatch.setattr(
+        report_tool, "default_compiler", lambda: _FakeCompiler()
+    )
+    monkeypatch.setattr(
+        report_tool, "DiospyrosCompiler", lambda spec: object()
+    )
+    monkeypatch.setattr(
+        report_tool, "default_suite", lambda **kw: ["stub"]
+    )
+    monkeypatch.setattr(
+        report_tool, "run_suite", lambda *a, **kw: [row]
+    )
+    out = tmp_path / "report.md"
+    monkeypatch.setattr(sys, "argv", ["report", str(out)])
+    report_tool.main()
+    text = out.read_text()
+    assert text.startswith("## Measured kernel sweep")
+    assert "matmul-2x2x2" in text
+    assert "5.00x" in text  # 100/20

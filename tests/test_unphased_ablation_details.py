@@ -1,0 +1,51 @@
+"""The §5.2 no-phasing ablation at unit-test scale."""
+
+import dataclasses
+
+from repro.egraph.runner import RunnerLimits
+from repro.kernels import conv2d_kernel, matmul_kernel
+from repro.lang.term import subterms
+
+
+def _vectorized(term) -> bool:
+    return any(
+        s.op.startswith("Vec") and s.op != "Vec" for s in subterms(term)
+    )
+
+
+class TestUnphased:
+    def test_unphased_worse_than_phased_on_conv(self, isaria_compiler):
+        instance = conv2d_kernel(3, 3, 2, 2)
+        phased_term, phased = isaria_compiler.compile_term(
+            instance.program.term
+        )
+        options = dataclasses.replace(
+            isaria_compiler.options,
+            phased=False,
+            unphased_limits=RunnerLimits(
+                max_iterations=6,
+                max_nodes=30_000,
+                time_limit=15.0,
+            ),
+        )
+        unphased_term, unphased = isaria_compiler.compile_term(
+            instance.program.term, options=options
+        )
+        assert _vectorized(phased_term)
+        assert phased.final_cost < unphased.final_cost
+
+    def test_unphased_report_shape(self, isaria_compiler):
+        options = dataclasses.replace(
+            isaria_compiler.options,
+            phased=False,
+            unphased_limits=RunnerLimits(
+                max_iterations=3, max_nodes=10_000, time_limit=5.0
+            ),
+        )
+        program = matmul_kernel(2, 2, 2).program.term
+        _t, report = isaria_compiler.compile_term(
+            program, options=options
+        )
+        assert len(report.rounds) == 1
+        assert report.rounds[0].expansion is None
+        assert report.optimization is None

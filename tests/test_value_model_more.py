@@ -1,0 +1,63 @@
+"""Value-model corner coverage."""
+
+import math
+from fractions import Fraction
+
+from repro.interp.value import (
+    UNDEFINED,
+    is_scalar,
+    is_vector,
+    values_equal,
+)
+
+
+class TestScalarPredicates:
+    def test_numbers(self):
+        assert is_scalar(1)
+        assert is_scalar(1.5)
+        assert is_scalar(Fraction(1, 3))
+
+    def test_non_numbers(self):
+        assert not is_scalar(True)
+        assert not is_scalar("x")
+        assert not is_scalar((1, 2))
+        assert not is_scalar(UNDEFINED)
+
+    def test_vectors(self):
+        assert is_vector((1, 2))
+        assert is_vector(())
+        assert not is_vector([1, 2])
+        assert not is_vector(3)
+
+
+class TestValuesEqualCorners:
+    def test_nan_equals_nan(self):
+        assert values_equal(float("nan"), float("nan"))
+        assert not values_equal(float("nan"), 0.0)
+
+    def test_infinities(self):
+        assert values_equal(math.inf, math.inf)
+        assert not values_equal(math.inf, -math.inf)
+
+    def test_fraction_vs_float_tolerance(self):
+        assert values_equal(Fraction(1, 3), 1 / 3)
+        assert not values_equal(Fraction(1, 3), 0.3334)
+
+    def test_nested_lists_of_vectors(self):
+        a = ((1.0, 2.0), (3.0, 4.0))
+        b = ((1.0, 2.0), (3.0, 4.0 + 1e-13))
+        assert values_equal(a, b)
+        assert not values_equal(a, ((1.0, 2.0),))
+
+    def test_zero_signs(self):
+        assert values_equal(0.0, -0.0)
+        assert values_equal(Fraction(0), 0.0)
+
+
+class TestUndefinedSingleton:
+    def test_identity(self):
+        from repro.interp.value import _Undefined
+
+        assert _Undefined() is UNDEFINED
+        assert not UNDEFINED
+        assert repr(UNDEFINED) == "UNDEFINED"

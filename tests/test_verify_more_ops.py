@@ -1,0 +1,73 @@
+"""Verification across tricky rule families (sign, sqrt, mixed)."""
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.ruler.verify import verify_rule, verify_vector_rule
+
+
+class TestSignRules:
+    @pytest.mark.parametrize(
+        "lhs,rhs,sound",
+        [
+            ("(sgn (neg ?a))", "(neg (sgn ?a))", True),
+            ("(* (sgn ?a) (sgn ?a))", "(sgn (* ?a ?a))", True),
+            ("(sgn (* ?a ?b))", "(* (sgn ?a) (sgn ?b))", True),
+            ("(sgn (+ ?a ?b))", "(+ (sgn ?a) (sgn ?b))", False),
+            ("(sgn ?a)", "?a", False),
+        ],
+    )
+    def test_cases(self, spec, lhs, rhs, sound):
+        result = verify_rule(parse(lhs), parse(rhs), spec)
+        assert result.ok is sound, (lhs, rhs, result.detail)
+
+
+class TestSqrtRules:
+    @pytest.mark.parametrize(
+        "lhs,rhs,sound",
+        [
+            ("(* (sqrt ?a) (sqrt ?a))", "?a", False),  # undef at a<0
+            ("(sqrt (* ?a ?a))", "(sqrt (* ?a ?a))", False),  # trivial
+            ("(* (sqrt ?a) (sqrt ?b))", "(sqrt (* ?a ?b))", False),
+            ("(sqrt (/ ?a ?b))", "(/ (sqrt ?a) (sqrt ?b))", False),
+        ],
+    )
+    def test_cases(self, spec, lhs, rhs, sound):
+        # Trivial identical-side rules are rejected upstream; here we
+        # only check the verifier's verdicts on distinct sides.
+        if lhs == rhs:
+            return
+        result = verify_rule(parse(lhs), parse(rhs), spec)
+        assert result.ok is sound, (lhs, rhs, result.detail)
+
+    def test_sqrt_product_undefined_mismatch_detail(self, spec):
+        # sqrt(a)*sqrt(b) undefined when either is negative;
+        # sqrt(a*b) defined when both are negative: must be caught.
+        result = verify_rule(
+            parse("(sqrt (* ?a ?b))"),
+            parse("(* (sqrt ?a) (sqrt ?b))"),
+            spec,
+        )
+        assert not result.ok
+
+
+class TestMixedVectorScalar:
+    def test_splat_multiplication(self, spec):
+        # (VecMul v (Vec c c c c)) == lane-wise scaling: verify a
+        # concrete structural identity.
+        lhs = parse("(VecMul ?v (Vec 0 0 0 0))")
+        rhs = parse("(Vec 0 0 0 0)")
+        assert verify_vector_rule(lhs, rhs, spec).ok
+
+    def test_unsound_cross_lane(self, spec):
+        # Swapping lanes is not the identity.
+        lhs = parse("(Vec ?a ?b ?c ?d)")
+        rhs = parse("(Vec ?b ?a ?c ?d)")
+        assert not verify_vector_rule(lhs, rhs, spec).ok
+
+    def test_concat_structural(self, spec):
+        # Width mismatch: (Concat (Vec a b) (Vec c d)) is a 4-vector;
+        # comparing against (Vec a b c d) is sound.
+        lhs = parse("(Concat (Vec ?a ?b) (Vec ?c ?d))")
+        rhs = parse("(Vec ?a ?b ?c ?d)")
+        assert verify_vector_rule(lhs, rhs, spec).ok

@@ -1,0 +1,73 @@
+"""Lowering and simulation at vector width 2 (width generality)."""
+
+import pytest
+
+from repro.compiler.lowering import LoweringError, lower_program
+from repro.isa import fusion_g3_spec
+from repro.lang.parser import parse
+from repro.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def spec_w2():
+    return fusion_g3_spec(vector_width=2)
+
+
+@pytest.fixture(scope="module")
+def machine_w2(spec_w2):
+    return Machine(spec_w2)
+
+
+class TestWidth2Lowering:
+    def test_two_lane_vec_literal(self, spec_w2, machine_w2):
+        program = lower_program(
+            parse("(List (Vec (Get x 0) (Get x 1)))"), spec_w2, {"x": 2}
+        )
+        result = machine_w2.run(
+            program, {"x": [3.0, 4.0], "out": [0.0, 0.0]}
+        )
+        assert result.array("out") == [3.0, 4.0]
+
+    def test_four_lane_vec_rejected(self, spec_w2):
+        with pytest.raises(LoweringError):
+            lower_program(parse("(List (Vec 1 2 3 4))"), spec_w2, {})
+
+    def test_two_wide_vecadd(self, spec_w2, machine_w2):
+        text = (
+            "(List (VecAdd (Vec (Get x 0) (Get x 1)) (Vec 10 20)))"
+        )
+        program = lower_program(parse(text), spec_w2, {"x": 2})
+        result = machine_w2.run(
+            program, {"x": [1.0, 2.0], "out": [0.0, 0.0]}
+        )
+        assert result.array("out") == [11.0, 22.0]
+
+    def test_shuffle_patterns_two_wide(self, spec_w2, machine_w2):
+        text = "(List (Vec (Get x 1) (Get x 0)))"
+        program = lower_program(parse(text), spec_w2, {"x": 2})
+        result = machine_w2.run(
+            program, {"x": [5.0, 6.0], "out": [0.0, 0.0]}
+        )
+        assert result.array("out") == [6.0, 5.0]
+
+
+class TestWidth2Frontend:
+    def test_chunking_respects_width(self, spec_w2):
+        from repro.compiler.frontend import trace_kernel
+
+        program = trace_kernel(
+            "t", lambda x: [x[0], x[1], x[2]], {"x": 4}, 2
+        )
+        assert len(program.term.args) == 2  # ceil(3/2)
+        assert program.padded_len == 4
+
+    def test_scalar_baseline_width2(self, spec_w2, machine_w2):
+        from repro.baselines import compile_scalar
+        from repro.kernels import matmul_kernel, padded_memory
+
+        instance = matmul_kernel(2, 2, 2, width=2)
+        program = compile_scalar(instance.program, spec_w2)
+        result = machine_w2.run(
+            program, padded_memory(instance, instance.make_inputs(0))
+        )
+        assert len(result.array("out")) >= 4
