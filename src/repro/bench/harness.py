@@ -157,6 +157,36 @@ def measure_compiled(
     )
 
 
+def measure_row(
+    instance: KernelInstance,
+    spec: IsaSpec,
+    isaria: GeneratedCompiler | None = None,
+    diospyros: DiospyrosCompiler | None = None,
+    systems: tuple = ("scalar", "slp", "nature"),
+    seed: int = 0,
+) -> SuiteRow:
+    """Measure one kernel on every requested system.
+
+    Self-contained (and picklable at the argument level), so suite runs
+    can fan rows out across worker processes.
+    """
+    inputs = instance.make_inputs(seed)
+    row = SuiteRow(key=instance.key, family=instance.family)
+    for system in systems:
+        row.measurements[system] = measure_baseline(
+            system, instance, spec, inputs
+        )
+    if diospyros is not None:
+        row.measurements["diospyros"] = measure_compiled(
+            "diospyros", diospyros, instance, inputs
+        )
+    if isaria is not None:
+        row.measurements["isaria"] = measure_compiled(
+            "isaria", isaria, instance, inputs
+        )
+    return row
+
+
 def run_suite(
     instances: list[KernelInstance],
     spec: IsaSpec,
@@ -164,23 +194,28 @@ def run_suite(
     diospyros: DiospyrosCompiler | None = None,
     systems: tuple = ("scalar", "slp", "nature"),
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[SuiteRow]:
-    """Measure every kernel on every requested system."""
-    rows: list[SuiteRow] = []
-    for instance in instances:
-        inputs = instance.make_inputs(seed)
-        row = SuiteRow(key=instance.key, family=instance.family)
-        for system in systems:
-            row.measurements[system] = measure_baseline(
-                system, instance, spec, inputs
-            )
-        if diospyros is not None:
-            row.measurements["diospyros"] = measure_compiled(
-                "diospyros", diospyros, instance, inputs
-            )
-        if isaria is not None:
-            row.measurements["isaria"] = measure_compiled(
-                "isaria", isaria, instance, inputs
-            )
-        rows.append(row)
-    return rows
+    """Measure every kernel on every requested system.
+
+    ``jobs`` > 1 compiles and measures kernels in parallel worker
+    processes (the per-kernel eqsat compiles are embarrassingly
+    parallel and dominate suite wall-clock); rows come back in kernel
+    order either way, and the fan-out degrades to this exact serial
+    loop when pools are unavailable or ``REPRO_PARALLEL=0``.
+    """
+    if jobs is None or jobs <= 1:
+        return [
+            measure_row(instance, spec, isaria, diospyros, systems, seed)
+            for instance in instances
+        ]
+    from repro.bench.parallel import parallel_starmap
+
+    return parallel_starmap(
+        measure_row,
+        [
+            (instance, spec, isaria, diospyros, systems, seed)
+            for instance in instances
+        ],
+        max_workers=jobs,
+    )

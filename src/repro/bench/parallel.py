@@ -1,0 +1,141 @@
+"""Process-parallel map with deterministic ordering and serial fallback.
+
+``parallel_map`` is the repo's one fan-out primitive: the bench
+harness uses it to compile/measure kernels concurrently and rule
+synthesis uses it to verify candidate rules concurrently.  Its
+contract is strict so callers never have to reason about parallelism:
+
+- **Deterministic ordering**: results always come back in input order,
+  regardless of completion order.
+- **Graceful degradation**: if process pools are unavailable (no
+  ``fork``/semaphores in a sandbox), a task's payload doesn't pickle,
+  or a worker dies, the affected tasks are recomputed serially in this
+  process — the answer is identical, only slower.  ``REPRO_PARALLEL=0``
+  forces the serial path outright.
+- **Per-task timeouts**: a hung worker only costs ``task_timeout``
+  seconds; its task is recomputed serially and the pool is abandoned
+  without waiting for stragglers.
+
+Workers disable nested parallelism (a fan-out inside a fan-out would
+oversubscribe the machine quadratically).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Iterable, Sequence
+
+_FALSY = ("0", "false", "no", "off")
+_AUTO = ("", "1", "true", "yes", "on", "auto")
+
+
+def parallel_workers(limit: int | None = None) -> int:
+    """Worker count the environment allows (1 means run serially).
+
+    ``REPRO_PARALLEL`` wins: ``0`` forces serial, an integer sets the
+    count, anything truthy/unset means one worker per CPU.  ``limit``
+    (e.g. a ``jobs=`` argument) caps the result.
+    """
+    raw = os.environ.get("REPRO_PARALLEL", "").strip().lower()
+    if raw in _FALSY:
+        return 1
+    if raw in _AUTO:
+        workers = os.cpu_count() or 1
+    else:
+        try:
+            workers = int(raw)
+        except ValueError:
+            workers = os.cpu_count() or 1
+    if limit is not None:
+        workers = min(workers, limit)
+    return max(1, workers)
+
+
+def _disable_nested_parallelism() -> None:  # pragma: no cover - in worker
+    os.environ["REPRO_PARALLEL"] = "0"
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    max_workers: int | None = None,
+    task_timeout: float | None = None,
+    min_items: int = 2,
+) -> list:
+    """``[fn(item) for item in items]``, fanned out across processes.
+
+    ``fn`` and every item must be picklable for the parallel path; if
+    they are not, or the pool cannot be created at all, the result is
+    still produced — serially.  ``max_workers`` caps the pool size
+    (``None`` = environment default); with fewer than ``min_items``
+    tasks the pool is skipped as pure overhead.
+    """
+    items = list(items)
+    workers = parallel_workers(max_workers)
+    if workers <= 1 or len(items) < min_items:
+        return [fn(item) for item in items]
+
+    try:
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(items)),
+            initializer=_disable_nested_parallelism,
+        )
+    except Exception:
+        return [fn(item) for item in items]
+
+    abandoned = False
+    results = []
+    try:
+        try:
+            futures = [executor.submit(fn, item) for item in items]
+        except Exception:
+            abandoned = True
+            return [fn(item) for item in items]
+        for item, future in zip(items, futures):
+            try:
+                results.append(future.result(timeout=task_timeout))
+            except concurrent.futures.TimeoutError:
+                # Hung worker: recompute here, stop waiting on the pool.
+                abandoned = True
+                results.append(fn(item))
+            except Exception:
+                # Worker crash or unpicklable payload: the serial
+                # recomputation either produces the value or raises the
+                # task's genuine error in the caller's process.
+                results.append(fn(item))
+        return results
+    finally:
+        if abandoned:
+            executor.shutdown(wait=False, cancel_futures=True)
+        else:
+            executor.shutdown()
+
+
+def parallel_starmap(
+    fn: Callable,
+    argtuples: Iterable[Sequence],
+    max_workers: int | None = None,
+    task_timeout: float | None = None,
+    min_items: int = 2,
+) -> list:
+    """``parallel_map`` over argument tuples (``fn(*args)`` per task)."""
+    return parallel_map(
+        _StarCall(fn),
+        [tuple(args) for args in argtuples],
+        max_workers=max_workers,
+        task_timeout=task_timeout,
+        min_items=min_items,
+    )
+
+
+class _StarCall:
+    """Picklable ``fn(*args)`` adapter (lambdas don't cross processes)."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable):
+        self._fn = fn
+
+    def __call__(self, args):
+        return self._fn(*args)

@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.extract import Extractor
-from repro.egraph.runner import RunnerLimits, RunnerReport, run_saturation
+from repro.egraph.runner import (
+    RunnerLimits,
+    RunnerReport,
+    SaturationPerf,
+    run_saturation,
+)
 from repro.lang.term import Term
 from repro.phases.cost import CostModel
 from repro.phases.ruleset import PhasedRuleSet
@@ -109,6 +114,8 @@ class CompileReport:
     optimization: RunnerReport | None = None
     elapsed: float = 0.0
     peak_nodes: int = 0
+    # Wall clock spent in minimum-cost extraction, across all rounds.
+    extract_time: float = 0.0
 
     @property
     def n_eqsat_calls(self) -> int:
@@ -118,6 +125,17 @@ class CompileReport:
         )
         return calls + (self.optimization is not None)
 
+    def saturation_perf(self) -> SaturationPerf:
+        """Hot-path counters aggregated over every ``EqSat`` call."""
+        total = SaturationPerf()
+        for round_report in self.rounds:
+            for sat in (round_report.expansion, round_report.compilation):
+                if sat is not None:
+                    total.absorb(sat.perf)
+        if self.optimization is not None:
+            total.absorb(self.optimization.perf)
+        return total
+
     @property
     def speedup_estimate(self) -> float:
         """Abstract-cost improvement ratio (not measured cycles)."""
@@ -126,9 +144,14 @@ class CompileReport:
         return self.initial_cost / self.final_cost
 
 
-def _extract(egraph: EGraph, root: int, cost_model: CostModel):
+def _extract(
+    egraph: EGraph, root: int, cost_model: CostModel, report: CompileReport
+):
+    t0 = time.perf_counter()
     extractor = Extractor(egraph, cost_model)
-    return extractor.best(root)
+    result = extractor.best(root)
+    report.extract_time += time.perf_counter() - t0
+    return result
 
 
 def compile_term(
@@ -174,7 +197,7 @@ def compile_term(
             options.compilation_limits,
             frontier=True,
         )
-        cost_new, extracted = _extract(egraph, root, cost_model)
+        cost_new, extracted = _extract(egraph, root, cost_model, report)
         report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
         report.rounds.append(
             RoundReport(
@@ -205,7 +228,7 @@ def compile_term(
     report.optimization = run_saturation(
         egraph, list(ruleset.optimization), options.optimization_limits
     )
-    final_cost, compiled = _extract(egraph, root, cost_model)
+    final_cost, compiled = _extract(egraph, root, cost_model, report)
     report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
     report.final_cost = final_cost
     report.elapsed = time.monotonic() - start
@@ -225,7 +248,7 @@ def _compile_unphased(
     sat_report = run_saturation(
         egraph, ruleset.all_rules(), options.unphased_limits
     )
-    cost, compiled = _extract(egraph, root, cost_model)
+    cost, compiled = _extract(egraph, root, cost_model, report)
     report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
     report.rounds.append(
         RoundReport(

@@ -10,21 +10,32 @@ explicit ``rebuild`` (egg's key performance idea).
 Modules:
 
 - :mod:`repro.egraph.unionfind` — union-find with path compression;
-- :mod:`repro.egraph.egraph` — e-classes, hashcons, rebuild;
-- :mod:`repro.egraph.ematch` — pattern matching over e-classes;
+- :mod:`repro.egraph.egraph` — e-classes, hashcons, rebuild, and the
+  incrementally maintained per-op candidate index;
+- :mod:`repro.egraph.compile_pattern` — patterns compiled to flat
+  instruction programs (egg-style e-matching VM);
+- :mod:`repro.egraph.ematch` — pattern matching over e-classes
+  (compiled by default, legacy walk behind ``REPRO_LEGACY_EMATCH``);
 - :mod:`repro.egraph.rewrite` — rewrite rules and application;
 - :mod:`repro.egraph.runner` — the saturation loop with node/iteration/
-  time limits and egg's backoff rule scheduler;
+  time limits, egg's backoff rule scheduler, and hot-path perf
+  counters;
 - :mod:`repro.egraph.extract` — bottom-up minimum-cost extraction.
 """
 
 from repro.egraph.unionfind import UnionFind
 from repro.egraph.egraph import EGraph, EClass, ENode
+from repro.egraph.compile_pattern import (
+    CompiledMatcher,
+    CompiledPattern,
+    compile_pattern,
+)
 from repro.egraph.ematch import ematch, match_in_class
 from repro.egraph.rewrite import Rewrite, parse_rewrite
 from repro.egraph.runner import (
     RunnerLimits,
     RunnerReport,
+    SaturationPerf,
     StopReason,
     BackoffScheduler,
     run_saturation,
@@ -37,12 +48,16 @@ __all__ = [
     "EGraph",
     "EClass",
     "ENode",
+    "CompiledMatcher",
+    "CompiledPattern",
+    "compile_pattern",
     "ematch",
     "match_in_class",
     "Rewrite",
     "parse_rewrite",
     "RunnerLimits",
     "RunnerReport",
+    "SaturationPerf",
     "StopReason",
     "BackoffScheduler",
     "run_saturation",

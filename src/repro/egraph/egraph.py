@@ -46,7 +46,15 @@ class EGraph:
         self._worklist: list[int] = []
         self._n_unions = 0
         self._n_adds = 0
+        self._n_live_nodes = 0
         self._touched: set[int] = set()
+        # Incremental per-op root-candidate index: op -> class ids that
+        # (transitively, through the union-find) hold a node with that
+        # op.  Appended to on every add; unions leave stale ids behind
+        # that readers resolve with ``find`` and that ``op_index``
+        # compacts away once enough staleness accumulates.
+        self._op_index: dict[str, list[int]] = {}
+        self._index_stale = 0
 
     # -- basic queries -----------------------------------------------------
 
@@ -59,15 +67,31 @@ class EGraph:
 
     @property
     def n_nodes(self) -> int:
-        return sum(len(c.nodes) for c in self._classes.values())
+        """Live e-node count, O(1).
+
+        Tracked incrementally (+1 per add, -k per rebuild dedup); the
+        nodes of classes merged by ``union`` move but are not
+        destroyed, so only those two operations touch the counter.
+        """
+        return self._n_live_nodes
+
+    @property
+    def n_nodes_live(self) -> int:
+        """Alias of :attr:`n_nodes` — the exact live count, O(1).
+
+        Unlike the historical ``n_nodes_fast`` upper bound (which only
+        ever grows), this shrinks when rebuilds dedup nodes, so
+        mid-iteration limit guards don't kill long runs spuriously.
+        """
+        return self._n_live_nodes
 
     @property
     def n_nodes_fast(self) -> int:
         """Upper bound on node count, O(1).
 
         Counts every e-node ever created (dedup during rebuild can
-        shrink the true count); used for cheap mid-iteration limit
-        checks where an overestimate is safe.
+        shrink the true count).  Kept for diagnostics; limit guards use
+        :attr:`n_nodes_live` instead.
         """
         return self._n_adds
 
@@ -107,11 +131,17 @@ class EGraph:
             return find(existing)
         class_id = self._uf.make_set()
         self._n_adds += 1
+        self._n_live_nodes += 1
         eclass = EClass(class_id)
         eclass.nodes.append(node)
         self._classes[class_id] = eclass
         self._hashcons[node] = class_id
         self._touched.add(class_id)
+        index = self._op_index.get(op)
+        if index is None:
+            self._op_index[op] = [class_id]
+        else:
+            index.append(class_id)
         for child in node[2]:
             self._classes[find(child)].parents.append((node, class_id))
         return class_id
@@ -149,6 +179,7 @@ class EGraph:
         del self._classes[b]
         self._worklist.append(a)
         self._n_unions += 1
+        self._index_stale += 1
         self._touched.add(a)
         return True
 
@@ -192,6 +223,7 @@ class EGraph:
         seen: dict[ENode, None] = {}
         for node in eclass.nodes:
             seen.setdefault(self.canonicalize(node), None)
+        self._n_live_nodes -= len(eclass.nodes) - len(seen)
         eclass.nodes = list(seen)
 
     # -- pattern instantiation ----------------------------------------------
@@ -221,17 +253,51 @@ class EGraph:
 
     # -- indexes --------------------------------------------------------------
 
-    def op_index(self) -> dict[str, list[tuple[int, ENode]]]:
-        """Map op -> [(class id, e-node)] over the clean graph.
+    def op_index(self, rescan: bool = False) -> dict[str, list[int]]:
+        """Map op -> candidate class ids holding a node with that op.
 
-        Built once per saturation iteration and shared by all rules'
-        matching passes.
+        Maintained *incrementally*: ``add_enode`` appends, unions only
+        bump a staleness counter, and readers canonicalize candidate
+        ids through ``find``.  The ids may therefore be stale (merged
+        away) or duplicated — consumers (``ematch``) dedup by canonical
+        root, which they must do anyway.  Once enough unions accumulate
+        the lists are compacted in place, bounding the wasted scans.
+
+        Returns a snapshot (fresh list objects), so nodes added while a
+        saturation iteration consumes the index do not grow the
+        candidate sets mid-iteration — same semantics as the historical
+        full rescan, at a fraction of the per-iteration cost.
+
+        ``rescan=True`` forces the historical O(total-nodes) rebuild
+        from the class table (kept for benchmarks and cross-checks).
         """
-        index: dict[str, list[tuple[int, ENode]]] = {}
+        if rescan:
+            return self.op_index_rescan()
+        if self._index_stale > 64 + (len(self._classes) >> 2):
+            self._compact_op_index()
+        return {op: lst.copy() for op, lst in self._op_index.items() if lst}
+
+    def op_index_rescan(self) -> dict[str, list[int]]:
+        """The pre-incremental index build: rescan every e-node."""
+        index: dict[str, list[int]] = {}
         for eclass in self._classes.values():
             for node in eclass.nodes:
-                index.setdefault(node[0], []).append((eclass.id, node))
+                index.setdefault(node[0], []).append(eclass.id)
         return index
+
+    def _compact_op_index(self) -> None:
+        """Drop merged-away and duplicate candidate ids, in place."""
+        find = self._uf.find
+        for lst in self._op_index.values():
+            seen: set[int] = set()
+            compacted: list[int] = []
+            for class_id in lst:
+                root = find(class_id)
+                if root not in seen:
+                    seen.add(root)
+                    compacted.append(root)
+            lst[:] = compacted
+        self._index_stale = 0
 
     # -- equality queries -----------------------------------------------------
 

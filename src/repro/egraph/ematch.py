@@ -1,11 +1,18 @@
 """E-matching: finding all instances of a pattern in an e-graph.
 
 Matching a pattern against an e-class yields bindings from wildcard
-names to e-class ids.  The matcher is the classic backtracking
-relational walk (egg's "machine-free" formulation): for compound
-patterns it scans the candidate class's e-nodes with the right operator
-and recursively matches children; wildcards bind to (canonical) class
-ids; leaves require the exact leaf e-node to be present.
+names to e-class ids.  Two interchangeable matchers implement the same
+semantics:
+
+- the **compiled** matcher (default): each pattern is compiled once
+  into a flat instruction program (:mod:`repro.egraph.compile_pattern`)
+  and executed over register-style binding tuples — the saturation hot
+  path;
+- the **legacy** matcher: the classic backtracking relational walk
+  kept as the executable specification, selectable with
+  ``REPRO_LEGACY_EMATCH=1`` (or ``compiled=False``) and used by the
+  differential fuzz tests to prove the compiled programs produce
+  identical match lists.
 
 Binding lists are *capped* (``limit``): patterns with sibling
 subpatterns over large classes produce a cross product of bindings,
@@ -14,13 +21,20 @@ E-graph explosion of paper §2.3 showing up inside one match call.
 Truncation keeps the earliest bindings, which follow e-node insertion
 order and therefore favour the original program structure.
 
+Work accounting is uniform: every e-node visited by any scan — leaf or
+compound — charges one unit of the shared ``work_budget``, so budgets
+mean the same thing on every path and across both matchers.
+
 ``ematch`` additionally restricts root candidates with a per-op index
 so each rule only visits classes that can possibly match.
 """
 
 from __future__ import annotations
 
-from repro.egraph.egraph import EGraph, ENode
+import os
+
+from repro.egraph.compile_pattern import CompiledMatcher, compile_pattern
+from repro.egraph.egraph import EGraph
 from repro.lang.ops import WILD
 from repro.lang.term import Term
 
@@ -36,8 +50,14 @@ DEFAULT_MATCH_CAP = 20_000
 DEFAULT_MATCH_WORK = 100_000
 
 
+def _legacy_requested() -> bool:
+    return os.environ.get("REPRO_LEGACY_EMATCH", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
 class _Matcher:
-    """One pattern-matching context over a (clean) e-graph.
+    """One pattern-matching context over an e-graph (legacy walk).
 
     Holds direct references to the union-find and class table — the
     matcher is the saturation hot path, and attribute/method lookups
@@ -85,6 +105,9 @@ class _Matcher:
             # Leaf pattern: the exact leaf e-node must be present.
             target = (pattern.op, pattern.payload, ())
             for node in nodes:
+                if self.work <= 0:
+                    break
+                self.work -= 1
                 if node == target:
                     return bindings
             return []
@@ -94,12 +117,12 @@ class _Matcher:
         n_args = len(pat_args)
         cap = self._cap
         out = []
-        self.work -= len(nodes)
         for node in nodes:
-            if node[0] != op or node[1] != payload:
-                continue
             if self.work <= 0:
                 break
+            self.work -= 1
+            if node[0] != op or node[1] != payload:
+                continue
             children = node[2]
             if len(children) != n_args:
                 continue
@@ -116,23 +139,46 @@ class _Matcher:
         return out
 
 
+def _make_matcher(
+    egraph: EGraph,
+    pattern: Term,
+    cap: int,
+    work: int,
+    compiled: bool | None,
+):
+    """``(matcher, match_root)`` for the selected implementation."""
+    if compiled is None:
+        compiled = not _legacy_requested()
+    if compiled:
+        matcher = CompiledMatcher(compile_pattern(pattern), egraph, cap, work)
+        return matcher, matcher.match_class
+    matcher = _Matcher(egraph, cap, work)
+    return matcher, lambda cid: matcher.match(pattern, cid, [{}])
+
+
 def match_in_class(
     egraph: EGraph,
     pattern: Term,
     class_id: int,
     cap: int = DEFAULT_MATCH_CAP,
+    compiled: bool | None = None,
 ) -> list[Binding]:
     """Bindings under which ``pattern`` matches class ``class_id``."""
-    return _Matcher(egraph, cap).match(pattern, class_id, [{}])
+    _matcher, match_root = _make_matcher(
+        egraph, pattern, cap, DEFAULT_MATCH_WORK, compiled
+    )
+    return match_root(class_id)
 
 
 def ematch(
     egraph: EGraph,
     pattern: Term,
-    op_index: dict[str, list[tuple[int, ENode]]] | None = None,
+    op_index: dict[str, list[int]] | None = None,
     limit: int | None = None,
     work_budget: int = DEFAULT_MATCH_WORK,
     roots: set[int] | None = None,
+    compiled: bool | None = None,
+    counters: dict | None = None,
 ) -> list[tuple[int, Binding]]:
     """All ``(root class id, binding)`` matches of ``pattern``.
 
@@ -143,6 +189,10 @@ def ematch(
     ``work_budget`` bounds the total e-nodes scanned, making one rule
     application O(budget) on any graph.  ``roots`` (canonical class
     ids) restricts the match roots — frontier matching.
+
+    ``compiled`` selects the matcher implementation (None = compiled
+    unless ``REPRO_LEGACY_EMATCH`` is set).  ``counters``, if given,
+    accumulates ``"node_visits"`` — the e-nodes actually scanned.
     """
     results: list[tuple[int, Binding]] = []
     cap = min(limit, DEFAULT_MATCH_CAP) if limit else DEFAULT_MATCH_CAP
@@ -157,32 +207,38 @@ def ematch(
                 break
         return results
 
-    matcher = _Matcher(egraph, cap, work_budget)
+    matcher, match_root = _make_matcher(
+        egraph, pattern, cap, work_budget, compiled
+    )
     if op_index is not None:
         candidates = op_index.get(pattern.op, ())
+        find = egraph.find
         seen: set[int] = set()
-        for class_id, _node in candidates:
-            root = egraph.find(class_id)
+        for class_id in candidates:
+            root = find(class_id)
             if root in seen:
                 continue
             seen.add(root)
             if roots is not None and root not in roots:
                 continue
-            for binding in matcher.match(pattern, root, [{}]):
+            for binding in match_root(root):
                 results.append((root, binding))
             if limit is not None and len(results) >= limit:
                 break
             if matcher.exhausted:
                 break
-        return results
-
-    for eclass in egraph.classes():
-        if roots is not None and eclass.id not in roots:
-            continue
-        for binding in matcher.match(pattern, eclass.id, [{}]):
-            results.append((eclass.id, binding))
-        if limit is not None and len(results) >= limit:
-            break
-        if matcher.exhausted:
-            break
+    else:
+        for eclass in egraph.classes():
+            if roots is not None and eclass.id not in roots:
+                continue
+            for binding in match_root(eclass.id):
+                results.append((eclass.id, binding))
+            if limit is not None and len(results) >= limit:
+                break
+            if matcher.exhausted:
+                break
+    if counters is not None:
+        counters["node_visits"] = (
+            counters.get("node_visits", 0) + (work_budget - matcher.work)
+        )
     return results

@@ -34,17 +34,25 @@ class _TermCostAdapter:
 
     Builds tiny one-level dummy terms so legacy/structural cost
     callables keep working; the dummies only expose op/payload/leafness,
-    which is all a structural cost function may rely on.
+    which is all a structural cost function may rely on.  The dummy for
+    each ``(op, payload)`` head is memoized per adapter: extraction
+    calls the cost function once per (node, child) pair, and without
+    the memo every call re-enters the term intern table.
     """
 
     def __init__(self, fn: Callable):
         self._fn = fn
+        self._heads: dict[Head, Term] = {}
 
     def node_cost_heads(self, op: str, payload, child_heads) -> float:
-        child_terms = tuple(
-            _dummy_term(c_op, c_payload) for c_op, c_payload in child_heads
-        )
-        return self._fn(op, payload, child_terms)
+        cache = self._heads
+        child_terms = []
+        for head in child_heads:
+            term = cache.get(head)
+            if term is None:
+                term = cache[head] = _dummy_term(head[0], head[1])
+            child_terms.append(term)
+        return self._fn(op, payload, tuple(child_terms))
 
 
 _DUMMY_CHILD = None
@@ -91,7 +99,6 @@ class Extractor:
                 for child in children:
                     parents.setdefault(find(child), set()).add(eclass.id)
 
-        pending = set()
         worklist = [c.id for c in classes]
         in_list = set(worklist)
 
@@ -128,7 +135,6 @@ class Extractor:
                     if parent not in in_list:
                         worklist.append(parent)
                         in_list.add(parent)
-        del pending
 
     # -- queries ---------------------------------------------------------
 

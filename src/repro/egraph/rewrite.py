@@ -8,9 +8,10 @@ all orderings at once (paper §2.1).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
-from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.egraph import EGraph
 from repro.egraph.ematch import ematch
 from repro.lang.parser import parse, to_sexpr
 from repro.lang.pattern import wildcards_of
@@ -59,16 +60,23 @@ def parse_rewrite(name: str, text: str) -> Rewrite:
 
 @dataclass
 class ApplyStats:
-    """Outcome of applying one rule for one iteration."""
+    """Outcome of applying one rule for one iteration.
+
+    ``n_visits`` (e-nodes scanned while matching) and ``match_time``
+    feed the runner's :class:`~repro.egraph.runner.SaturationPerf`
+    counters.
+    """
 
     n_matches: int = 0
     n_unions: int = 0
+    n_visits: int = 0
+    match_time: float = 0.0
 
 
 def apply_rewrite(
     egraph: EGraph,
     rule: Rewrite,
-    op_index: dict[str, list[tuple[int, ENode]]] | None = None,
+    op_index: dict[str, list[int]] | None = None,
     match_limit: int | None = None,
     match_work: int | None = None,
     roots: set[int] | None = None,
@@ -82,6 +90,8 @@ def apply_rewrite(
     from repro.egraph.ematch import DEFAULT_MATCH_WORK
 
     stats = ApplyStats()
+    counters: dict = {}
+    t0 = time.perf_counter()
     matches = ematch(
         egraph,
         rule.lhs,
@@ -89,7 +99,10 @@ def apply_rewrite(
         limit=match_limit,
         work_budget=match_work or DEFAULT_MATCH_WORK,
         roots=roots,
+        counters=counters,
     )
+    stats.match_time = time.perf_counter() - t0
+    stats.n_visits = counters.get("node_visits", 0)
     stats.n_matches = len(matches)
     for class_id, binding in matches:
         rhs_id = egraph.add_instantiation(rule.rhs, binding)

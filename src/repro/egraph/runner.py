@@ -15,11 +15,20 @@ commutativity explosions without dropping the rule entirely.
 from __future__ import annotations
 
 import enum
+import os
 import time
 from dataclasses import dataclass, field
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.rewrite import Rewrite, apply_rewrite
+
+
+def _legacy_index_requested() -> bool:
+    """``REPRO_LEGACY_INDEX=1`` forces the O(nodes) per-iteration
+    op-index rescan (the pre-incremental path, kept for benchmarks)."""
+    return os.environ.get("REPRO_LEGACY_INDEX", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
 
 
 class StopReason(enum.Enum):
@@ -60,12 +69,57 @@ class IterationReport:
 
 
 @dataclass
+class SaturationPerf:
+    """Lightweight hot-path counters for one saturation run.
+
+    ``node_visits`` counts e-nodes scanned by the matcher (the unit the
+    work budget charges); the ``*_time`` fields break the run's wall
+    clock into the three hot paths this engine optimizes.  Per-rule
+    breakdowns identify which rewrites dominate the match bill.
+    """
+
+    node_visits: int = 0
+    match_time: float = 0.0
+    index_time: float = 0.0
+    rebuild_time: float = 0.0
+    rule_match_time: dict = field(default_factory=dict)
+    rule_node_visits: dict = field(default_factory=dict)
+
+    def absorb(self, other: "SaturationPerf") -> None:
+        """Accumulate ``other`` into this (for cross-run aggregation)."""
+        self.node_visits += other.node_visits
+        self.match_time += other.match_time
+        self.index_time += other.index_time
+        self.rebuild_time += other.rebuild_time
+        for name, t in other.rule_match_time.items():
+            self.rule_match_time[name] = (
+                self.rule_match_time.get(name, 0.0) + t
+            )
+        for name, n in other.rule_node_visits.items():
+            self.rule_node_visits[name] = (
+                self.rule_node_visits.get(name, 0) + n
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (for ``BENCH_*.json`` files)."""
+        return {
+            "node_visits": self.node_visits,
+            "match_time": self.match_time,
+            "index_time": self.index_time,
+            "rebuild_time": self.rebuild_time,
+            "rule_match_time": dict(self.rule_match_time),
+            "rule_node_visits": dict(self.rule_node_visits),
+        }
+
+
+@dataclass
 class RunnerReport:
     """What one saturation run did."""
 
     stop_reason: StopReason
     iterations: list[IterationReport] = field(default_factory=list)
     elapsed: float = 0.0
+    perf: SaturationPerf = field(default_factory=SaturationPerf)
 
     @property
     def n_iterations(self) -> int:
@@ -142,8 +196,12 @@ def run_saturation(
         )
     start = time.monotonic()
     report = RunnerReport(stop_reason=StopReason.ITERATION_LIMIT)
+    perf = report.perf
+    legacy_index = _legacy_index_requested()
 
+    t0 = time.monotonic()
     egraph.rebuild()
+    perf.rebuild_time += time.monotonic() - t0
     roots: set[int] | None = None
     if frontier:
         egraph.take_touched()  # discard pre-existing dirt
@@ -154,7 +212,9 @@ def run_saturation(
             n_classes=0,
             n_unions=0,
         )
-        op_index = egraph.op_index()
+        t0 = time.monotonic()
+        op_index = egraph.op_index(rescan=legacy_index)
+        perf.index_time += time.monotonic() - t0
         unions_before = egraph.n_unions
         any_skipped = False
 
@@ -162,9 +222,12 @@ def run_saturation(
             if time.monotonic() - start > limits.time_limit:
                 report.stop_reason = StopReason.TIME_LIMIT
                 break
-            if egraph.n_nodes_fast > limits.max_nodes * 2:
+            if egraph.n_nodes_live > limits.max_nodes * 2:
                 # Mid-iteration guard: one iteration of many rules can
-                # overshoot the per-iteration node check badly.
+                # overshoot the per-iteration node check badly.  Uses
+                # the exact live count (which shrinks on rebuild dedup),
+                # so long runs aren't killed by an upper bound that
+                # never comes back down.
                 report.stop_reason = StopReason.NODE_LIMIT
                 break
             if not scheduler.can_apply(rule, iteration):
@@ -186,6 +249,7 @@ def run_saturation(
                     roots=roots,
                 )
                 iter_report.applied[rule.name] = stats.n_unions
+                _record_perf(perf, rule.name, stats)
                 continue
             cap = scheduler.threshold(rule)
             stats = apply_rewrite(
@@ -200,8 +264,11 @@ def run_saturation(
             if stats.n_matches > cap:
                 any_skipped = True
             iter_report.applied[rule.name] = stats.n_unions
+            _record_perf(perf, rule.name, stats)
         else:
+            t0 = time.monotonic()
             egraph.rebuild()
+            perf.rebuild_time += time.monotonic() - t0
             iter_report.n_nodes = egraph.n_nodes
             iter_report.n_classes = egraph.n_classes
             iter_report.n_unions = egraph.n_unions - unions_before
@@ -220,8 +287,21 @@ def run_saturation(
                 break
             continue
         # Inner loop broke (time limit mid-iteration): clean up and stop.
+        t0 = time.monotonic()
         egraph.rebuild()
+        perf.rebuild_time += time.monotonic() - t0
         break
 
     report.elapsed = time.monotonic() - start
     return report
+
+
+def _record_perf(perf: SaturationPerf, rule_name: str, stats) -> None:
+    perf.node_visits += stats.n_visits
+    perf.match_time += stats.match_time
+    perf.rule_match_time[rule_name] = (
+        perf.rule_match_time.get(rule_name, 0.0) + stats.match_time
+    )
+    perf.rule_node_visits[rule_name] = (
+        perf.rule_node_visits.get(rule_name, 0) + stats.n_visits
+    )

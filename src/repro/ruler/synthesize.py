@@ -22,6 +22,31 @@ from repro.ruler.lanes import GeneralizationReport, generalize_rules
 from repro.ruler.minimize import minimize_rules
 from repro.ruler.verify import verify_rule
 
+# Candidate-verification fan-out: below this many candidates a process
+# pool is pure overhead, so verification stays serial (and keeps the
+# historical per-candidate deadline granularity).
+_PARALLEL_VERIFY_MIN = 64
+
+
+class _VerifyTask:
+    """Picklable per-candidate soundness check for the worker pool."""
+
+    __slots__ = ("_spec", "_n_samples", "_seed")
+
+    def __init__(self, spec: IsaSpec, n_samples: int, seed: int):
+        self._spec = spec
+        self._n_samples = n_samples
+        self._seed = seed
+
+    def __call__(self, rule: Rewrite) -> bool:
+        return verify_rule(
+            rule.lhs,
+            rule.rhs,
+            self._spec,
+            n_samples=self._n_samples,
+            seed=self._seed,
+        ).ok
+
 
 @dataclass(frozen=True)
 class SynthesisConfig:
@@ -110,25 +135,47 @@ def synthesize_rules(
     stage_times["candidates"] = time.monotonic() - t0
 
     # 3. Verify soundness (exact where possible, fuzz otherwise).
+    # Candidates are independent, so verification fans out across
+    # processes in deadline-checked chunks; results are consumed in
+    # candidate order, so the verified rule list is identical to the
+    # serial path's (the pool degrades to serial when unavailable or
+    # when the candidate set is too small to amortize it).
+    # Imported here: repro.bench's package init reaches back into this
+    # module through the framework (benchmark convenience re-exports),
+    # so a top-level import would be circular.
+    from repro.bench.parallel import parallel_map, parallel_workers
+
     t0 = time.monotonic()
     verified: list[Rewrite] = []
     n_unsound = 0
     aborted = enumeration.aborted
-    for rule in candidates:
+    verify_task = _VerifyTask(
+        spec, config.n_verify_samples, config.verify_seed
+    )
+    workers = parallel_workers()
+    if workers > 1 and len(candidates) >= _PARALLEL_VERIFY_MIN:
+        # With no deadline, one fan-out covers everything; under a
+        # deadline, chunks keep the abort granularity reasonable.
+        chunk = len(candidates) if deadline is None else 8 * workers
+    else:
+        chunk = 1  # serial, with per-candidate deadline checks
+    index = 0
+    while index < len(candidates):
         if deadline is not None and time.monotonic() > deadline:
             aborted = True
             break
-        check = verify_rule(
-            rule.lhs,
-            rule.rhs,
-            spec,
-            n_samples=config.n_verify_samples,
-            seed=config.verify_seed,
+        batch = candidates[index:index + chunk]
+        outcomes = (
+            [verify_task(batch[0])]
+            if chunk == 1
+            else parallel_map(verify_task, batch, max_workers=workers)
         )
-        if check.ok:
-            verified.append(rule)
-        else:
-            n_unsound += 1
+        for rule, ok in zip(batch, outcomes):
+            if ok:
+                verified.append(rule)
+            else:
+                n_unsound += 1
+        index += chunk
     stage_times["verify"] = time.monotonic() - t0
 
     # 4. Shrink by derivability.

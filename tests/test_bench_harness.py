@@ -50,6 +50,28 @@ class TestRunSuite:
                       systems=("scalar",), seed=4)
         assert a[0].cycles("scalar") == b[0].cycles("scalar")
 
+    def test_parallel_jobs_match_serial(self, spec, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "2")  # 1-CPU CI still pools
+        instances = [
+            matmul_kernel(2, 2, 2),
+            matmul_kernel(2, 3, 3),
+            qr_kernel(3),
+        ]
+        serial = run_suite(instances, spec, systems=("scalar",), seed=1)
+        fanned = run_suite(instances, spec, systems=("scalar",), seed=1,
+                           jobs=2)
+        assert [r.key for r in fanned] == [r.key for r in serial]
+        for fast, slow in zip(fanned, serial):
+            assert fast.cycles("scalar") == slow.cycles("scalar")
+
+    def test_forced_serial_env_matches(self, spec, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        rows = run_suite([matmul_kernel(2, 2, 2)], spec,
+                         systems=("scalar",), seed=1, jobs=4)
+        baseline = run_suite([matmul_kernel(2, 2, 2)], spec,
+                             systems=("scalar",), seed=1)
+        assert rows[0].cycles("scalar") == baseline[0].cycles("scalar")
+
 
 class TestTables:
     def test_format_speedup(self):

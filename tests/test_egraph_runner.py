@@ -149,3 +149,132 @@ class TestBackoffScheduler:
         sched.record(rule, 0, n_matches=5)
         assert sched.can_apply(rule, 1)
         assert not sched.any_banned(1)
+
+    def test_ban_expires_exactly_on_schedule(self):
+        # Banned at iteration i with ban_length L → usable again at
+        # i + 1 + L, not one iteration early.
+        sched = BackoffScheduler(match_limit=10, ban_length=3)
+        rule = parse_rewrite("r", "(+ ?a ?b) => (+ ?b ?a)")
+        sched.record(rule, 5, n_matches=100)
+        for it in (6, 7, 8):
+            assert not sched.can_apply(rule, it)
+            assert sched.any_banned(it)
+        assert sched.can_apply(rule, 9)
+        assert not sched.any_banned(9)
+
+    def test_repeated_overflow_keeps_doubling(self):
+        sched = BackoffScheduler(match_limit=8, ban_length=1)
+        rule = parse_rewrite("r", "(+ ?a ?b) => (+ ?b ?a)")
+        expected = 8
+        for i in range(4):
+            sched.record(rule, 3 * i, n_matches=expected + 1)
+            expected *= 2
+            assert sched.threshold(rule) == expected
+
+    def test_bans_are_per_rule(self):
+        sched = BackoffScheduler(match_limit=10, ban_length=2)
+        noisy = parse_rewrite("noisy", "(+ ?a ?b) => (+ ?b ?a)")
+        quiet = parse_rewrite("quiet", "(* ?a 1) => ?a")
+        sched.record(noisy, 0, n_matches=50)
+        assert not sched.can_apply(noisy, 1)
+        assert sched.can_apply(quiet, 1)
+        assert sched.threshold(quiet) == 10
+
+
+class TestFrontierMatching:
+    def test_frontier_restricts_to_touched_roots(self):
+        # Two disjoint (+ _ 0) redexes; the frontier after iteration 0
+        # only contains classes iteration 0 changed, so a redex added
+        # *after* the run started would be skipped.  Here we verify the
+        # positive direction: chained rules keep firing because each
+        # application touches the class the next one matches.
+        g = EGraph()
+        root = g.add_term(parse("(s (s (s (s z))))"))
+        report = run_saturation(
+            g,
+            [parse_rewrite("drop", "(s ?n) => ?n")],
+            RunnerLimits(max_iterations=10),
+            frontier=True,
+        )
+        assert report.saturated
+        assert g.equivalent(root, g.lookup_term(parse("z")))
+
+    def test_frontier_skips_untouched_roots(self):
+        # After iteration 0 rewrites the (* _ 1) redex, the (+ a 0)
+        # redex — whose rule only enters the rule list via a scheduler
+        # ban expiring later — is NOT in the frontier, so the restricted
+        # run misses it while the unrestricted run finds it.
+        def build():
+            g = EGraph()
+            keep = g.add_term(parse("(+ a 0)"))
+            g.add_term(parse("(* b 1)"))
+            return g, keep
+
+        class OneShotScheduler(BackoffScheduler):
+            """Bans add-id for iteration 0 only."""
+
+            def can_apply(self, rule, iteration):
+                if rule.name == "add-id" and iteration == 0:
+                    return False
+                return super().can_apply(rule, iteration)
+
+        rules = [
+            parse_rewrite("mul-id", "(* ?a 1) => ?a"),
+            parse_rewrite("add-id", "(+ ?a 0) => ?a"),
+        ]
+        limits = RunnerLimits(max_iterations=6)
+
+        g_full, keep_full = build()
+        run_saturation(g_full, rules, limits, scheduler=OneShotScheduler())
+        assert g_full.equivalent(keep_full, g_full.lookup_term(parse("a")))
+
+        g_front, keep_front = build()
+        run_saturation(
+            g_front,
+            rules,
+            limits,
+            scheduler=OneShotScheduler(),
+            frontier=True,
+        )
+        # (+ a 0) was never touched by iteration 0, so the frontier
+        # run never matched it: incompleteness is real and intended.
+        assert not g_front.equivalent(
+            keep_front, g_front.lookup_term(parse("a"))
+        )
+
+
+class TestPerfCounters:
+    def test_report_carries_populated_perf(self):
+        g = EGraph()
+        g.add_term(parse("(+ (+ a b) (+ c d))"))
+        report = run_saturation(
+            g,
+            [parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)")],
+            RunnerLimits(max_iterations=10),
+        )
+        perf = report.perf
+        assert perf.node_visits > 0
+        assert perf.match_time >= 0.0
+        assert perf.rebuild_time > 0.0
+        assert perf.rule_node_visits["comm"] == perf.node_visits
+        assert set(perf.rule_match_time) == {"comm"}
+
+    def test_absorb_accumulates(self):
+        g1 = EGraph()
+        g1.add_term(parse("(+ a b)"))
+        r1 = run_saturation(
+            g1, [parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)")]
+        )
+        g2 = EGraph()
+        g2.add_term(parse("(* c d)"))
+        r2 = run_saturation(
+            g2, [parse_rewrite("mcomm", "(* ?a ?b) => (* ?b ?a)")]
+        )
+        total = r1.perf.__class__()
+        total.absorb(r1.perf)
+        total.absorb(r2.perf)
+        assert total.node_visits == r1.perf.node_visits + r2.perf.node_visits
+        assert set(total.rule_node_visits) == {"comm", "mcomm"}
+        round_trip = total.as_dict()
+        assert round_trip["node_visits"] == total.node_visits
+        assert "rule_match_time" in round_trip
