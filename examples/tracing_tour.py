@@ -1,0 +1,82 @@
+"""Tracing tour: watch one kernel go through the whole pipeline.
+
+Every pipeline stage — phase assignment, each bounded ``EqSat`` call
+and its iterations, extraction, translation validation, lowering,
+instruction scheduling — emits a *span* when tracing is enabled (see
+``docs/observability.md``).  This example compiles one small kernel
+with an in-memory sink, prints the resulting span tree, and then
+shows the same trace rendered by the ``trace_report`` CLI.
+
+Outside a program, the same trace comes from the environment alone::
+
+    REPRO_TRACE=trace.jsonl python examples/quickstart.py
+    python -m repro.tools.trace_report trace.jsonl
+
+Run:  python examples/tracing_tour.py
+"""
+
+from repro.compiler import trace_kernel
+from repro.core import default_compiler
+from repro.machine import Machine, schedule_program
+from repro.obs import ListSink, Tracer, use_tracer
+from repro.tools.trace_report import render_report
+
+
+def dot_product(x, y):
+    """A 4-element dot product: reduces to one vector MAC + adds."""
+    return [x[0] * y[0] + x[1] * y[1] + x[2] * y[2] + x[3] * y[3]]
+
+
+def main() -> None:
+    compiler = default_compiler()
+    spec = compiler.spec
+    program = trace_kernel(
+        "dot_product", dot_product, {"x": 4, "y": 4}, spec.vector_width
+    )
+
+    # Install a tracer for the dynamic extent of the compile.  The
+    # ListSink keeps finished spans in memory; JsonlFileSink (or just
+    # REPRO_TRACE=path) writes the same events to disk instead.
+    sink = ListSink()
+    with use_tracer(Tracer(sink)):
+        kernel = compiler.compile_kernel(program)
+        schedule_program(kernel.machine_program, Machine(spec))
+
+    print(f"compile produced {len(sink.events)} spans\n")
+
+    print("span tree (name, duration, payload keys):")
+    children: dict = {}
+    roots = []
+    for event in sink.events:
+        children.setdefault(event.get("parent"), []).append(event)
+    for event in sorted(sink.events, key=lambda e: e["ts"]):
+        if event.get("parent") is None:
+            roots.append(event)
+
+    def show(event, depth):
+        keys = ", ".join(sorted(event.get("attrs", {})))
+        print(
+            f"  {'  ' * depth}{event['name']:<24}"
+            f"{event['dur'] * 1e3:>8.1f}ms  {keys}"
+        )
+        for child in sorted(
+            children.get(event["id"], []), key=lambda e: e["ts"]
+        ):
+            show(child, depth + 1)
+
+    for root in roots:
+        show(root, 0)
+
+    print("\nthe same trace through `python -m repro.tools.trace_report`:")
+    print(render_report(sink.events, top=5, max_depth=2))
+
+    sat = kernel.report.saturation_perf()
+    print(
+        f"\nfolded counters: {sat.node_visits} e-nodes visited, "
+        f"{kernel.report.n_eqsat_calls} EqSat calls, "
+        f"final cost {kernel.report.final_cost}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,10 @@ Public API highlights:
 - :mod:`repro.kernels` — the benchmark kernel suite (2D convolution,
   matrix multiply, QR decomposition, quaternion product);
 - :mod:`repro.machine` — the cycle-level DSP simulator the evaluation
-  measures on.
+  measures on;
+- :mod:`repro.obs` — structured tracing of the compile pipeline
+  (enable with ``REPRO_TRACE``; render with
+  ``python -m repro.tools.trace_report``).
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.

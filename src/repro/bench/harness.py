@@ -46,6 +46,7 @@ class SuiteRow:
     measurements: dict = field(default_factory=dict)
 
     def cycles(self, system: str) -> int | None:
+        """Measured cycles for ``system``, or None on error/absence."""
         m = self.measurements.get(system)
         return m.cycles if m and m.error is None else None
 

@@ -31,6 +31,7 @@ from repro.egraph.runner import (
     run_saturation,
 )
 from repro.lang.term import Term
+from repro.obs import current_tracer
 from repro.phases.cost import CostModel
 from repro.phases.ruleset import PhasedRuleSet
 
@@ -119,6 +120,7 @@ class CompileReport:
 
     @property
     def n_eqsat_calls(self) -> int:
+        """How many bounded ``EqSat`` runs this compile made."""
         calls = sum(
             (r.expansion is not None) + (r.compilation is not None)
             for r in self.rounds
@@ -160,8 +162,41 @@ def compile_term(
     cost_model: CostModel,
     options: CompileOptions | None = None,
 ) -> tuple[Term, CompileReport]:
-    """Vectorize ``program``; returns the compiled term and a report."""
+    """Vectorize ``program``; returns the compiled term and a report.
+
+    When tracing is enabled (see :mod:`repro.obs`) the compilation
+    emits a ``compile`` span wrapping one ``compile.round`` child per
+    trip around the Fig. 3 loop; each round nests ``phase.expansion``
+    / ``phase.compilation`` spans around their ``EqSat`` calls, and
+    round payloads record the extraction cost and prune decision.
+    """
     options = options or CompileOptions()
+    tracer = current_tracer()
+    with tracer.span(
+        "compile", phased=options.phased, pruning=options.pruning
+    ) as span:
+        compiled, report = _compile_term(
+            program, ruleset, cost_model, options, tracer
+        )
+        if span.enabled:
+            span.add(
+                initial_cost=report.initial_cost,
+                final_cost=report.final_cost,
+                n_rounds=len(report.rounds),
+                n_eqsat_calls=report.n_eqsat_calls,
+                peak_nodes=report.peak_nodes,
+                extract_time=report.extract_time,
+            )
+    return compiled, report
+
+
+def _compile_term(
+    program: Term,
+    ruleset: PhasedRuleSet,
+    cost_model: CostModel,
+    options: CompileOptions,
+    tracer,
+) -> tuple[Term, CompileReport]:
     start = time.monotonic()
     initial_cost = cost_model.term_cost(program)
     report = CompileReport(initial_cost=initial_cost, final_cost=initial_cost)
@@ -179,55 +214,73 @@ def compile_term(
     root: int | None = None
 
     for index in range(options.max_rounds):
-        if options.pruning or egraph is None:
-            egraph = EGraph()
-            root = egraph.add_term(current)
-        exp_report = None
-        if index >= options.expansion_start_round:
-            exp_report = run_saturation(
-                egraph, list(ruleset.expansion), options.expansion_limits
-            )
-        # Frontier matching: compilation rules chain (each lift mints
-        # the Vec literal the next lift fires on), so after the first
-        # sweep the budget goes to newly created structure instead of
-        # re-matching the expansion phase's variants.
-        comp_report = run_saturation(
-            egraph,
-            list(ruleset.compilation),
-            options.compilation_limits,
-            frontier=True,
-        )
-        cost_new, extracted = _extract(egraph, root, cost_model, report)
-        report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
-        report.rounds.append(
-            RoundReport(
-                index=index,
-                expansion=exp_report,
-                compilation=comp_report,
-                extracted_cost=cost_new,
-                n_nodes=egraph.n_nodes,
-                n_classes=egraph.n_classes,
-            )
-        )
-        threshold = max(_EPSILON, cost_old * _MIN_RELATIVE_GAIN)
-        if cost_new >= cost_old - threshold:
-            if cost_new < cost_old:
-                cost_old = cost_new
-                current = extracted  # keep the small win anyway
-            # Never give up before the expansion phase has had at
-            # least one round to expose new structure.
+        with tracer.span("compile.round", index=index) as round_span:
+            if options.pruning or egraph is None:
+                egraph = EGraph()
+                root = egraph.add_term(current)
+            exp_report = None
             if index >= options.expansion_start_round:
-                break
-            continue
-        cost_old = cost_new
-        current = extracted
+                with tracer.span("phase.expansion"):
+                    exp_report = run_saturation(
+                        egraph, list(ruleset.expansion),
+                        options.expansion_limits,
+                    )
+            # Frontier matching: compilation rules chain (each lift
+            # mints the Vec literal the next lift fires on), so after
+            # the first sweep the budget goes to newly created
+            # structure instead of re-matching the expansion phase's
+            # variants.
+            with tracer.span("phase.compilation"):
+                comp_report = run_saturation(
+                    egraph,
+                    list(ruleset.compilation),
+                    options.compilation_limits,
+                    frontier=True,
+                )
+            cost_new, extracted = _extract(egraph, root, cost_model, report)
+            report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
+            report.rounds.append(
+                RoundReport(
+                    index=index,
+                    expansion=exp_report,
+                    compilation=comp_report,
+                    extracted_cost=cost_new,
+                    n_nodes=egraph.n_nodes,
+                    n_classes=egraph.n_classes,
+                )
+            )
+            threshold = max(_EPSILON, cost_old * _MIN_RELATIVE_GAIN)
+            improved = cost_new < cost_old - threshold
+            if round_span.enabled:
+                round_span.add(
+                    cost_before=cost_old,
+                    extracted_cost=cost_new,
+                    improved=improved,
+                    # The prune decision: an improving round restarts
+                    # the next one from the extracted program alone.
+                    pruned=bool(options.pruning and improved),
+                    n_nodes=egraph.n_nodes,
+                    n_classes=egraph.n_classes,
+                )
+            if not improved:
+                if cost_new < cost_old:
+                    cost_old = cost_new
+                    current = extracted  # keep the small win anyway
+                # Never give up before the expansion phase has had at
+                # least one round to expose new structure.
+                if index >= options.expansion_start_round:
+                    break
+                continue
+            cost_old = cost_new
+            current = extracted
 
     # --- final optimization phase ------------------------------------------
     egraph = EGraph()
     root = egraph.add_term(current)
-    report.optimization = run_saturation(
-        egraph, list(ruleset.optimization), options.optimization_limits
-    )
+    with tracer.span("phase.optimization"):
+        report.optimization = run_saturation(
+            egraph, list(ruleset.optimization), options.optimization_limits
+        )
     final_cost, compiled = _extract(egraph, root, cost_model, report)
     report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
     report.final_cost = final_cost
@@ -245,9 +298,10 @@ def _compile_unphased(
     """The §5.2 no-phasing ablation: one saturation over all rules."""
     egraph = EGraph()
     root = egraph.add_term(program)
-    sat_report = run_saturation(
-        egraph, ruleset.all_rules(), options.unphased_limits
-    )
+    with current_tracer().span("phase.unphased"):
+        sat_report = run_saturation(
+            egraph, ruleset.all_rules(), options.unphased_limits
+        )
     cost, compiled = _extract(egraph, root, cost_model, report)
     report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
     report.rounds.append(

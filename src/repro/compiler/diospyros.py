@@ -183,6 +183,7 @@ class DiospyrosCompiler:
         self._max_rounds = max_rounds
 
     def compile(self, program: Term) -> tuple[Term, CompileReport]:
+        """Vectorize ``program`` with the hand-written rule pipeline."""
         start = time.monotonic()
         cost_model = self.cost_model
         initial_cost = cost_model.term_cost(program)

@@ -36,6 +36,7 @@ class SymScalar:
 
     @staticmethod
     def lift(value) -> "SymScalar":
+        """Wrap a number (or pass through a SymScalar) for tracing."""
         if isinstance(value, SymScalar):
             return value
         if isinstance(value, (int, float)):
@@ -72,9 +73,11 @@ class SymScalar:
         return SymScalar(B.neg(self.term))
 
     def sqrt(self) -> "SymScalar":
+        """Traced square root (the QR kernels use this)."""
         return SymScalar(B.sqrt(self.term))
 
     def sgn(self) -> "SymScalar":
+        """Traced sign function."""
         return SymScalar(B.sgn(self.term))
 
     def __repr__(self) -> str:
@@ -131,6 +134,7 @@ class KernelProgram:
 
     @property
     def padded_len(self) -> int:
+        """Output length after padding to whole vector chunks."""
         return len(self.term.args) * self.width
 
     @property

@@ -18,6 +18,7 @@ from repro.isa.spec import IsaSpec
 from repro.kernels.specs import KernelInstance
 from repro.lang.term import Term
 from repro.machine.program import Program
+from repro.obs import current_tracer
 from repro.phases.assign import PhaseParams, assign_phases, default_params
 from repro.phases.cost import CostModel
 from repro.phases.ruleset import PhasedRuleSet
@@ -119,16 +120,33 @@ class GeneratedCompiler:
         options: CompileOptions | None = None,
         validate: bool = True,
     ) -> CompiledKernel:
-        """Compile a traced kernel down to machine code."""
+        """Compile a traced kernel down to machine code.
+
+        When tracing is enabled (see :mod:`repro.obs`) the whole
+        per-kernel pipeline — eqsat compile, translation validation,
+        lowering — nests under one ``compile_kernel`` span named after
+        the kernel.
+        """
         program = (
             kernel.program if isinstance(kernel, KernelInstance) else kernel
         )
-        compiled, report = self.compile_term(program.term, options)
-        if validate:
-            self.validate_equivalence(program.term, compiled)
-        machine = lower_program(
-            compiled, self.spec, program.arrays, output=program.output
-        )
+        tracer = current_tracer()
+        with tracer.span("compile_kernel", kernel=program.name) as span:
+            compiled, report = self.compile_term(program.term, options)
+            if validate:
+                with tracer.span("validate"):
+                    self.validate_equivalence(program.term, compiled)
+            with tracer.span("lower") as lower_span:
+                machine = lower_program(
+                    compiled, self.spec, program.arrays,
+                    output=program.output,
+                )
+                lower_span.add(n_instructions=len(machine.instrs))
+            span.add(
+                initial_cost=report.initial_cost,
+                final_cost=report.final_cost,
+                elapsed=report.elapsed,
+            )
         return CompiledKernel(
             name=program.name,
             scalar_term=program.term,
@@ -196,20 +214,22 @@ class IsariaFramework:
         """
         from repro.core import cache as rule_cache
 
-        synthesis = None
-        rules = None
-        if cache:
-            rules = rule_cache.load_cached_rules(
-                self.spec, self.synthesis_config
-            )
-        if rules is None:
-            synthesis = synthesize_rules(self.spec, self.synthesis_config)
-            rules = synthesis.rules
+        with current_tracer().span("generate_compiler") as span:
+            synthesis = None
+            rules = None
             if cache:
-                rule_cache.store_cached_rules(
-                    self.spec, self.synthesis_config, rules
+                rules = rule_cache.load_cached_rules(
+                    self.spec, self.synthesis_config
                 )
-        ruleset = assign_phases(self.cost_model, rules, self.phase_params)
+            if rules is None:
+                synthesis = synthesize_rules(self.spec, self.synthesis_config)
+                rules = synthesis.rules
+                if cache:
+                    rule_cache.store_cached_rules(
+                        self.spec, self.synthesis_config, rules
+                    )
+            ruleset = assign_phases(self.cost_model, rules, self.phase_params)
+            span.add(n_rules=len(rules), cache_hit=synthesis is None)
         return GeneratedCompiler(
             spec=self.spec,
             cost_model=self.cost_model,

@@ -177,6 +177,7 @@ class CompiledMatcher:
 
     @property
     def exhausted(self) -> bool:
+        """True once the e-node-visit work budget is spent."""
         return self.work <= 0
 
     def match_class(self, class_id: int) -> list[dict]:

@@ -59,10 +59,12 @@ class EGraph:
     # -- basic queries -----------------------------------------------------
 
     def find(self, class_id: int) -> int:
+        """The canonical representative of ``class_id``."""
         return self._uf.find(class_id)
 
     @property
     def n_classes(self) -> int:
+        """Number of live (canonical) e-classes."""
         return len(self._classes)
 
     @property
@@ -110,9 +112,11 @@ class EGraph:
         return iter(self._classes.values())
 
     def eclass(self, class_id: int) -> EClass:
+        """The canonical :class:`EClass` containing ``class_id``."""
         return self._classes[self.find(class_id)]
 
     def canonicalize(self, node: ENode) -> ENode:
+        """``node`` with every child id replaced by its representative."""
         op, payload, children = node
         find = self._uf.find
         new_children = tuple(find(c) for c in children)
@@ -302,6 +306,7 @@ class EGraph:
     # -- equality queries -----------------------------------------------------
 
     def equivalent(self, a: int, b: int) -> bool:
+        """True when classes ``a`` and ``b`` have been unioned."""
         return self._uf.find(a) == self._uf.find(b)
 
     def lookup_term(self, term: Term) -> int | None:

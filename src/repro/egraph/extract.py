@@ -24,6 +24,7 @@ from typing import Callable
 
 from repro.egraph.egraph import EGraph
 from repro.lang.term import Term, make
+from repro.obs import current_tracer
 
 # A head is the (op, payload) pair of a chosen child node.
 Head = tuple
@@ -83,7 +84,11 @@ class Extractor:
         self._node_cost = _head_cost_fn(cost)
         # class id -> (total cost, chosen node)
         self._best: dict[int, tuple[float, tuple]] = {}
-        self._solve()
+        with current_tracer().span(
+            "extract", n_nodes=egraph.n_nodes, n_classes=egraph.n_classes
+        ) as span:
+            self._solve()
+            span.add(n_solved=len(self._best))
 
     def _solve(self) -> None:
         egraph = self._egraph
@@ -139,6 +144,7 @@ class Extractor:
     # -- queries ---------------------------------------------------------
 
     def has_solution(self, class_id: int) -> bool:
+        """True when ``class_id`` has at least one extractable term."""
         return self._egraph.find(class_id) in self._best
 
     def best(self, class_id: int) -> tuple[float, Term]:
@@ -152,12 +158,14 @@ class Extractor:
         return entry[0], self._materialize(class_id)
 
     def best_cost(self, class_id: int) -> float:
+        """Cost of the cheapest program in ``class_id``."""
         entry = self._best.get(self._egraph.find(class_id))
         if entry is None:
             raise ValueError(f"e-class {class_id} has no extractable term")
         return entry[0]
 
     def best_term(self, class_id: int) -> Term:
+        """The cheapest program in ``class_id`` (term only)."""
         return self.best(class_id)[1]
 
     def _materialize(self, class_id: int) -> Term:

@@ -47,6 +47,7 @@ class Rewrite:
 
     @property
     def is_reversible(self) -> bool:
+        """True when both sides bind exactly the same wildcards."""
         return set(wildcards_of(self.lhs)) == set(wildcards_of(self.rhs))
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.rewrite import Rewrite, apply_rewrite
+from repro.obs import current_tracer
 
 
 def _legacy_index_requested() -> bool:
@@ -123,10 +124,12 @@ class RunnerReport:
 
     @property
     def n_iterations(self) -> int:
+        """How many full iterations the run completed."""
         return len(self.iterations)
 
     @property
     def saturated(self) -> bool:
+        """True when the run ended because no rule changed the graph."""
         return self.stop_reason is StopReason.SATURATED
 
 
@@ -148,13 +151,16 @@ class BackoffScheduler:
         self._ban_count: dict[str, int] = {}
 
     def threshold(self, rule: Rewrite) -> int:
+        """The rule's current match cap (doubles on each ban)."""
         base = self._thresholds.get(rule.name, self._initial_limit)
         return base
 
     def can_apply(self, rule: Rewrite, iteration: int) -> bool:
+        """False while the rule is serving a ban."""
         return iteration >= self._banned_until.get(rule.name, 0)
 
     def record(self, rule: Rewrite, iteration: int, n_matches: int) -> None:
+        """Report a match count; bans the rule if it overflowed."""
         if n_matches > self.threshold(rule):
             bans = self._ban_count.get(rule.name, 0)
             self._banned_until[rule.name] = iteration + 1 + self._ban_length
@@ -164,6 +170,7 @@ class BackoffScheduler:
             )
 
     def any_banned(self, iteration: int) -> bool:
+        """True while any rule is banned (blocks saturation claims)."""
         return any(
             until > iteration for until in self._banned_until.values()
         )
@@ -188,7 +195,37 @@ def run_saturation(
     missed) but focuses the match budget on newly created structure —
     essential for chained compilation rules, whose each application
     mints the ``Vec`` literal the next one must fire on.
+
+    When tracing is enabled (see :mod:`repro.obs`) the run emits an
+    ``eqsat`` span carrying the stop reason and the
+    :class:`SaturationPerf` counters, with one ``eqsat.iteration``
+    child span per completed iteration.
     """
+    tracer = current_tracer()
+    with tracer.span(
+        "eqsat", n_rules=len(rules), frontier=frontier
+    ) as sat_span:
+        report = _run_saturation(egraph, rules, limits, scheduler,
+                                 frontier, tracer)
+        if sat_span.enabled:
+            sat_span.add(
+                stop_reason=report.stop_reason.value,
+                iterations=report.n_iterations,
+                n_nodes=egraph.n_nodes,
+                n_classes=egraph.n_classes,
+                **report.perf.as_dict(),
+            )
+    return report
+
+
+def _run_saturation(
+    egraph: EGraph,
+    rules: list[Rewrite],
+    limits: RunnerLimits | None,
+    scheduler: BackoffScheduler | None,
+    frontier: bool,
+    tracer,
+) -> RunnerReport:
     limits = limits or RunnerLimits()
     if scheduler is None:
         scheduler = BackoffScheduler(
@@ -206,6 +243,7 @@ def run_saturation(
     if frontier:
         egraph.take_touched()  # discard pre-existing dirt
     for iteration in range(limits.max_iterations):
+        it_t0 = time.monotonic()
         iter_report = IterationReport(
             index=iteration,
             n_nodes=0,
@@ -273,6 +311,16 @@ def run_saturation(
             iter_report.n_classes = egraph.n_classes
             iter_report.n_unions = egraph.n_unions - unions_before
             report.iterations.append(iter_report)
+            if tracer.enabled:
+                tracer.record(
+                    "eqsat.iteration",
+                    time.monotonic() - it_t0,
+                    index=iteration,
+                    n_nodes=iter_report.n_nodes,
+                    n_classes=iter_report.n_classes,
+                    n_unions=iter_report.n_unions,
+                    applied=dict(iter_report.applied),
+                )
             if frontier:
                 roots = egraph.take_touched()
 

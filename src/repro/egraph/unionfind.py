@@ -40,4 +40,5 @@ class UnionFind:
         return ra
 
     def in_same_set(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` share a representative."""
         return self.find(a) == self.find(b)

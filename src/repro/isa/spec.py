@@ -86,24 +86,34 @@ class IsaSpec:
     # -- lookups ---------------------------------------------------------
 
     def instruction(self, name: str) -> Instruction:
+        """The instruction named ``name`` (KeyError if absent)."""
         for instr in self.instructions:
             if instr.name == name:
                 return instr
         raise KeyError(f"no instruction {name!r} in ISA {self.name!r}")
 
     def has_instruction(self, name: str) -> bool:
+        """True when this ISA defines an instruction ``name``."""
         return any(instr.name == name for instr in self.instructions)
 
     def scalar_instructions(self) -> list[Instruction]:
+        """The ISA's scalar instructions, in declaration order."""
         return [i for i in self.instructions if i.kind is OpKind.SCALAR]
 
     def vector_instructions(self) -> list[Instruction]:
+        """The ISA's vector instructions, in declaration order."""
         return [i for i in self.instructions if i.kind is OpKind.VECTOR]
 
     def scalar_counterpart(self, vector_name: str) -> str | None:
+        """The scalar op a vector instruction applies lane-wise.
+
+        None for vector-only instructions with no single-lane
+        reduction (e.g. shuffles).
+        """
         return self.instruction(vector_name).vector_of
 
     def vector_counterpart(self, scalar_name: str) -> str | None:
+        """The vector instruction lifting ``scalar_name``, if any."""
         for instr in self.vector_instructions():
             if instr.vector_of == scalar_name:
                 return instr.name

@@ -28,10 +28,12 @@ class KernelInstance:
 
     @property
     def arrays(self) -> dict:
+        """Input/output array name → unpadded length."""
         return self.program.arrays
 
     @property
     def output_len(self) -> int:
+        """Unpadded length of the kernel's output array."""
         return self.program.output_len
 
     def make_inputs(self, seed: int = 0) -> dict:

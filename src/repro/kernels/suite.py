@@ -14,6 +14,7 @@ from repro.kernels.mat_mul import matmul_kernel
 from repro.kernels.qr import qr_kernel
 from repro.kernels.quaternion import quaternion_product_kernel
 from repro.kernels.specs import KernelInstance
+from repro.obs import current_tracer
 
 # (rows, cols, frows, fcols) — paper label "r² x f²" style.
 CONV2D_SIZES = [
@@ -45,18 +46,36 @@ def default_suite(
     qr_sizes=None,
     include_qprod: bool = True,
 ) -> list[KernelInstance]:
-    """The full benchmark suite in Fig. 4 display order."""
-    instances: list[KernelInstance] = []
-    for rows, cols, frows, fcols in (
-        CONV2D_SIZES if conv2d_sizes is None else conv2d_sizes
-    ):
-        instances.append(conv2d_kernel(rows, cols, frows, fcols, width))
-    for m, k, n in MATMUL_SIZES if matmul_sizes is None else matmul_sizes:
-        instances.append(matmul_kernel(m, k, n, width))
-    if include_qprod:
-        instances.append(quaternion_product_kernel(width))
-    for n in QR_SIZES if qr_sizes is None else qr_sizes:
-        instances.append(qr_kernel(n, width))
+    """The full benchmark suite in Fig. 4 display order.
+
+    Building an instance traces its kernel through the front end, so
+    this is the first pipeline stage of a suite run; when tracing is
+    enabled (see :mod:`repro.obs`) it emits a ``suite.build`` span
+    with the family breakdown.
+    """
+    with current_tracer().span("suite.build", width=width) as span:
+        instances: list[KernelInstance] = []
+        n_conv = n_matmul = n_qr = 0
+        for rows, cols, frows, fcols in (
+            CONV2D_SIZES if conv2d_sizes is None else conv2d_sizes
+        ):
+            instances.append(conv2d_kernel(rows, cols, frows, fcols, width))
+            n_conv += 1
+        for m, k, n in MATMUL_SIZES if matmul_sizes is None else matmul_sizes:
+            instances.append(matmul_kernel(m, k, n, width))
+            n_matmul += 1
+        if include_qprod:
+            instances.append(quaternion_product_kernel(width))
+        for n in QR_SIZES if qr_sizes is None else qr_sizes:
+            instances.append(qr_kernel(n, width))
+            n_qr += 1
+        span.add(
+            n_kernels=len(instances),
+            n_conv2d=n_conv,
+            n_matmul=n_matmul,
+            n_qr=n_qr,
+            qprod=include_qprod,
+        )
     return instances
 
 

@@ -60,6 +60,7 @@ class Operator:
 
     @property
     def is_variadic(self) -> bool:
+        """True when the operator takes any number of children."""
         return self.arity == VARIADIC
 
 
@@ -72,6 +73,7 @@ class OperatorRegistry:
             self.register(op)
 
     def register(self, op: Operator) -> Operator:
+        """Add ``op``; re-registering an identical operator is a no-op."""
         existing = self._ops.get(op.name)
         if existing is not None and existing != op:
             raise ValueError(
@@ -88,18 +90,23 @@ class OperatorRegistry:
         return self._ops[name]
 
     def get(self, name: str) -> Operator | None:
+        """The operator named ``name``, or None if unregistered."""
         return self._ops.get(name)
 
     def names(self) -> list[str]:
+        """All registered operator names, sorted."""
         return sorted(self._ops)
 
     def operators(self) -> list[Operator]:
+        """All registered operators, in name order."""
         return [self._ops[name] for name in self.names()]
 
     def scalar_ops(self) -> list[Operator]:
+        """The registered scalar operators, in name order."""
         return [op for op in self.operators() if op.kind is OpKind.SCALAR]
 
     def vector_ops(self) -> list[Operator]:
+        """The registered vector operators, in name order."""
         return [op for op in self.operators() if op.kind is OpKind.VECTOR]
 
     def scalar_counterpart(self, vector_op: str) -> str | None:
@@ -115,6 +122,7 @@ class OperatorRegistry:
         return None
 
     def copy(self) -> "OperatorRegistry":
+        """An independent registry with the same operators."""
         return OperatorRegistry(list(self._ops.values()))
 
 

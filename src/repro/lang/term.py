@@ -60,6 +60,7 @@ class Term:
 
     @property
     def is_leaf(self) -> bool:
+        """True for const/symbol/get/wildcard terms (no children)."""
         return self.op in LEAF_OPS
 
     def __reduce__(self):

@@ -100,6 +100,7 @@ class Program:
     instrs: list[Instr] = field(default_factory=list)
 
     def labels(self) -> dict[str, int]:
+        """Label name → instruction index (duplicates rejected)."""
         table: dict[str, int] = {}
         for i, instr in enumerate(self.instrs):
             if instr.opcode == "label":
@@ -148,16 +149,19 @@ class ProgramBuilder:
     # -- registers and labels ------------------------------------------------
 
     def scalar_reg(self) -> str:
+        """Allocate a fresh virtual scalar register name."""
         reg = f"s{self._next_scalar}"
         self._next_scalar += 1
         return reg
 
     def vector_reg(self) -> str:
+        """Allocate a fresh virtual vector register name."""
         reg = f"v{self._next_vector}"
         self._next_vector += 1
         return reg
 
     def fresh_label(self, hint: str = "L") -> str:
+        """Allocate a unique label name (``hint`` + counter)."""
         label = f"{hint}{self._next_label}"
         self._next_label += 1
         return label
@@ -165,15 +169,18 @@ class ProgramBuilder:
     # -- emission --------------------------------------------------------------
 
     def emit(self, instr: Instr) -> Instr:
+        """Append a raw instruction; returns it for convenience."""
         self.program.instrs.append(instr)
         return instr
 
     def s_const(self, value) -> str:
+        """``dst <- value``; returns the fresh scalar register."""
         dst = self.scalar_reg()
         self.emit(Instr("s.const", dst=dst, imm=value))
         return dst
 
     def s_load(self, array: str, offset: int, index: str | None = None) -> str:
+        """``dst <- array[offset (+ index)]``; returns the register."""
         dst = self.scalar_reg()
         srcs = (index,) if index else ()
         self.emit(Instr("s.load", dst=dst, srcs=srcs, array=array,
@@ -182,10 +189,12 @@ class ProgramBuilder:
 
     def s_store(self, array: str, offset: int, src: str,
                 index: str | None = None) -> None:
+        """``array[offset (+ index)] <- src`` (scalar store)."""
         srcs = (src, index) if index else (src,)
         self.emit(Instr("s.store", srcs=srcs, array=array, offset=offset))
 
     def s_op(self, op: str, *srcs: str) -> str:
+        """Scalar ALU op into a fresh register; returns it."""
         dst = self.scalar_reg()
         self.emit(Instr("s.op", dst=dst, srcs=tuple(srcs), op=op))
         return dst
@@ -196,16 +205,19 @@ class ProgramBuilder:
         return dst
 
     def v_const(self, lanes: tuple) -> str:
+        """``dst <- lanes`` (vector immediate); returns the register."""
         dst = self.vector_reg()
         self.emit(Instr("v.const", dst=dst, imm=tuple(lanes)))
         return dst
 
     def v_splat(self, src: str) -> str:
+        """Broadcast scalar ``src`` to every lane of a fresh vector."""
         dst = self.vector_reg()
         self.emit(Instr("v.splat", dst=dst, srcs=(src,)))
         return dst
 
     def v_load(self, array: str, offset: int, index: str | None = None) -> str:
+        """Aligned vector load of W lanes starting at ``offset``."""
         dst = self.vector_reg()
         srcs = (index,) if index else ()
         self.emit(Instr("v.load", dst=dst, srcs=srcs, array=array,
@@ -214,10 +226,12 @@ class ProgramBuilder:
 
     def v_store(self, array: str, offset: int, src: str,
                 index: str | None = None) -> None:
+        """Aligned vector store of ``src``'s lanes at ``offset``."""
         srcs = (src, index) if index else (src,)
         self.emit(Instr("v.store", srcs=srcs, array=array, offset=offset))
 
     def v_op(self, op: str, *srcs: str) -> str:
+        """Lane-wise vector op into a fresh register; returns it."""
         dst = self.vector_reg()
         self.emit(Instr("v.op", dst=dst, srcs=tuple(srcs), op=op))
         return dst
@@ -228,31 +242,38 @@ class ProgramBuilder:
         return dst
 
     def v_insert(self, vec: str, lane: int, scalar: str) -> str:
+        """Copy of ``vec`` with ``lane`` replaced by ``scalar``."""
         dst = self.vector_reg()
         self.emit(Instr("v.insert", dst=dst, srcs=(vec, scalar), imm=lane))
         return dst
 
     def v_extract(self, vec: str, lane: int) -> str:
+        """Read one lane of ``vec`` into a fresh scalar register."""
         dst = self.scalar_reg()
         self.emit(Instr("v.extract", dst=dst, srcs=(vec,), imm=lane))
         return dst
 
     def v_shuffle(self, a: str, b: str, pattern: tuple[int, ...]) -> str:
+        """Gather lanes from ``concat(a, b)`` by index ``pattern``."""
         dst = self.vector_reg()
         self.emit(Instr("v.shuffle", dst=dst, srcs=(a, b),
                         imm=tuple(pattern)))
         return dst
 
     def label(self, name: str) -> None:
+        """Place a branch-target marker."""
         self.emit(Instr("label", target=name))
 
     def jump(self, target: str) -> None:
+        """Unconditional branch to ``target``."""
         self.emit(Instr("jump", target=target))
 
     def bnez(self, src: str, target: str) -> None:
+        """Branch to ``target`` when ``src`` is nonzero."""
         self.emit(Instr("bnez", srcs=(src,), target=target))
 
     def blt(self, a: str, b: str, target: str) -> None:
+        """Branch to ``target`` when ``a < b``."""
         self.emit(Instr("blt", srcs=(a, b), target=target))
 
     def loop_begin(self, count: str) -> None:
@@ -260,10 +281,13 @@ class ProgramBuilder:
         self.emit(Instr("loop.begin", srcs=(count,)))
 
     def loop_end(self) -> None:
+        """Close the innermost hardware loop (zero-overhead backedge)."""
         self.emit(Instr("loop.end"))
 
     def halt(self) -> None:
+        """Stop the machine."""
         self.emit(Instr("halt"))
 
     def build(self) -> Program:
+        """The assembled :class:`Program`."""
         return self.program

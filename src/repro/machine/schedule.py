@@ -24,6 +24,7 @@ respected), which the test-suite cross-checks on random kernels.
 from __future__ import annotations
 
 from repro.machine.program import Instr, Program
+from repro.obs import current_tracer
 
 _BARRIERS = {"label", "jump", "bnez", "blt", "halt", "loop.begin", "loop.end"}
 
@@ -131,12 +132,22 @@ def _schedule_block(block: list[Instr], latency_of) -> list[Instr]:
 
 def schedule_program(program: Program, machine) -> Program:
     """List-schedule ``program`` for ``machine`` (a
-    :class:`~repro.machine.simulator.Machine`)."""
-    latency_of = machine.instruction_latency
-    out: list[Instr] = []
-    for schedulable, instrs in _blocks(program):
-        if schedulable:
-            out.extend(_schedule_block(instrs, latency_of))
-        else:
-            out.extend(instrs)
+    :class:`~repro.machine.simulator.Machine`).
+
+    When tracing is enabled (see :mod:`repro.obs`) emits a
+    ``schedule`` span with the instruction and block counts.
+    """
+    with current_tracer().span(
+        "schedule", n_instructions=len(program.instrs)
+    ) as span:
+        latency_of = machine.instruction_latency
+        out: list[Instr] = []
+        n_blocks = 0
+        for schedulable, instrs in _blocks(program):
+            if schedulable:
+                n_blocks += 1
+                out.extend(_schedule_block(instrs, latency_of))
+            else:
+                out.extend(instrs)
+        span.add(n_blocks=n_blocks)
     return Program(out)

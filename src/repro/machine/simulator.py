@@ -65,6 +65,7 @@ class SimResult:
     trace: list | None = None  # (issue cycle, Instr) when tracing
 
     def array(self, name: str) -> list:
+        """A copy of array ``name``'s final contents."""
         return list(self.memory[name])
 
     def format_trace(self, limit: int | None = None) -> str:
@@ -92,6 +93,7 @@ class Machine:
 
     @property
     def vector_width(self) -> int:
+        """Lanes per vector register (the ISA's width)."""
         return self._width
 
     # -- semantics helpers -------------------------------------------------

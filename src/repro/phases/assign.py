@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.egraph.rewrite import Rewrite
 from repro.isa.spec import IsaSpec
+from repro.obs import current_tracer
 from repro.phases.cost import CostModel
 from repro.phases.ruleset import PhasedRuleSet
 
@@ -90,18 +91,32 @@ def assign_phases(
     rules: list[Rewrite],
     params: PhaseParams,
 ) -> PhasedRuleSet:
-    """Split candidate rules into the three phases."""
-    expansion: list[Rewrite] = []
-    compilation: list[Rewrite] = []
-    optimization: list[Rewrite] = []
-    for rule in rules:
-        phase = assign_phase(model, rule, params)
-        if phase is Phase.COMPILATION:
-            compilation.append(rule)
-        elif phase is Phase.EXPANSION:
-            expansion.append(rule)
-        else:
-            optimization.append(rule)
+    """Split candidate rules into the three phases.
+
+    When tracing is enabled (see :mod:`repro.obs`) emits an
+    ``assign_phases`` span with the α/β thresholds and the rule count
+    that landed in each phase.
+    """
+    with current_tracer().span(
+        "assign_phases", n_rules=len(rules),
+        alpha=params.alpha, beta=params.beta,
+    ) as span:
+        expansion: list[Rewrite] = []
+        compilation: list[Rewrite] = []
+        optimization: list[Rewrite] = []
+        for rule in rules:
+            phase = assign_phase(model, rule, params)
+            if phase is Phase.COMPILATION:
+                compilation.append(rule)
+            elif phase is Phase.EXPANSION:
+                expansion.append(rule)
+            else:
+                optimization.append(rule)
+        span.add(
+            n_expansion=len(expansion),
+            n_compilation=len(compilation),
+            n_optimization=len(optimization),
+        )
     return PhasedRuleSet(
         expansion=tuple(expansion),
         compilation=tuple(compilation),

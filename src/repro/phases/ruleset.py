@@ -37,6 +37,7 @@ class PhasedRuleSet:
         return list(self)
 
     def counts(self) -> dict[str, int]:
+        """Rule count per phase."""
         return {
             "expansion": len(self.expansion),
             "compilation": len(self.compilation),
@@ -44,6 +45,7 @@ class PhasedRuleSet:
         }
 
     def summary(self) -> str:
+        """One-line human summary: counts plus the α/β used."""
         counts = self.counts()
         total = len(self)
         return (

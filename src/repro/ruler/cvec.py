@@ -34,6 +34,7 @@ class CvecSpec:
         seed: int = 0,
         corner_limit: int = 64,
     ) -> "CvecSpec":
+        """Build a spec: corner-case envs plus ``n_random`` seeded ones."""
         envs = sample_envs(
             variables, n_random=n_random, seed=seed, corner_limit=corner_limit
         )

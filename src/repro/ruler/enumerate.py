@@ -37,6 +37,7 @@ class EnumerationResult:
 
     @property
     def n_representatives(self) -> int:
+        """How many distinct-cvec representative terms survived."""
         return len(self.representatives)
 
 

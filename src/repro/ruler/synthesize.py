@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.egraph.rewrite import Rewrite
 from repro.isa.spec import IsaSpec
+from repro.obs import current_tracer
 from repro.ruler.candidates import candidate_rules
 from repro.ruler.cvec import CvecSpec
 from repro.ruler.enumerate import enumerate_terms
@@ -104,8 +105,35 @@ class SynthesisResult:
 def synthesize_rules(
     spec: IsaSpec, config: SynthesisConfig | None = None
 ) -> SynthesisResult:
-    """Run the full offline pipeline against ``spec``."""
+    """Run the full offline pipeline against ``spec``.
+
+    When tracing is enabled (see :mod:`repro.obs`) the run emits a
+    ``synthesize`` span with one ``synthesize.<stage>`` child per
+    pipeline stage, each carrying that stage's candidate counts.
+    """
     config = config or SynthesisConfig()
+    tracer = current_tracer()
+    with tracer.span(
+        "synthesize", max_term_size=config.max_term_size,
+        time_budget=config.time_budget,
+    ) as span:
+        result = _synthesize_rules(spec, config, tracer)
+        if span.enabled:
+            span.add(
+                n_enumerated=result.n_enumerated,
+                n_pairs=result.n_pairs,
+                n_candidates=result.n_candidates,
+                n_verified=result.n_verified,
+                n_unsound=result.n_unsound,
+                n_rules=len(result.rules),
+                aborted=result.aborted,
+            )
+    return result
+
+
+def _synthesize_rules(
+    spec: IsaSpec, config: SynthesisConfig, tracer
+) -> SynthesisResult:
     start = time.monotonic()
     deadline = (
         start + config.time_budget if config.time_budget is not None else None
@@ -128,11 +156,24 @@ def synthesize_rules(
         op_allowlist=config.op_allowlist,
     )
     stage_times["enumerate"] = time.monotonic() - t0
+    if tracer.enabled:
+        tracer.record(
+            "synthesize.enumerate", stage_times["enumerate"],
+            n_enumerated=enumeration.n_enumerated,
+            n_representatives=enumeration.n_representatives,
+            n_pairs=len(enumeration.pairs),
+            aborted=enumeration.aborted,
+        )
 
     # 2. Orient cvec-equal pairs into directed candidates.
     t0 = time.monotonic()
     candidates = candidate_rules(enumeration.pairs)
     stage_times["candidates"] = time.monotonic() - t0
+    if tracer.enabled:
+        tracer.record(
+            "synthesize.candidates", stage_times["candidates"],
+            n_candidates=len(candidates),
+        )
 
     # 3. Verify soundness (exact where possible, fuzz otherwise).
     # Candidates are independent, so verification fans out across
@@ -177,6 +218,12 @@ def synthesize_rules(
                 n_unsound += 1
         index += chunk
     stage_times["verify"] = time.monotonic() - t0
+    if tracer.enabled:
+        tracer.record(
+            "synthesize.verify", stage_times["verify"],
+            n_verified=len(verified), n_unsound=n_unsound,
+            parallel_workers=workers if chunk > 1 else 1,
+        )
 
     # 4. Shrink by derivability.
     t0 = time.monotonic()
@@ -186,11 +233,21 @@ def synthesize_rules(
     else:
         kept = verified
     stage_times["minimize"] = time.monotonic() - t0
+    if tracer.enabled:
+        tracer.record(
+            "synthesize.minimize", stage_times["minimize"],
+            n_in=len(verified), n_kept=len(kept),
+        )
 
     # 5. Lane generalization to full vector width.
     t0 = time.monotonic()
     full_width, gen_report = generalize_rules(kept, spec)
     stage_times["generalize"] = time.monotonic() - t0
+    if tracer.enabled:
+        tracer.record(
+            "synthesize.generalize", stage_times["generalize"],
+            n_in=len(kept), n_rules=len(full_width),
+        )
 
     return SynthesisResult(
         rules=full_width,

@@ -1,0 +1,147 @@
+"""Generate the API reference under ``docs/api/``.
+
+Usage::
+
+    python -m repro.tools.build_api_docs [output-dir] [--force-fallback]
+
+Prefers `pdoc <https://pdoc.dev>`_ when it is installed (the CI docs
+job installs it); otherwise falls back to a dependency-free generator
+that walks every ``repro`` module with :mod:`pkgutil` and renders each
+module's docstring plus the signature and docstring of every public
+symbol to Markdown.  Either way, a module that fails to import or a
+public symbol that cannot be introspected fails the build — that is
+the point: doc breakage surfaces on every PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import subprocess
+import sys
+from pathlib import Path
+
+
+def iter_module_names(package: str = "repro") -> list[str]:
+    """Every importable module name under ``package``, sorted."""
+    root = importlib.import_module(package)
+    names = [package]
+    for info in pkgutil.walk_packages(root.__path__, prefix=f"{package}."):
+        names.append(info.name)
+    return sorted(names)
+
+
+def _signature(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (ValueError, TypeError):
+        return "(...)"
+
+
+def _first_line(doc: str | None) -> str:
+    return (doc or "").strip().splitlines()[0] if (doc or "").strip() else ""
+
+
+def render_module_md(name: str) -> str:
+    """One module's Markdown page (stdlib fallback renderer)."""
+    module = importlib.import_module(name)
+    lines = [f"# `{name}`", ""]
+    if module.__doc__:
+        lines += [inspect.cleandoc(module.__doc__), ""]
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        exported = [
+            n for n, obj in vars(module).items()
+            if not n.startswith("_")
+            and getattr(obj, "__module__", None) == name
+        ]
+    for symbol in exported:
+        obj = getattr(module, symbol)
+        if inspect.isclass(obj):
+            lines += [f"## class `{symbol}{_signature(obj)}`", ""]
+            if obj.__doc__:
+                lines += [inspect.cleandoc(obj.__doc__), ""]
+            for meth_name, meth in sorted(vars(obj).items()):
+                if meth_name.startswith("_"):
+                    continue
+                if callable(meth) or isinstance(
+                    meth, (property, staticmethod, classmethod)
+                ):
+                    fn = getattr(obj, meth_name)
+                    lines.append(
+                        f"- `{meth_name}{_signature(fn)}` — "
+                        f"{_first_line(getattr(fn, '__doc__', None))}"
+                    )
+            lines.append("")
+        elif inspect.isfunction(obj):
+            lines += [f"## `{symbol}{_signature(obj)}`", ""]
+            if obj.__doc__:
+                lines += [inspect.cleandoc(obj.__doc__), ""]
+        else:
+            lines += [
+                f"## `{symbol}` = `{obj!r}`"
+                if not inspect.ismodule(obj)
+                else f"## module `{symbol}`",
+                "",
+            ]
+    return "\n".join(lines) + "\n"
+
+
+def build_fallback(out_dir: Path, package: str = "repro") -> list[Path]:
+    """Render every module to ``out_dir`` with the stdlib renderer."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    names = iter_module_names(package)
+    index = ["# API reference", "", "Modules:", ""]
+    for name in names:
+        page = out_dir / f"{name}.md"
+        page.write_text(render_module_md(name))
+        written.append(page)
+        module = importlib.import_module(name)
+        index.append(f"- [`{name}`]({name}.md) — {_first_line(module.__doc__)}")
+    (out_dir / "index.md").write_text("\n".join(index) + "\n")
+    written.append(out_dir / "index.md")
+    return written
+
+
+def build_pdoc(out_dir: Path, package: str = "repro") -> bool:
+    """Build HTML docs with pdoc; ``False`` if pdoc is unavailable."""
+    try:
+        importlib.import_module("pdoc")
+    except ImportError:
+        return False
+    subprocess.run(
+        [sys.executable, "-m", "pdoc", package, "-o", str(out_dir)],
+        check=True,
+    )
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.build_api_docs",
+        description="Generate the repro API reference.",
+    )
+    parser.add_argument(
+        "out_dir", nargs="?", default="docs/api",
+        help="output directory (default docs/api)",
+    )
+    parser.add_argument(
+        "--force-fallback", action="store_true",
+        help="skip pdoc even if installed (exercise the stdlib path)",
+    )
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out_dir)
+    if not args.force_fallback and build_pdoc(out_dir):
+        print(f"wrote pdoc HTML reference to {out_dir}/")
+        return 0
+    written = build_fallback(out_dir)
+    print(f"wrote {len(written)} Markdown pages to {out_dir}/ (stdlib renderer)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,211 @@
+"""Render a pipeline trace as a per-phase timeline + hottest rules.
+
+Usage::
+
+    python -m repro.tools.trace_report trace.jsonl [--top N] [--max-depth D]
+
+Reads the JSONL trace that ``REPRO_TRACE=trace.jsonl`` produces (see
+``docs/observability.md`` for the span schema), rebuilds the span
+tree, and prints:
+
+1. a **timeline table**: every span in start order, indented by
+   nesting depth, with its offset from trace start, duration, and a
+   compact payload summary;
+2. a **phase rollup**: total wall-clock per span name;
+3. the **top-N hottest rules** by cumulative e-match time, aggregated
+   from the ``SaturationPerf`` payloads of every ``eqsat`` span.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Payload keys hidden from the timeline "notes" column: per-rule
+# breakdowns (aggregated separately) and raw per-iteration apply maps.
+_NOISY_KEYS = ("rule_match_time", "rule_node_visits", "applied")
+
+
+def load_events(path) -> list[dict]:
+    """Parse a JSONL trace file into a list of span event dicts.
+
+    Blank lines are skipped; a malformed line raises ``ValueError``
+    naming the line number (truncated traces from a killed process are
+    better diagnosed loudly than silently dropped).
+    """
+    events = []
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: not valid JSON ({exc})"
+            ) from None
+    return events
+
+
+def _depths(events: list[dict]) -> dict[int, int]:
+    """Nesting depth per span id (roots at 0).
+
+    Parent links can cross process boundaries in merged traces, so a
+    dangling parent id is treated as a root rather than an error.
+    """
+    by_id = {e["id"]: e for e in events if "id" in e}
+    depths: dict[int, int] = {}
+
+    def depth_of(span_id: int) -> int:
+        if span_id in depths:
+            return depths[span_id]
+        event = by_id[span_id]
+        parent = event.get("parent")
+        if parent is None or parent not in by_id:
+            d = 0
+        else:
+            d = depth_of(parent) + 1
+        depths[span_id] = d
+        return d
+
+    for event in by_id.values():
+        depth_of(event["id"])
+    return depths
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _notes(attrs: dict, limit: int = 5) -> str:
+    parts = []
+    for key, value in attrs.items():
+        if key in _NOISY_KEYS or isinstance(value, (dict, list)):
+            continue
+        parts.append(f"{key}={_fmt_value(value)}")
+        if len(parts) >= limit:
+            break
+    return " ".join(parts)
+
+
+def timeline_table(events: list[dict], max_depth: int | None = None) -> str:
+    """The indented start-ordered span table."""
+    spans = [e for e in events if "id" in e and "ts" in e]
+    if not spans:
+        return "(empty trace)"
+    depths = _depths(spans)
+    t0 = min(e["ts"] for e in spans)
+    spans.sort(key=lambda e: (e["ts"], e["id"]))
+    lines = [f"{'offset':>10}  {'duration':>10}  span"]
+    lines.append("-" * 72)
+    for event in spans:
+        depth = depths[event["id"]]
+        if max_depth is not None and depth > max_depth:
+            continue
+        name = "  " * depth + event["name"]
+        notes = _notes(event.get("attrs", {}))
+        lines.append(
+            f"{(event['ts'] - t0) * 1e3:>8.1f}ms"
+            f"  {event.get('dur', 0.0) * 1e3:>8.1f}ms"
+            f"  {name}" + (f"  [{notes}]" if notes else "")
+        )
+    return "\n".join(lines)
+
+
+def phase_rollup(events: list[dict]) -> str:
+    """Total wall-clock and span count per span name.
+
+    Nested spans of the same name (e.g. every ``eqsat`` call) are all
+    counted, so the rollup answers "where did the time go by stage",
+    not "what fraction of the total" — parents include children.
+    """
+    totals: dict[str, tuple[float, int]] = {}
+    for event in events:
+        name = event.get("name")
+        if name is None:
+            continue
+        dur, count = totals.get(name, (0.0, 0))
+        totals[name] = (dur + event.get("dur", 0.0), count + 1)
+    lines = [f"{'total':>10}  {'calls':>6}  span name"]
+    lines.append("-" * 44)
+    for name, (dur, count) in sorted(
+        totals.items(), key=lambda kv: -kv[1][0]
+    ):
+        lines.append(f"{dur * 1e3:>8.1f}ms  {count:>6}  {name}")
+    return "\n".join(lines)
+
+
+def hottest_rules(events: list[dict], top: int = 10) -> str:
+    """Top-``top`` rules by cumulative e-match time across the trace."""
+    match_time: dict[str, float] = {}
+    node_visits: dict[str, int] = {}
+    for event in events:
+        attrs = event.get("attrs", {})
+        for name, t in (attrs.get("rule_match_time") or {}).items():
+            match_time[name] = match_time.get(name, 0.0) + t
+        for name, n in (attrs.get("rule_node_visits") or {}).items():
+            node_visits[name] = node_visits.get(name, 0) + n
+    if not match_time:
+        return "(no rule-level counters in this trace)"
+    lines = [f"{'match time':>12}  {'node visits':>12}  rule"]
+    lines.append("-" * 60)
+    for name, t in sorted(
+        match_time.items(), key=lambda kv: -kv[1]
+    )[:top]:
+        lines.append(
+            f"{t * 1e3:>10.1f}ms  {node_visits.get(name, 0):>12}  {name}"
+        )
+    return "\n".join(lines)
+
+
+def render_report(
+    events: list[dict], top: int = 10, max_depth: int | None = None
+) -> str:
+    """The full three-section report as one string."""
+    sections = [
+        "== timeline ==",
+        timeline_table(events, max_depth=max_depth),
+        "",
+        "== per-phase rollup ==",
+        phase_rollup(events),
+        "",
+        f"== hottest rules (top {top} by match time) ==",
+        hottest_rules(events, top=top),
+    ]
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.trace_report",
+        description="Render a REPRO_TRACE JSONL file as a timeline.",
+    )
+    parser.add_argument("trace", help="path to the JSONL trace file")
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="how many hottest rules to list (default 10)",
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=None,
+        help="hide timeline spans nested deeper than this",
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(events, top=args.top, max_depth=args.max_depth))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,24 @@ def test_rule_synthesis_tour_runs():
     assert "compilation" in proc.stdout
 
 
+@needs_pregen
+def test_tracing_tour_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "tracing_tour.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    # The span tree covers the pipeline end to end...
+    assert "compile_kernel" in proc.stdout
+    assert "eqsat" in proc.stdout
+    assert "extract" in proc.stdout
+    # ...and the rendered report sections appear.
+    assert "== timeline ==" in proc.stdout
+    assert "== per-phase rollup ==" in proc.stdout
+
+
 def test_examples_exist_and_have_docstrings():
     scripts = sorted(EXAMPLES.glob("*.py"))
     assert len(scripts) >= 3

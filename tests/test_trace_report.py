@@ -1,0 +1,145 @@
+"""The trace-report CLI renders timelines from JSONL traces."""
+
+import json
+
+import pytest
+
+from repro.tools.trace_report import (
+    hottest_rules,
+    load_events,
+    main,
+    phase_rollup,
+    render_report,
+    timeline_table,
+)
+
+
+def _synthetic_events():
+    return [
+        {"name": "eqsat.iteration", "id": 2, "parent": 1, "ts": 10.01,
+         "dur": 0.05, "attrs": {"index": 0, "n_unions": 3}},
+        {"name": "eqsat", "id": 1, "parent": 0, "ts": 10.0, "dur": 0.2,
+         "attrs": {"stop_reason": "saturated",
+                   "rule_match_time": {"lift-a": 0.15, "comm": 0.01},
+                   "rule_node_visits": {"lift-a": 900, "comm": 40}}},
+        {"name": "compile", "id": 0, "ts": 9.9, "dur": 0.5,
+         "attrs": {"final_cost": 15.0}},
+    ]
+
+
+class TestRendering:
+    def test_timeline_orders_and_indents(self):
+        table = timeline_table(_synthetic_events())
+        lines = table.splitlines()
+        # Start order: compile (9.9) before eqsat (10.0) before iteration.
+        names = [line.split("  ")[-1] for line in lines[2:]]
+        assert "compile" in lines[2]
+        assert "  eqsat" in lines[3]
+        assert "    eqsat.iteration" in lines[4]
+        # Offsets are relative to trace start.
+        assert lines[2].lstrip().startswith("0.0ms")
+
+    def test_timeline_max_depth_hides_detail(self):
+        table = timeline_table(_synthetic_events(), max_depth=1)
+        assert "eqsat" in table
+        assert "eqsat.iteration" not in table
+
+    def test_timeline_notes_skip_noisy_keys(self):
+        table = timeline_table(_synthetic_events())
+        assert "stop_reason=saturated" in table
+        assert "rule_match_time" not in table
+
+    def test_dangling_parent_treated_as_root(self):
+        table = timeline_table(
+            [{"name": "orphan", "id": 7, "parent": 99, "ts": 1.0,
+              "dur": 0.1}]
+        )
+        assert "orphan" in table
+
+    def test_empty_trace(self):
+        assert timeline_table([]) == "(empty trace)"
+
+    def test_rollup_aggregates_by_name(self):
+        rollup = phase_rollup(_synthetic_events() + _synthetic_events())
+        line = next(
+            l for l in rollup.splitlines() if l.endswith("  eqsat")
+        )
+        assert "     2  " in line  # two calls
+
+    def test_hottest_rules_sorted_by_match_time(self):
+        out = hottest_rules(_synthetic_events(), top=10)
+        lines = out.splitlines()
+        assert lines[2].endswith("lift-a")
+        assert lines[3].endswith("comm")
+        assert "900" in lines[2]
+
+    def test_hottest_rules_top_n(self):
+        out = hottest_rules(_synthetic_events(), top=1)
+        assert "lift-a" in out
+        assert "comm" not in out
+
+    def test_hottest_rules_without_counters(self):
+        assert "no rule-level counters" in hottest_rules(
+            [{"name": "lower", "id": 0, "ts": 1.0, "dur": 0.1}]
+        )
+
+    def test_render_report_has_all_sections(self):
+        report = render_report(_synthetic_events())
+        assert "== timeline ==" in report
+        assert "== per-phase rollup ==" in report
+        assert "hottest rules" in report
+
+
+class TestLoading:
+    def test_load_events_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a", "id": 0, "ts": 1.0, "dur": 0.1}\n\n')
+        assert len(load_events(path)) == 1
+
+    def test_load_events_rejects_garbage_with_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a", "id": 0, "ts": 1, "dur": 0}\nnope\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_events(path)
+
+
+class TestCli:
+    def test_main_renders_file(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(e) for e in _synthetic_events()) + "\n"
+        )
+        assert main([str(path), "--top", "2", "--max-depth", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "== timeline ==" in out
+        assert "lift-a" in out
+
+    def test_main_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEndToEnd:
+    def test_traced_saturation_round_trips_through_cli(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """REPRO_TRACE=file → JSONL → trace_report, no mocks."""
+        from repro.egraph.egraph import EGraph
+        from repro.egraph.rewrite import parse_rewrite
+        from repro.egraph.runner import run_saturation
+        from repro.lang.parser import parse
+
+        path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        egraph = EGraph()
+        egraph.add_term(parse("(+ a (* b c))"))
+        run_saturation(
+            egraph,
+            [parse_rewrite("comm-add", "(+ ?a ?b) => (+ ?b ?a)")],
+        )
+        monkeypatch.delenv("REPRO_TRACE")
+        assert path.exists()
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "eqsat" in out
+        assert "comm-add" in out  # rule-level counters made it through
