@@ -131,15 +131,20 @@ def measure_compiled(
     t0 = time.monotonic()
     try:
         if isinstance(compiler, DiospyrosCompiler):
-            from repro.compiler.lowering import lower_program
-
-            compiled, _report = compiler.compile(instance.program.term)
-            program = lower_program(
-                compiled,
-                compiler.spec,
-                instance.program.arrays,
-                output=instance.program.output,
+            # Same shared pre/post passes as the generated compiler,
+            # with the baseline's greedy loop as the middle stage.
+            from repro.compiler.pipeline import (
+                CompilationContext,
+                baseline_kernel_pipeline,
             )
+
+            ctx = CompilationContext(
+                cost_model=compiler.cost_model,
+                program=instance.program,
+                spec=compiler.spec,
+            )
+            baseline_kernel_pipeline(compiler.compile).run(ctx)
+            program = ctx.machine
             spec = compiler.spec
         else:
             kernel = compiler.compile_kernel(instance)

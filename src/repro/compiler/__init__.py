@@ -5,6 +5,10 @@
   paper reuses);
 - :mod:`repro.compiler.compile` — the ``Compile`` algorithm of paper
   Fig. 3: phased equality saturation with greedy pruning;
+- :mod:`repro.compiler.pipeline` — the online stage decomposed into
+  named passes over a shared context; ``compile_term``,
+  ``compile_kernel``, the baselines, and the bench harness are thin
+  configurations of it;
 - :mod:`repro.compiler.lowering` — lowering extracted vector DSL terms
   onto machine code, selecting data movement for ``Vec`` literals
   (vector load / shuffle / lane insert);
@@ -24,8 +28,18 @@ from repro.compiler.frontend import (
 from repro.compiler.compile import (
     CompileOptions,
     CompileReport,
+    PassReport,
     RoundReport,
     compile_term,
+)
+from repro.compiler.pipeline import (
+    CompilationContext,
+    Pass,
+    Pipeline,
+    baseline_kernel_pipeline,
+    compile_many,
+    kernel_pipeline,
+    term_pipeline,
 )
 from repro.compiler.lowering import LoweringError, lower_program
 from repro.compiler.codegen import emit_c
@@ -42,8 +56,16 @@ __all__ = [
     "KernelProgram",
     "CompileOptions",
     "CompileReport",
+    "PassReport",
     "RoundReport",
     "compile_term",
+    "CompilationContext",
+    "Pass",
+    "Pipeline",
+    "baseline_kernel_pipeline",
+    "compile_many",
+    "kernel_pipeline",
+    "term_pipeline",
     "LoweringError",
     "lower_program",
     "emit_c",

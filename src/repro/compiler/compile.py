@@ -28,7 +28,6 @@ from repro.egraph.runner import (
     RunnerLimits,
     RunnerReport,
     SaturationPerf,
-    run_saturation,
 )
 from repro.lang.term import Term
 from repro.obs import current_tracer
@@ -106,6 +105,22 @@ class RoundReport:
 
 
 @dataclass
+class PassReport:
+    """One pipeline pass's contribution to a compilation.
+
+    ``status`` is ``"ok"`` or ``"skipped"`` (a pass that does not
+    apply under the current options still appears, so pass order is
+    stable across ablations); ``detail`` carries the pass's own
+    structured payload (final cost, instruction counts, ...).
+    """
+
+    name: str
+    elapsed: float
+    status: str = "ok"
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
 class CompileReport:
     """Everything that happened during one compilation."""
 
@@ -117,6 +132,9 @@ class CompileReport:
     peak_nodes: int = 0
     # Wall clock spent in minimum-cost extraction, across all rounds.
     extract_time: float = 0.0
+    # One entry per pipeline pass, in execution order; their elapsed
+    # segments sum to ``elapsed`` (the pipeline accumulates both).
+    passes: list[PassReport] = field(default_factory=list)
 
     @property
     def n_eqsat_calls(self) -> int:
@@ -145,6 +163,15 @@ class CompileReport:
             return float("inf")
         return self.initial_cost / self.final_cost
 
+    def pass_times(self) -> dict[str, float]:
+        """Per-pass elapsed seconds, in pipeline order.
+
+        Skipped passes appear with their (near-zero) timing so the
+        keys are stable across ablation options; consumed by
+        ``repro.tools.trace_report`` alongside the span-level view.
+        """
+        return {p.name: p.elapsed for p in self.passes}
+
 
 def _extract(
     egraph: EGraph, root: int, cost_model: CostModel, report: CompileReport
@@ -164,20 +191,30 @@ def compile_term(
 ) -> tuple[Term, CompileReport]:
     """Vectorize ``program``; returns the compiled term and a report.
 
-    When tracing is enabled (see :mod:`repro.obs`) the compilation
-    emits a ``compile`` span wrapping one ``compile.round`` child per
-    trip around the Fig. 3 loop; each round nests ``phase.expansion``
-    / ``phase.compilation`` spans around their ``EqSat`` calls, and
-    round payloads record the extraction cost and prune decision.
+    A thin configuration of the pass pipeline (see
+    :mod:`repro.compiler.pipeline`): saturate → optimize → extract
+    over one shared context.  When tracing is enabled (see
+    :mod:`repro.obs`) the compilation emits a ``compile`` span
+    wrapping a ``pass.<name>`` child per pipeline pass; the saturate
+    pass nests one ``compile.round`` span per trip around the Fig. 3
+    loop, each with ``phase.expansion`` / ``phase.compilation`` spans
+    around their ``EqSat`` calls.
     """
+    from repro.compiler.pipeline import CompilationContext, term_pipeline
+
     options = options or CompileOptions()
     tracer = current_tracer()
     with tracer.span(
         "compile", phased=options.phased, pruning=options.pruning
     ) as span:
-        compiled, report = _compile_term(
-            program, ruleset, cost_model, options, tracer
+        ctx = CompilationContext(
+            ruleset=ruleset,
+            cost_model=cost_model,
+            options=options,
+            term=program,
         )
+        term_pipeline().run(ctx)
+        compiled, report = ctx.compiled, ctx.report
         if span.enabled:
             span.add(
                 initial_cost=report.initial_cost,
@@ -188,131 +225,3 @@ def compile_term(
                 extract_time=report.extract_time,
             )
     return compiled, report
-
-
-def _compile_term(
-    program: Term,
-    ruleset: PhasedRuleSet,
-    cost_model: CostModel,
-    options: CompileOptions,
-    tracer,
-) -> tuple[Term, CompileReport]:
-    start = time.monotonic()
-    initial_cost = cost_model.term_cost(program)
-    report = CompileReport(initial_cost=initial_cost, final_cost=initial_cost)
-
-    if not options.phased:
-        compiled = _compile_unphased(program, ruleset, cost_model, options,
-                                     report)
-        report.elapsed = time.monotonic() - start
-        return compiled, report
-
-    # --- the Fig. 3 loop -------------------------------------------------
-    current = program
-    cost_old = initial_cost
-    egraph: EGraph | None = None
-    root: int | None = None
-
-    for index in range(options.max_rounds):
-        with tracer.span("compile.round", index=index) as round_span:
-            if options.pruning or egraph is None:
-                egraph = EGraph()
-                root = egraph.add_term(current)
-            exp_report = None
-            if index >= options.expansion_start_round:
-                with tracer.span("phase.expansion"):
-                    exp_report = run_saturation(
-                        egraph, list(ruleset.expansion),
-                        options.expansion_limits,
-                    )
-            # Frontier matching: compilation rules chain (each lift
-            # mints the Vec literal the next lift fires on), so after
-            # the first sweep the budget goes to newly created
-            # structure instead of re-matching the expansion phase's
-            # variants.
-            with tracer.span("phase.compilation"):
-                comp_report = run_saturation(
-                    egraph,
-                    list(ruleset.compilation),
-                    options.compilation_limits,
-                    frontier=True,
-                )
-            cost_new, extracted = _extract(egraph, root, cost_model, report)
-            report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
-            report.rounds.append(
-                RoundReport(
-                    index=index,
-                    expansion=exp_report,
-                    compilation=comp_report,
-                    extracted_cost=cost_new,
-                    n_nodes=egraph.n_nodes,
-                    n_classes=egraph.n_classes,
-                )
-            )
-            threshold = max(_EPSILON, cost_old * _MIN_RELATIVE_GAIN)
-            improved = cost_new < cost_old - threshold
-            if round_span.enabled:
-                round_span.add(
-                    cost_before=cost_old,
-                    extracted_cost=cost_new,
-                    improved=improved,
-                    # The prune decision: an improving round restarts
-                    # the next one from the extracted program alone.
-                    pruned=bool(options.pruning and improved),
-                    n_nodes=egraph.n_nodes,
-                    n_classes=egraph.n_classes,
-                )
-            if not improved:
-                if cost_new < cost_old:
-                    cost_old = cost_new
-                    current = extracted  # keep the small win anyway
-                # Never give up before the expansion phase has had at
-                # least one round to expose new structure.
-                if index >= options.expansion_start_round:
-                    break
-                continue
-            cost_old = cost_new
-            current = extracted
-
-    # --- final optimization phase ------------------------------------------
-    egraph = EGraph()
-    root = egraph.add_term(current)
-    with tracer.span("phase.optimization"):
-        report.optimization = run_saturation(
-            egraph, list(ruleset.optimization), options.optimization_limits
-        )
-    final_cost, compiled = _extract(egraph, root, cost_model, report)
-    report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
-    report.final_cost = final_cost
-    report.elapsed = time.monotonic() - start
-    return compiled, report
-
-
-def _compile_unphased(
-    program: Term,
-    ruleset: PhasedRuleSet,
-    cost_model: CostModel,
-    options: CompileOptions,
-    report: CompileReport,
-) -> Term:
-    """The §5.2 no-phasing ablation: one saturation over all rules."""
-    egraph = EGraph()
-    root = egraph.add_term(program)
-    with current_tracer().span("phase.unphased"):
-        sat_report = run_saturation(
-            egraph, ruleset.all_rules(), options.unphased_limits
-        )
-    cost, compiled = _extract(egraph, root, cost_model, report)
-    report.peak_nodes = max(report.peak_nodes, egraph.n_nodes)
-    report.rounds.append(
-        RoundReport(
-            index=0,
-            expansion=None,
-            compilation=sat_report,
-            extracted_cost=cost,
-            n_nodes=egraph.n_nodes,
-            n_classes=egraph.n_classes,
-        )
-    )
-    report.final_cost = cost
-    return compiled

@@ -4,9 +4,16 @@
 the ISA spec, then cost-based phase discovery — and emits a
 :class:`GeneratedCompiler`, which performs the compile-time stage:
 phased, pruned equality saturation followed by lowering to machine
-code.
+code.  The offline product persists as a :class:`CompilerArtifact`
+(see :mod:`repro.core.artifact`): one versioned file that restores a
+working compiler without re-running synthesis or phase assignment.
 """
 
+from repro.core.artifact import (
+    ArtifactError,
+    CompilerArtifact,
+    spec_semantics_hash,
+)
 from repro.core.framework import (
     CompiledKernel,
     GeneratedCompiler,
@@ -16,10 +23,13 @@ from repro.core.framework import (
 from repro.core.pregen import default_compiler, load_pregenerated_rules
 
 __all__ = [
+    "ArtifactError",
     "CompiledKernel",
+    "CompilerArtifact",
     "GeneratedCompiler",
     "IsariaFramework",
     "ValidationError",
     "default_compiler",
     "load_pregenerated_rules",
+    "spec_semantics_hash",
 ]

@@ -1,87 +1,38 @@
-"""Persistence for offline synthesis results.
+"""Legacy flat rule cache (superseded by :mod:`repro.core.artifact`).
 
-The offline stage (rule synthesis + phase assignment) runs once per
-instruction set and is then amortized over every compilation (paper
-§5.3).  This module makes that concrete: rule sets serialize to a
-plain-text format (one ``name<TAB>lhs => rhs`` line per rule) keyed by
-a fingerprint of the ISA spec and synthesis configuration, so a
-generated compiler can be cached on disk or shipped with the package.
+The artifact module is the real persistence layer now: it stores the
+*whole* offline product (phased rules, parameters, provenance) in one
+versioned JSON file keyed by a semantics-aware fingerprint.  This shim
+keeps the original flat-text API alive for the pregenerated rule data
+files (``src/repro/data/*.txt``) and any external callers:
+``rules_to_text``/``rules_from_text``, ``spec_fingerprint`` (now the
+semantics-aware version), and a tolerant ``load_cached_rules`` that
+treats corrupt cache entries as misses instead of crashing.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
 from pathlib import Path
 
-from repro.egraph.rewrite import Rewrite, parse_rewrite
+from repro.core.artifact import (
+    default_cache_dir,
+    rules_from_text,
+    rules_to_text,
+    spec_fingerprint,
+)
+from repro.egraph.rewrite import Rewrite
 from repro.isa.spec import IsaSpec
+from repro.obs import current_tracer
 from repro.ruler.synthesize import SynthesisConfig
 
-_FORMAT_VERSION = "1"
-
-
-def spec_fingerprint(spec: IsaSpec, config: SynthesisConfig) -> str:
-    """Stable key for (ISA, synthesis config) pairs."""
-    parts = [
-        _FORMAT_VERSION,
-        spec.name,
-        str(spec.vector_width),
-        str(spec.leaf_cost),
-        str(spec.vec_lane_literal_cost),
-        str(spec.vec_lane_compute_cost),
-        str(spec.vec_contiguous_cost),
-        str(spec.concat_cost),
-    ]
-    for instr in sorted(spec.instructions, key=lambda i: i.name):
-        parts.append(
-            f"{instr.name}/{instr.arity}/{instr.kind.value}/"
-            f"{instr.base_cost}/{instr.vector_of}"
-        )
-    parts.extend(
-        str(x)
-        for x in (
-            config.max_term_size,
-            config.variables,
-            config.constants,
-            config.n_cvec_random,
-            config.cvec_seed,
-            config.n_verify_samples,
-            config.verify_seed,
-            config.minimize,
-            config.op_allowlist,
-        )
-    )
-    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
-
-
-def rules_to_text(rules: list[Rewrite], header: str = "") -> str:
-    """Serialize rules, one per line, with optional ``#`` header."""
-    lines = [f"# {line}" for line in header.splitlines() if line]
-    for rule in rules:
-        lines.append(f"{rule.name}\t{rule}")
-    return "\n".join(lines) + "\n"
-
-
-def rules_from_text(text: str) -> list[Rewrite]:
-    """Parse rules serialized by :func:`rules_to_text`."""
-    rules: list[Rewrite] = []
-    for line in text.splitlines():
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        name, _, body = line.partition("\t")
-        if not body:
-            raise ValueError(f"malformed rule line: {line!r}")
-        rules.append(parse_rewrite(name, body))
-    return rules
-
-
-def default_cache_dir() -> Path:
-    env = os.environ.get("REPRO_RULE_CACHE")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro-isaria"
+__all__ = [
+    "default_cache_dir",
+    "load_cached_rules",
+    "rules_from_text",
+    "rules_to_text",
+    "spec_fingerprint",
+    "store_cached_rules",
+]
 
 
 def load_cached_rules(
@@ -89,12 +40,23 @@ def load_cached_rules(
     config: SynthesisConfig,
     cache_dir: Path | None = None,
 ) -> list[Rewrite] | None:
-    """Cached rules for this (spec, config), or None."""
+    """Cached rules for this (spec, config), or None.
+
+    A corrupt or truncated cache file is a *miss*, not an error: the
+    problem is reported through the tracer and the caller re-runs
+    synthesis, overwriting the bad entry.
+    """
     cache_dir = cache_dir or default_cache_dir()
     path = cache_dir / f"rules-{spec_fingerprint(spec, config)}.txt"
     if not path.exists():
         return None
-    return rules_from_text(path.read_text())
+    try:
+        return rules_from_text(path.read_text())
+    except (ValueError, OSError) as exc:
+        current_tracer().record(
+            "cache.corrupt", 0.0, path=str(path), error=str(exc)
+        )
+        return None
 
 
 def store_cached_rules(

@@ -12,7 +12,6 @@ from repro.compiler.compile import (
     compile_term,
 )
 from repro.compiler.frontend import KernelProgram
-from repro.compiler.lowering import lower_program
 from repro.interp.value import values_equal
 from repro.isa.spec import IsaSpec
 from repro.kernels.specs import KernelInstance
@@ -106,6 +105,50 @@ class GeneratedCompiler:
     options: CompileOptions = field(default_factory=CompileOptions)
     synthesis: SynthesisResult | None = None
 
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact,
+        spec: IsaSpec,
+        options: CompileOptions | None = None,
+        check: bool = True,
+    ) -> "GeneratedCompiler":
+        """Reconstruct a compiler from a saved offline artifact.
+
+        Neither ``synthesize_rules`` nor ``assign_phases`` runs: the
+        artifact carries the phased rule set with its phase membership
+        already assigned.  With ``check`` (default) the spec's probed
+        semantics must match the artifact's ``spec_hash`` — loading a
+        stale artifact against a customized ISA raises
+        :class:`~repro.core.artifact.ArtifactError`.
+        """
+        from repro.core.artifact import ArtifactError, spec_semantics_hash
+
+        if check and spec_semantics_hash(spec) != artifact.spec_hash:
+            raise ArtifactError(
+                f"artifact {artifact.fingerprint} was built for a "
+                f"different ISA semantics than {spec.name!r} "
+                "(pass check=False to override)"
+            )
+        return cls(
+            spec=spec,
+            cost_model=CostModel(spec),
+            ruleset=artifact.ruleset,
+            options=options or artifact.options,
+            synthesis=None,
+        )
+
+    def to_artifact(self, config: SynthesisConfig | None = None):
+        """Capture this compiler as a durable
+        :class:`~repro.core.artifact.CompilerArtifact`.
+
+        ``config`` is the synthesis configuration the rules came from
+        (it participates in the artifact fingerprint).
+        """
+        from repro.core.artifact import CompilerArtifact
+
+        return CompilerArtifact.from_compiler(self, config=config)
+
     def compile_term(
         self, term: Term, options: CompileOptions | None = None
     ) -> tuple[Term, CompileReport]:
@@ -122,26 +165,31 @@ class GeneratedCompiler:
     ) -> CompiledKernel:
         """Compile a traced kernel down to machine code.
 
-        When tracing is enabled (see :mod:`repro.obs`) the whole
-        per-kernel pipeline — eqsat compile, translation validation,
-        lowering — nests under one ``compile_kernel`` span named after
-        the kernel.
+        Runs the full pass pipeline (see
+        :mod:`repro.compiler.pipeline`): frontend → saturate →
+        optimize → extract → validate → lower.  When tracing is
+        enabled (see :mod:`repro.obs`) every pass nests as a
+        ``pass.<name>`` span under one ``compile_kernel`` span named
+        after the kernel, and the report's ``passes`` list records
+        per-pass timings.
         """
+        from repro.compiler.pipeline import CompilationContext, kernel_pipeline
+
         program = (
             kernel.program if isinstance(kernel, KernelInstance) else kernel
         )
         tracer = current_tracer()
         with tracer.span("compile_kernel", kernel=program.name) as span:
-            compiled, report = self.compile_term(program.term, options)
-            if validate:
-                with tracer.span("validate"):
-                    self.validate_equivalence(program.term, compiled)
-            with tracer.span("lower") as lower_span:
-                machine = lower_program(
-                    compiled, self.spec, program.arrays,
-                    output=program.output,
-                )
-                lower_span.add(n_instructions=len(machine.instrs))
+            ctx = CompilationContext(
+                ruleset=self.ruleset,
+                cost_model=self.cost_model,
+                options=options or self.options,
+                program=program,
+                spec=self.spec,
+                validator=self.validate_equivalence if validate else None,
+            )
+            kernel_pipeline().run(ctx)
+            report = ctx.report
             span.add(
                 initial_cost=report.initial_cost,
                 final_cost=report.final_cost,
@@ -150,8 +198,8 @@ class GeneratedCompiler:
         return CompiledKernel(
             name=program.name,
             scalar_term=program.term,
-            compiled_term=compiled,
-            machine_program=machine,
+            compiled_term=ctx.compiled,
+            machine_program=ctx.machine,
             report=report,
             arrays=dict(program.arrays),
             output=program.output,
@@ -207,33 +255,47 @@ class IsariaFramework:
     def generate_compiler(self, cache: bool = False) -> GeneratedCompiler:
         """Run rule synthesis + phase discovery (paper Fig. 2, offline).
 
-        With ``cache=True`` the synthesized rules are looked up in /
-        stored to the on-disk cache keyed by the ISA spec and config,
+        With ``cache=True`` the *whole* offline product — synthesized
+        rules, their phase assignment, and provenance — is looked up
+        in / stored to the on-disk artifact cache (see
+        :mod:`repro.core.artifact`), keyed by the ISA's probed
+        semantics, the synthesis config, and the phase parameters.  A
+        hit skips both ``synthesize_rules`` and ``assign_phases``,
         amortizing the offline stage across processes (§5.3's
-        once-per-instruction-set argument made literal).
+        once-per-instruction-set argument made literal); a corrupt
+        cache file is treated as a miss and rebuilt.
         """
-        from repro.core import cache as rule_cache
+        from repro.core import artifact as artifact_store
 
         with current_tracer().span("generate_compiler") as span:
-            synthesis = None
-            rules = None
             if cache:
-                rules = rule_cache.load_cached_rules(
-                    self.spec, self.synthesis_config
+                cached = artifact_store.load_cached_artifact(
+                    self.spec, self.synthesis_config, self.phase_params
                 )
-            if rules is None:
-                synthesis = synthesize_rules(self.spec, self.synthesis_config)
-                rules = synthesis.rules
-                if cache:
-                    rule_cache.store_cached_rules(
-                        self.spec, self.synthesis_config, rules
+                if cached is not None:
+                    compiler = GeneratedCompiler.from_artifact(
+                        cached, self.spec, options=self.compile_options
                     )
-            ruleset = assign_phases(self.cost_model, rules, self.phase_params)
-            span.add(n_rules=len(rules), cache_hit=synthesis is None)
-        return GeneratedCompiler(
-            spec=self.spec,
-            cost_model=self.cost_model,
-            ruleset=ruleset,
-            options=self.compile_options,
-            synthesis=synthesis,
-        )
+                    span.add(
+                        n_rules=len(compiler.ruleset), cache_hit=True
+                    )
+                    return compiler
+            synthesis = synthesize_rules(self.spec, self.synthesis_config)
+            ruleset = assign_phases(
+                self.cost_model, synthesis.rules, self.phase_params
+            )
+            compiler = GeneratedCompiler(
+                spec=self.spec,
+                cost_model=self.cost_model,
+                ruleset=ruleset,
+                options=self.compile_options,
+                synthesis=synthesis,
+            )
+            if cache:
+                artifact_store.store_artifact(
+                    compiler.to_artifact(config=self.synthesis_config),
+                    self.spec,
+                    self.synthesis_config,
+                )
+            span.add(n_rules=len(ruleset), cache_hit=False)
+        return compiler

@@ -14,7 +14,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.compiler.compile import CompileOptions
-from repro.core.cache import rules_from_text
+from repro.core.artifact import rules_from_text
 from repro.core.framework import GeneratedCompiler
 from repro.egraph.rewrite import Rewrite
 from repro.isa.fusion_g3 import fusion_g3_spec

@@ -5,10 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
-from repro.egraph.rewrite import Rewrite
+from repro.egraph.rewrite import Rewrite, parse_rewrite
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.phases.assign import PhaseParams
+
+_PHASE_NAMES = ("expansion", "compilation", "optimization")
 
 
 @dataclass(frozen=True)
@@ -53,4 +55,64 @@ class PhasedRuleSet:
             f"{counts['compilation']} compilation, "
             f"{counts['optimization']} optimization "
             f"(alpha={self.params.alpha}, beta={self.params.beta})"
+        )
+
+    def to_text(self) -> str:
+        """Serialize rules *with their phase membership* to plain text.
+
+        Offline phase assignment is part of the once-per-ISA product
+        (paper §5.3), so persisting it matters: a compiler restored
+        from this text (see :meth:`from_text`) does not need to re-run
+        ``assign_phases``.  One header line carries the α/β used; each
+        rule line is ``phase<TAB>name<TAB>lhs => rhs`` in phase order.
+        """
+        lines = [f"params\t{self.params.alpha!r}\t{self.params.beta!r}"]
+        for phase in _PHASE_NAMES:
+            for rule in getattr(self, phase):
+                lines.append(f"{phase}\t{rule.name}\t{rule}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "PhasedRuleSet":
+        """Parse text produced by :meth:`to_text`.
+
+        Raises ``ValueError`` on any malformed line, unknown phase
+        name, or missing ``params`` header — corrupt artifacts must be
+        detected, not silently half-loaded.
+        """
+        from repro.phases.assign import PhaseParams
+
+        params: PhaseParams | None = None
+        phases: dict[str, list[Rewrite]] = {p: [] for p in _PHASE_NAMES}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("\t")
+            if fields[0] == "params":
+                if len(fields) != 3:
+                    raise ValueError(
+                        f"line {lineno}: malformed params line {line!r}"
+                    )
+                params = PhaseParams(
+                    alpha=float(fields[1]), beta=float(fields[2])
+                )
+                continue
+            if len(fields) != 3:
+                raise ValueError(
+                    f"line {lineno}: malformed rule line {line!r}"
+                )
+            phase, name, body = fields
+            if phase not in phases:
+                raise ValueError(
+                    f"line {lineno}: unknown phase {phase!r}"
+                )
+            phases[phase].append(parse_rewrite(name, body))
+        if params is None:
+            raise ValueError("phased ruleset text lacks a params line")
+        return cls(
+            expansion=tuple(phases["expansion"]),
+            compilation=tuple(phases["compilation"]),
+            optimization=tuple(phases["optimization"]),
+            params=params,
         )

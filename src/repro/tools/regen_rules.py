@@ -8,7 +8,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.core.cache import rules_to_text
+from repro.core.artifact import rules_to_text
 from repro.core.pregen import DEFAULT_RULES_FILE
 from repro.isa import fusion_g3_spec
 from repro.ruler import SynthesisConfig, synthesize_rules

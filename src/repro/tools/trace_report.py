@@ -12,7 +12,10 @@ tree, and prints:
    nesting depth, with its offset from trace start, duration, and a
    compact payload summary;
 2. a **phase rollup**: total wall-clock per span name;
-3. the **top-N hottest rules** by cumulative e-match time, aggregated
+3. a **pipeline pass rollup**: wall-clock per ``pass.<name>`` span —
+   the span-level view of ``CompileReport.pass_times()``, aggregated
+   across every compilation in the trace;
+4. the **top-N hottest rules** by cumulative e-match time, aggregated
    from the ``SaturationPerf`` payloads of every ``eqsat`` span.
 """
 
@@ -142,6 +145,40 @@ def phase_rollup(events: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def pass_rollup(events: list[dict]) -> str:
+    """Wall-clock per pipeline pass, aggregated across compilations.
+
+    Reads the ``pass.<name>`` spans the pass pipeline emits (see
+    :mod:`repro.compiler.pipeline`); skipped runs (ablation options,
+    disabled validation) are counted separately so the ok-call timings
+    stay comparable.
+    """
+    totals: dict[str, tuple[float, int, int]] = {}
+    for event in events:
+        name = event.get("name", "")
+        if not name.startswith("pass."):
+            continue
+        attrs = event.get("attrs", {})
+        dur, count, skipped = totals.get(name[5:], (0.0, 0, 0))
+        if attrs.get("status") == "skipped":
+            skipped += 1
+        else:
+            dur += event.get("dur", 0.0)
+            count += 1
+        totals[name[5:]] = (dur, count, skipped)
+    if not totals:
+        return "(no pipeline pass spans in this trace)"
+    lines = [f"{'total':>10}  {'calls':>6}  {'skipped':>8}  pass"]
+    lines.append("-" * 44)
+    for name, (dur, count, skipped) in sorted(
+        totals.items(), key=lambda kv: -kv[1][0]
+    ):
+        lines.append(
+            f"{dur * 1e3:>8.1f}ms  {count:>6}  {skipped:>8}  {name}"
+        )
+    return "\n".join(lines)
+
+
 def hottest_rules(events: list[dict], top: int = 10) -> str:
     """Top-``top`` rules by cumulative e-match time across the trace."""
     match_time: dict[str, float] = {}
@@ -175,6 +212,9 @@ def render_report(
         "",
         "== per-phase rollup ==",
         phase_rollup(events),
+        "",
+        "== pipeline passes ==",
+        pass_rollup(events),
         "",
         f"== hottest rules (top {top} by match time) ==",
         hottest_rules(events, top=top),

@@ -1,0 +1,339 @@
+"""CompilerArtifact: round-trips, semantics fingerprints, cache misses."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.compiler.compile import CompileOptions
+from repro.compiler.diospyros import diospyros_rules
+from repro.core.artifact import (
+    ArtifactError,
+    CompilerArtifact,
+    artifact_cache_path,
+    artifact_fingerprint,
+    load_cached_artifact,
+    spec_fingerprint,
+    spec_semantics_hash,
+    store_artifact,
+)
+from repro.core.framework import GeneratedCompiler
+from repro.egraph.runner import RunnerLimits
+from repro.isa import customized_spec, fusion_g3_spec
+from repro.isa.spec import IsaSpec
+from repro.phases.assign import PhaseParams, assign_phases, default_params
+from repro.phases.cost import CostModel
+from repro.ruler import SynthesisConfig
+
+
+def fast_compile_options() -> CompileOptions:
+    """Reduced saturation limits (same shape as the conftest helper)."""
+    return CompileOptions(
+        max_rounds=4,
+        expansion_limits=RunnerLimits(
+            max_iterations=4, max_nodes=12_000, time_limit=6.0
+        ),
+        compilation_limits=RunnerLimits(
+            max_iterations=10, max_nodes=20_000, time_limit=8.0
+        ),
+        optimization_limits=RunnerLimits(
+            max_iterations=5, max_nodes=12_000, time_limit=5.0
+        ),
+    )
+
+
+def _handmade_compiler(spec, options=None):
+    """A compiler with a real phased rule set but no live synthesis."""
+    cost_model = CostModel(spec)
+    ruleset = assign_phases(
+        cost_model, diospyros_rules(spec), default_params(spec)
+    )
+    return GeneratedCompiler(
+        spec=spec,
+        cost_model=cost_model,
+        ruleset=ruleset,
+        options=options or fast_compile_options(),
+    )
+
+
+def _mutate_lane_fn(spec: IsaSpec, name: str) -> IsaSpec:
+    """The same spec with one instruction's *behaviour* changed.
+
+    Name, arity, kind, and cost stay identical — only the lane
+    function differs, which the legacy fingerprint could not see.
+    """
+    instructions = []
+    for instr in spec.instructions:
+        if instr.name == name:
+            old_fn = instr.lane_fn
+
+            def twisted(*args, _fn=old_fn):
+                return _fn(*args) + 1.0
+
+            instr = dataclasses.replace(instr, lane_fn=twisted)
+        instructions.append(instr)
+    return dataclasses.replace(spec, instructions=tuple(instructions))
+
+
+BUNDLED_SPECS = {
+    "fusion_g3": fusion_g3_spec,
+    "fusion_g3_mulsub": lambda: customized_spec(
+        fusion_g3_spec(), mulsub=True
+    ),
+    "fusion_g3_sqrtsgn": lambda: customized_spec(
+        fusion_g3_spec(), sqrtsgn=True
+    ),
+}
+
+
+class TestSemanticsFingerprint:
+    def test_stable_across_calls(self, spec):
+        assert spec_semantics_hash(spec) == spec_semantics_hash(spec)
+
+    def test_lane_function_edit_changes_hash(self, spec):
+        mutated = _mutate_lane_fn(spec, "+")
+        assert spec_semantics_hash(mutated) != spec_semantics_hash(spec)
+
+    def test_lane_function_edit_changes_spec_fingerprint(self, spec):
+        # The satellite regression: the legacy fingerprint keyed on
+        # name/arity/kind/cost only, so a semantics edit hit stale
+        # caches.
+        config = SynthesisConfig(max_term_size=3)
+        mutated = _mutate_lane_fn(spec, "*")
+        assert spec_fingerprint(mutated, config) != spec_fingerprint(
+            spec, config
+        )
+
+    def test_lane_function_edit_misses_artifact_cache(self, spec, tmp_path):
+        config = SynthesisConfig(max_term_size=3)
+        compiler = _handmade_compiler(spec)
+        store_artifact(
+            compiler.to_artifact(config=config), spec, config,
+            cache_dir=tmp_path,
+        )
+        params = compiler.ruleset.params
+        assert (
+            load_cached_artifact(spec, config, params, cache_dir=tmp_path)
+            is not None
+        )
+        mutated = _mutate_lane_fn(spec, "+")
+        assert (
+            load_cached_artifact(
+                mutated, config, params, cache_dir=tmp_path
+            )
+            is None
+        )
+
+    def test_phase_params_are_part_of_the_key(self, spec):
+        config = SynthesisConfig(max_term_size=3)
+        a = artifact_fingerprint(spec, config, PhaseParams(25.0, 12.0))
+        b = artifact_fingerprint(spec, config, PhaseParams(30.0, 12.0))
+        assert a != b
+
+
+class TestCorruptCacheIsAMiss:
+    def test_corrupt_json_is_a_miss_not_a_crash(self, spec, tmp_path):
+        config = SynthesisConfig(max_term_size=3)
+        params = default_params(spec)
+        path = artifact_cache_path(spec, config, params,
+                                   cache_dir=tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ this is not json")
+        assert (
+            load_cached_artifact(spec, config, params, cache_dir=tmp_path)
+            is None
+        )
+
+    def test_truncated_artifact_is_a_miss(self, spec, tmp_path):
+        config = SynthesisConfig(max_term_size=3)
+        compiler = _handmade_compiler(spec)
+        path = store_artifact(
+            compiler.to_artifact(config=config), spec, config,
+            cache_dir=tmp_path,
+        )
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert (
+            load_cached_artifact(
+                spec, config, compiler.ruleset.params, cache_dir=tmp_path
+            )
+            is None
+        )
+
+    def test_wrong_kind_rejected_loudly_on_direct_load(self, tmp_path):
+        path = tmp_path / "not-an-artifact.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ArtifactError):
+            CompilerArtifact.load(path)
+
+    def test_corrupt_legacy_rules_cache_is_a_miss(self, spec, tmp_path):
+        from repro.core.cache import load_cached_rules, spec_fingerprint
+
+        config = SynthesisConfig(max_term_size=3)
+        bad = tmp_path / f"rules-{spec_fingerprint(spec, config)}.txt"
+        bad.write_text("name-without-body\n")
+        assert load_cached_rules(spec, config, cache_dir=tmp_path) is None
+
+    def test_framework_rebuilds_over_corrupt_cache(
+        self, spec, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RULE_CACHE", str(tmp_path))
+        from repro.core import IsariaFramework
+
+        config = SynthesisConfig(max_term_size=3)
+        framework = IsariaFramework(spec, synthesis_config=config)
+        path = artifact_cache_path(spec, config, framework.phase_params,
+                                   cache_dir=tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"kind": "repro-compiler-artifact", trunca')
+        compiler = framework.generate_compiler(cache=True)
+        assert compiler.synthesis is not None  # miss → rebuilt
+        # ... and the bad entry was overwritten with a loadable one.
+        assert CompilerArtifact.load(path).ruleset.counts()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("isa", sorted(BUNDLED_SPECS))
+    def test_round_trip_preserves_offline_product(self, isa):
+        spec = BUNDLED_SPECS[isa]()
+        compiler = _handmade_compiler(spec)
+        artifact = compiler.to_artifact(
+            config=SynthesisConfig(max_term_size=3)
+        )
+        restored_artifact = CompilerArtifact.from_json(artifact.to_json())
+        restored = GeneratedCompiler.from_artifact(restored_artifact, spec)
+
+        # Identical phase membership and rule set, phase by phase.
+        for phase in ("expansion", "compilation", "optimization"):
+            assert [
+                (r.name, str(r)) for r in getattr(restored.ruleset, phase)
+            ] == [
+                (r.name, str(r)) for r in getattr(compiler.ruleset, phase)
+            ]
+        assert restored.ruleset.params == compiler.ruleset.params
+        # Identical cost and compile parameters.
+        assert restored_artifact.cost_params["leaf_cost"] == spec.leaf_cost
+        assert restored.options == compiler.options
+
+    @pytest.mark.parametrize("isa", sorted(BUNDLED_SPECS))
+    def test_round_trip_compiles_identically(self, isa):
+        from repro.compiler.frontend import trace_kernel
+
+        spec = BUNDLED_SPECS[isa]()
+        options = fast_compile_options()
+        compiler = _handmade_compiler(spec, options=options)
+        restored = GeneratedCompiler.from_artifact(
+            CompilerArtifact.from_json(compiler.to_artifact().to_json()),
+            spec,
+        )
+        program = trace_kernel(
+            "vadd",
+            lambda x, y: [x[i] + y[i] for i in range(4)],
+            {"x": 4, "y": 4},
+            4,
+        )
+        first, first_report = compiler.compile_term(program.term, options)
+        second, second_report = restored.compile_term(program.term, options)
+        assert str(first) == str(second)
+        assert first_report.final_cost == second_report.final_cost
+
+    def test_options_round_trip_including_limits(self, spec):
+        options = CompileOptions(
+            phased=False,
+            max_rounds=3,
+            expansion_limits=RunnerLimits(max_iterations=7, max_nodes=123),
+        )
+        compiler = _handmade_compiler(spec, options=options)
+        artifact = CompilerArtifact.from_json(
+            compiler.to_artifact().to_json()
+        )
+        assert artifact.options == options
+        assert artifact.options.expansion_limits.max_nodes == 123
+
+    def test_synthesis_provenance_recorded(self, spec, synthesis_size3):
+        cost_model = CostModel(spec)
+        compiler = GeneratedCompiler(
+            spec=spec,
+            cost_model=cost_model,
+            ruleset=assign_phases(
+                cost_model, synthesis_size3.rules, default_params(spec)
+            ),
+            synthesis=synthesis_size3,
+        )
+        artifact = compiler.to_artifact(
+            config=SynthesisConfig(max_term_size=3)
+        )
+        prov = artifact.provenance
+        assert prov["source"] == "synthesized"
+        assert prov["n_rules"] == len(synthesis_size3.rules)
+        assert prov["n_candidates"] == synthesis_size3.n_candidates
+        assert "== timeline ==" not in artifact.summary()
+        assert "synthesized" in artifact.summary()
+
+
+class TestLoadedCompilerSkipsOfflineStage:
+    def test_from_artifact_never_synthesizes_or_assigns(
+        self, spec, tmp_path, monkeypatch
+    ):
+        """The acceptance criterion, via call counting."""
+        config = SynthesisConfig(max_term_size=3)
+        compiler = _handmade_compiler(spec)
+        store_artifact(
+            compiler.to_artifact(config=config), spec, config,
+            cache_dir=tmp_path,
+        )
+
+        calls = {"synthesize": 0, "assign": 0}
+        import repro.core.framework as framework_mod
+
+        def counting_synthesize(*args, **kwargs):
+            calls["synthesize"] += 1
+            raise AssertionError("synthesize_rules ran on a cache hit")
+
+        def counting_assign(*args, **kwargs):
+            calls["assign"] += 1
+            raise AssertionError("assign_phases ran on a cache hit")
+
+        monkeypatch.setattr(
+            framework_mod, "synthesize_rules", counting_synthesize
+        )
+        monkeypatch.setattr(framework_mod, "assign_phases", counting_assign)
+
+        artifact = load_cached_artifact(
+            spec, config, compiler.ruleset.params, cache_dir=tmp_path
+        )
+        loaded = GeneratedCompiler.from_artifact(artifact, spec)
+        assert calls == {"synthesize": 0, "assign": 0}
+
+        monkeypatch.setenv("REPRO_RULE_CACHE", str(tmp_path))
+        from repro.core import IsariaFramework
+
+        framework = IsariaFramework(
+            spec,
+            synthesis_config=config,
+            phase_params=compiler.ruleset.params,
+        )
+        via_framework = framework.generate_compiler(cache=True)
+        assert calls == {"synthesize": 0, "assign": 0}
+        assert len(via_framework.ruleset) == len(loaded.ruleset)
+
+        # The loaded compiler actually works.
+        from repro.compiler.frontend import trace_kernel
+
+        program = trace_kernel(
+            "sq", lambda x: [x[i] * x[i] for i in range(4)], {"x": 4}, 4
+        )
+        kernel = loaded.compile_kernel(program,
+                                       options=fast_compile_options())
+        assert kernel.machine_program.instrs
+
+    def test_spec_mismatch_refused(self, spec):
+        compiler = _handmade_compiler(spec)
+        artifact = compiler.to_artifact()
+        mutated = _mutate_lane_fn(spec, "+")
+        with pytest.raises(ArtifactError):
+            GeneratedCompiler.from_artifact(artifact, mutated)
+        # check=False overrides for deliberate reuse.
+        forced = GeneratedCompiler.from_artifact(
+            artifact, mutated, check=False
+        )
+        assert len(forced.ruleset) == len(compiler.ruleset)

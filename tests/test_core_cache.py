@@ -85,7 +85,7 @@ class TestDiskCache:
             spec, synthesis_config=SC(max_term_size=3)
         )
         first = framework.generate_compiler(cache=True)
-        assert list(tmp_path.glob("rules-*.txt"))
+        assert list(tmp_path.glob("artifact-*.json"))
         second = framework.generate_compiler(cache=True)
         assert second.synthesis is None  # came from cache
         assert len(second.ruleset) == len(first.ruleset)

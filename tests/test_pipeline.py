@@ -1,0 +1,203 @@
+"""The pass pipeline: per-pass reports, stable order, batch driver."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler.compile import CompileOptions, compile_term
+from repro.compiler.pipeline import (
+    CompilationContext,
+    FnPass,
+    Pipeline,
+    baseline_kernel_pipeline,
+    compile_many,
+    kernel_pipeline,
+    term_pipeline,
+)
+from repro.compiler.frontend import trace_kernel
+
+
+@pytest.fixture(scope="module")
+def vadd_program():
+    return trace_kernel(
+        "vadd",
+        lambda x, y: [x[i] + y[i] for i in range(4)],
+        {"x": 4, "y": 4},
+        4,
+    )
+
+
+@pytest.fixture(scope="module")
+def compiled_report(isaria_compiler, vadd_program):
+    _, report = isaria_compiler.compile_term(vadd_program.term)
+    return report
+
+
+class TestPassReports:
+    def test_pass_entries_sum_to_elapsed(self, compiled_report):
+        total = sum(p.elapsed for p in compiled_report.passes)
+        assert total == pytest.approx(compiled_report.elapsed, abs=1e-6)
+
+    def test_term_pipeline_pass_names(self, compiled_report):
+        assert [p.name for p in compiled_report.passes] == [
+            "saturate", "optimize", "extract",
+        ]
+        assert all(p.status == "ok" for p in compiled_report.passes)
+
+    def test_pass_times_keys_in_order(self, compiled_report):
+        assert list(compiled_report.pass_times()) == [
+            "saturate", "optimize", "extract",
+        ]
+
+    def test_kernel_pipeline_reports_all_stages(
+        self, isaria_compiler, vadd_program
+    ):
+        kernel = isaria_compiler.compile_kernel(vadd_program)
+        report = kernel.report
+        assert [p.name for p in report.passes] == [
+            "frontend", "saturate", "optimize", "extract", "validate",
+            "lower",
+        ]
+        assert sum(p.elapsed for p in report.passes) == pytest.approx(
+            report.elapsed, abs=1e-6
+        )
+        lower = report.passes[-1]
+        assert lower.detail["n_instructions"] == len(
+            kernel.machine_program.instrs
+        )
+
+    def test_disabled_validation_reports_skipped(
+        self, isaria_compiler, vadd_program
+    ):
+        kernel = isaria_compiler.compile_kernel(vadd_program,
+                                                validate=False)
+        by_name = {p.name: p for p in kernel.report.passes}
+        assert by_name["validate"].status == "skipped"
+
+
+class TestAblationStability:
+    def _names_and_statuses(self, compiler, term, **overrides):
+        options = dataclasses.replace(compiler.options, **overrides)
+        _, report = compile_term(
+            term, compiler.ruleset, compiler.cost_model, options
+        )
+        return report, [(p.name, p.status) for p in report.passes]
+
+    def test_order_stable_under_unphased(
+        self, isaria_compiler, vadd_program
+    ):
+        report, passes = self._names_and_statuses(
+            isaria_compiler, vadd_program.term, phased=False
+        )
+        assert [name for name, _ in passes] == [
+            "saturate", "optimize", "extract",
+        ]
+        assert dict(passes)["optimize"] == "skipped"
+        # Report shape of the ablation is unchanged by the pipeline.
+        assert len(report.rounds) == 1
+        assert report.rounds[0].expansion is None
+        assert report.optimization is None
+        assert sum(p.elapsed for p in report.passes) == pytest.approx(
+            report.elapsed, abs=1e-6
+        )
+
+    def test_order_stable_under_no_pruning(
+        self, isaria_compiler, vadd_program
+    ):
+        report, passes = self._names_and_statuses(
+            isaria_compiler, vadd_program.term, pruning=False
+        )
+        assert [name for name, _ in passes] == [
+            "saturate", "optimize", "extract",
+        ]
+        assert all(status == "ok" for _, status in passes)
+
+    def test_pipeline_factories_report_names(self):
+        assert term_pipeline().names() == ["saturate", "optimize",
+                                           "extract"]
+        assert kernel_pipeline().names() == [
+            "frontend", "saturate", "optimize", "extract", "validate",
+            "lower",
+        ]
+        assert kernel_pipeline(schedule=True).names()[-1] == "schedule"
+        assert baseline_kernel_pipeline(lambda t: (t, None)).names() == [
+            "frontend", "saturate", "lower",
+        ]
+
+
+class TestPipelineMechanics:
+    def test_fn_pass_detail_lands_in_report(self, isaria_compiler):
+        ctx = CompilationContext(cost_model=isaria_compiler.cost_model,
+                                 term=trace_kernel(
+                                     "t", lambda x: [x[0]], {"x": 1}, 4
+                                 ).term)
+        pipeline = Pipeline([
+            FnPass("seed", lambda c: (c.ensure_report(), None)[1]),
+            FnPass("probe", lambda c: {"answer": 42}),
+        ])
+        pipeline.run(ctx)
+        assert [p.name for p in ctx.report.passes] == ["seed", "probe"]
+        assert ctx.report.passes[1].detail == {"answer": 42}
+
+    def test_adopted_report_keeps_earlier_pass_entries(
+        self, isaria_compiler
+    ):
+        from repro.compiler.compile import CompileReport
+
+        term = trace_kernel("t", lambda x: [x[0]], {"x": 1}, 4).term
+
+        def adopt(ctx):
+            ctx.report = CompileReport(initial_cost=9.0, final_cost=3.0)
+            return None
+
+        ctx = CompilationContext(cost_model=isaria_compiler.cost_model,
+                                 term=term)
+        Pipeline([
+            FnPass("seed", lambda c: (c.ensure_report(), None)[1]),
+            FnPass("adopt", adopt),
+        ]).run(ctx)
+        assert [p.name for p in ctx.report.passes] == ["seed", "adopt"]
+        assert ctx.report.initial_cost == 9.0
+        assert sum(p.elapsed for p in ctx.report.passes) == pytest.approx(
+            ctx.report.elapsed, abs=1e-6
+        )
+
+
+class TestCompileMany:
+    def test_serial_batch_matches_individual_compiles(
+        self, isaria_compiler, vadd_program
+    ):
+        other = trace_kernel(
+            "vmul",
+            lambda x, y: [x[i] * y[i] for i in range(4)],
+            {"x": 4, "y": 4},
+            4,
+        )
+        batch = compile_many(isaria_compiler, [vadd_program, other])
+        assert [k.name for k in batch] == ["vadd", "vmul"]
+        single = isaria_compiler.compile_kernel(other)
+        assert str(batch[1].compiled_term) == str(single.compiled_term)
+        assert (
+            batch[1].report.final_cost == single.report.final_cost
+        )
+
+    def test_parallel_batch_preserves_order_and_results(
+        self, isaria_compiler, vadd_program
+    ):
+        other = trace_kernel(
+            "vsub",
+            lambda x, y: [x[i] - y[i] for i in range(4)],
+            {"x": 4, "y": 4},
+            4,
+        )
+        serial = compile_many(isaria_compiler, [vadd_program, other])
+        fanned = compile_many(
+            isaria_compiler, [vadd_program, other], jobs=2
+        )
+        assert [k.name for k in fanned] == [k.name for k in serial]
+        assert [k.report.final_cost for k in fanned] == [
+            k.report.final_cost for k in serial
+        ]
+        assert [str(k.compiled_term) for k in fanned] == [
+            str(k.compiled_term) for k in serial
+        ]
