@@ -56,10 +56,31 @@ class Interpreter:
         from repro.lang.term import fold_term
 
         return fold_term(
-            term, lambda t, child_values: self._eval_node(t, child_values, env)
+            term, lambda t, child_values: self.evaluate_node(t, child_values, env)
         )
 
-    def _eval_node(self, term: Term, args: tuple, env: Env) -> Value:
+    def lane_fn(self, op: str) -> LaneFn | None:
+        """The lane function of ``op``, or None for structural ops.
+
+        Exposed for the batched cvec evaluator
+        (:class:`repro.ruler.cvec.CvecEvaluator`), which applies lane
+        functions across whole environment grids at once.
+        """
+        return self._sem.get(op)
+
+    def op_kind(self, op: str) -> OpKind | None:
+        """The :class:`~repro.lang.ops.OpKind` of ``op``, if known."""
+        return self._kinds.get(op)
+
+    def evaluate_node(self, term: Term, args: tuple, env: Env) -> Value:
+        """Evaluate a single node given its children's values.
+
+        ``env`` is consulted only for leaves.  This is the one place
+        node semantics live: :meth:`evaluate` folds it over the term
+        DAG per environment, and the batched cvec evaluator calls it
+        per environment for the ops its fast path cannot handle
+        (structural forms, vector-valued arguments).
+        """
         op = term.op
         if T.is_const(term):
             return term.payload

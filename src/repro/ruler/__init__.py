@@ -22,13 +22,24 @@ builds on, plus Isaria's vector-lane extension:
    vector↔vector rules, Vec *lift* (compilation) rules, and
    lane-restricted padding rules, each re-verified at full width;
 7. :mod:`repro.ruler.synthesize` — the budgeted end-to-end pipeline.
+
+The hot path computes cvecs with the batched, caching
+:class:`~repro.ruler.cvec.CvecEvaluator`; ``REPRO_LEGACY_CVEC=1``
+forces the historical per-environment tree interpretation, and
+:class:`~repro.ruler.stats.SynthesisPerf` counts what each path did.
 """
 
-from repro.ruler.cvec import cvec_of, CvecSpec
+from repro.ruler.cvec import (
+    CvecEvaluator,
+    CvecSpec,
+    cvec_of,
+    legacy_cvec_requested,
+)
 from repro.ruler.enumerate import enumerate_terms, EnumerationResult
 from repro.ruler.candidates import candidate_rules, orient_pair
 from repro.ruler.verify import verify_rule, VerifyResult
 from repro.ruler.minimize import minimize_rules
+from repro.ruler.stats import SynthesisPerf
 from repro.ruler.lanes import generalize_rules
 from repro.ruler.synthesize import (
     SynthesisConfig,
@@ -38,7 +49,9 @@ from repro.ruler.synthesize import (
 
 __all__ = [
     "cvec_of",
+    "CvecEvaluator",
     "CvecSpec",
+    "legacy_cvec_requested",
     "enumerate_terms",
     "EnumerationResult",
     "candidate_rules",
@@ -46,6 +59,7 @@ __all__ = [
     "verify_rule",
     "VerifyResult",
     "minimize_rules",
+    "SynthesisPerf",
     "generalize_rules",
     "SynthesisConfig",
     "SynthesisResult",

@@ -7,10 +7,28 @@ soundness.  Environments mix corner cases (zeros, ones, sign flips)
 with seeded random rationals, evaluated exactly so algebraic identities
 fingerprint identically; the few irrational-producing ops (sqrt) yield
 floats, which are rounded for fingerprint stability.
+
+Two evaluation paths produce cvecs:
+
+- :class:`CvecEvaluator` (the default) works *structure-of-arrays*: it
+  caches every pool term's raw value row (one value per environment)
+  and computes a new term's row with a **single** application of its
+  root lane function across all environments over the children's
+  cached rows — O(envs) per candidate instead of O(nodes × envs).
+  Fingerprints are interned to small ints for fast pool lookups.
+- :func:`cvec_of` is the legacy path: one full tree interpretation per
+  environment.  ``REPRO_LEGACY_CVEC=1`` forces it everywhere (kept as
+  the perf baseline and differential-fuzz oracle, mirroring
+  ``REPRO_LEGACY_EMATCH``).
+
+Both paths perform the identical arithmetic per environment, so their
+fingerprints agree exactly — ``tests/test_cvec_differential.py`` fuzzes
+this invariant across the bundled ISAs.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from fractions import Fraction
 
@@ -18,6 +36,13 @@ from repro.interp.env import sample_envs
 from repro.interp.interpreter import Interpreter
 from repro.interp.value import UNDEFINED
 from repro.lang.term import Term
+
+
+def legacy_cvec_requested() -> bool:
+    """True when ``REPRO_LEGACY_CVEC`` forces per-env tree evaluation."""
+    return os.environ.get("REPRO_LEGACY_CVEC", "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
 
 
 @dataclass(frozen=True)
@@ -77,3 +102,190 @@ def cvec_of(
     if not any_defined:
         return None
     return tuple(values)
+
+
+class CvecEvaluator:
+    """Batched, caching cvec evaluation over a fixed environment grid.
+
+    Values are stored as *rows*: one raw (un-fingerprinted) value per
+    environment, structure-of-arrays style.  Because rows hold the raw
+    interpreter values, combining cached child rows with one root-op
+    application performs exactly the arithmetic the tree interpreter
+    would — batched and legacy cvecs are equal by construction.
+
+    The evaluator also interns fingerprints to dense small ints so the
+    enumeration pool and candidate bookkeeping hash an int instead of
+    an ~88-element tuple on every lookup.  Counters go to ``perf`` (a
+    :class:`repro.ruler.stats.SynthesisPerf`).
+    """
+
+    __slots__ = ("_interp", "envs", "_rows", "_ids", "_fingerprints", "perf")
+
+    def __init__(self, interpreter: Interpreter, envs, perf=None):
+        from repro.ruler.stats import SynthesisPerf
+
+        self._interp = interpreter
+        self.envs = tuple(envs)
+        self._rows: dict[Term, tuple] = {}
+        self._ids: dict[tuple, int] = {}
+        self._fingerprints: list[tuple] = []
+        self.perf = perf if perf is not None else SynthesisPerf()
+
+    # -- raw value rows --------------------------------------------------
+
+    def row_of(self, term: Term) -> tuple:
+        """The term's raw value row, cached (one DAG walk, not one per
+        environment)."""
+        rows = self._rows
+        cached = rows.get(term)
+        if cached is not None:
+            self.perf.cvec_cache_hits += 1
+            return cached
+        stack = [term]
+        while stack:
+            t = stack[-1]
+            if t in rows:
+                stack.pop()
+                continue
+            pending = [a for a in t.args if a not in rows]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            rows[t] = self.combine(t, tuple(rows[a] for a in t.args))
+            self.perf.cvec_cache_misses += 1
+        return rows[term]
+
+    def remember(self, term: Term, row: tuple) -> None:
+        """Cache ``row`` as ``term``'s value row (for accepted pool
+        terms, so later candidates combine it in O(envs))."""
+        self._rows[term] = row
+
+    def combine(self, term: Term, child_rows: tuple) -> tuple:
+        """``term``'s row from its children's rows — one batched
+        application of the root operator.
+
+        Scalar lane-function nodes take the fast path; leaves,
+        structural forms (``Vec``/``Concat``/``List``) and
+        vector-valued arguments fall back to the interpreter's
+        single-node semantics per environment, so any term the tree
+        interpreter accepts is handled identically here.
+        """
+        self.perf.batched_evals += 1
+        interp = self._interp
+        if term.args:
+            fn = interp.lane_fn(term.op)
+            if fn is not None:
+                return self._apply(term, fn, child_rows)
+        # Structural op or leaf: exact per-env node semantics.
+        if child_rows:
+            arg_iter = zip(*child_rows)
+        else:
+            arg_iter = (() for _ in self.envs)
+        return tuple(
+            interp.evaluate_node(term, args, env)
+            for env, args in zip(self.envs, arg_iter)
+        )
+
+    def apply_lane_fn(self, fn, child_rows: tuple) -> tuple:
+        """One lane function applied across the grid (the enumeration
+        hot loop).
+
+        Caller guarantees the rows hold only scalars (true for every
+        enumeration grid — ``sample_envs`` binds scalars and lane
+        functions return scalars); :meth:`combine` is the general
+        entry point when vectors may appear.
+        """
+        self.perf.batched_evals += 1
+        out = []
+        append = out.append
+        if len(child_rows) == 1:
+            for a in child_rows[0]:
+                if a is UNDEFINED:
+                    append(UNDEFINED)
+                else:
+                    r = fn(a)
+                    append(UNDEFINED if r is None else r)
+        elif len(child_rows) == 2:
+            for a, b in zip(child_rows[0], child_rows[1]):
+                if a is UNDEFINED or b is UNDEFINED:
+                    append(UNDEFINED)
+                else:
+                    r = fn(a, b)
+                    append(UNDEFINED if r is None else r)
+        else:
+            for args in zip(*child_rows):
+                if any(a is UNDEFINED for a in args):
+                    append(UNDEFINED)
+                else:
+                    r = fn(*args)
+                    append(UNDEFINED if r is None else r)
+        return tuple(out)
+
+    def _apply(self, term: Term, fn, child_rows: tuple) -> tuple:
+        """Lane-function application with per-value vector fallback."""
+        interp = self._interp
+        out = []
+        append = out.append
+        for args in zip(*child_rows):
+            if any(a is UNDEFINED for a in args):
+                append(UNDEFINED)
+            elif any(isinstance(a, tuple) for a in args):
+                # Vector argument: delegate to the interpreter's node
+                # semantics (lane-wise apply or EvalError), which never
+                # consults the env for interior nodes.
+                append(interp.evaluate_node(term, args, None))
+            else:
+                r = fn(*args)
+                append(UNDEFINED if r is None else r)
+        return tuple(out)
+
+    # -- fingerprints ----------------------------------------------------
+
+    def fingerprint_of(self, row: tuple) -> tuple | None:
+        """The row's fingerprint tuple, or None if undefined everywhere
+        (exactly :func:`cvec_of`'s discard rule)."""
+        fingerprint = []
+        any_defined = False
+        for value in row:
+            if value is UNDEFINED:
+                fingerprint.append("undef")
+            else:
+                any_defined = True
+                fingerprint.append(_fingerprint_value(value))
+        if not any_defined:
+            return None
+        return tuple(fingerprint)
+
+    def intern(self, fingerprint: tuple) -> int:
+        """The small-int id of ``fingerprint`` (stable per evaluator).
+
+        A repeat fingerprint — a *collision*, the event that makes two
+        terms candidate-equivalent — is counted in
+        ``perf.fingerprint_collisions``.
+        """
+        ids = self._ids
+        fid = ids.get(fingerprint)
+        if fid is None:
+            fid = len(self._fingerprints)
+            ids[fingerprint] = fid
+            self._fingerprints.append(fingerprint)
+            self.perf.interned_fingerprints += 1
+        else:
+            self.perf.fingerprint_collisions += 1
+        return fid
+
+    def fingerprint(self, fid: int) -> tuple:
+        """The fingerprint tuple interned as ``fid``."""
+        return self._fingerprints[fid]
+
+    def cvec_id(self, term: Term) -> int | None:
+        """The term's interned cvec id (None if undefined everywhere).
+
+        Batched equivalent of ``cvec_of`` + pool lookup: the term's
+        row is computed (and cached) with one DAG walk.
+        """
+        fingerprint = self.fingerprint_of(self.row_of(term))
+        if fingerprint is None:
+            return None
+        return self.intern(fingerprint)

@@ -41,6 +41,7 @@ from repro.lang.ops import OpKind
 from repro.lang.pattern import instantiate, suffix_wildcards, wildcards_of
 from repro.lang.term import Term
 from repro.ruler.candidates import canonical_wildcards
+from repro.ruler.stats import SynthesisPerf
 from repro.ruler.verify import verify_rule, verify_vector_rule
 
 
@@ -155,8 +156,12 @@ def _padding_rules(
 def generalize_rules(
     rules: list[Rewrite],
     spec: IsaSpec,
+    perf: SynthesisPerf | None = None,
 ) -> tuple[list[Rewrite], GeneralizationReport]:
-    """Expand verified single-lane rules to full width (see module doc)."""
+    """Expand verified single-lane rules to full width (see module doc).
+
+    ``perf`` (optional) collects the re-verification batching counters.
+    """
     report = GeneralizationReport(n_input_rules=len(rules))
     seen: set[tuple[Term, Term]] = set()
     out: list[Rewrite] = []
@@ -172,9 +177,9 @@ def generalize_rules(
             return
         seen.add(key)
         if vector:
-            check = verify_vector_rule(lhs, rhs, spec)
+            check = verify_vector_rule(lhs, rhs, spec, perf=perf)
         else:
-            check = verify_rule(lhs, rhs, spec)
+            check = verify_rule(lhs, rhs, spec, perf=perf)
         if not check.ok:
             report.n_rejected += 1
             report.rejected.append((name, lhs, rhs, check.detail))

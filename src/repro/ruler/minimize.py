@@ -11,6 +11,13 @@ it is derivable and adds no deductive power.
 Batching makes minimization O(rules/batch) saturation passes instead
 of O(candidates), which is what lets a size-5 enumeration (thousands
 of candidates) minimize in seconds.
+
+When an ``interpreter`` is supplied, candidates are first screened
+through the batched :class:`~repro.ruler.cvec.CvecEvaluator`: a rule
+whose sides fingerprint differently on a sample grid is unsound and is
+dropped before paying for any saturation pass.  Rules that agree
+everywhere always fingerprint equal, so the screen never drops a sound
+rule — for already-verified pipeline candidates it is a no-op.
 """
 
 from __future__ import annotations
@@ -20,6 +27,11 @@ import time
 from repro.egraph.egraph import EGraph
 from repro.egraph.rewrite import Rewrite
 from repro.egraph.runner import RunnerLimits, run_saturation
+from repro.interp.env import sample_envs
+from repro.interp.interpreter import EvalError, Interpreter
+from repro.lang.pattern import wildcards_of
+from repro.ruler.cvec import CvecEvaluator, legacy_cvec_requested
+from repro.ruler.stats import SynthesisPerf
 from repro.ruler.verify import pattern_to_term
 
 # Filter passes are bounded by iteration/node/match-work budgets (all
@@ -72,20 +84,67 @@ def _filter_pass(
     ]
 
 
+def _cvec_screen(
+    candidates: list[Rewrite],
+    interpreter: Interpreter,
+    perf: SynthesisPerf | None,
+    n_samples: int = 24,
+    seed: int = 97531,
+) -> list[Rewrite]:
+    """Drop candidates whose sides fingerprint differently (unsound).
+
+    One cached DAG walk per rule side — far cheaper than the
+    saturation pass each surviving candidate costs downstream.
+    """
+    kept: list[Rewrite] = []
+    for rule in candidates:
+        names = sorted(
+            set(wildcards_of(rule.lhs)) | set(wildcards_of(rule.rhs))
+        )
+        envs = sample_envs(tuple(names), n_random=n_samples, seed=seed)
+        evaluator = CvecEvaluator(interpreter, envs, perf=perf)
+        try:
+            left = evaluator.fingerprint_of(
+                evaluator.row_of(pattern_to_term(rule.lhs))
+            )
+            right = evaluator.fingerprint_of(
+                evaluator.row_of(pattern_to_term(rule.rhs))
+            )
+        except EvalError:
+            kept.append(rule)  # not screenable; let saturation decide
+            continue
+        if left == right:
+            kept.append(rule)
+        elif perf is not None:
+            perf.minimize_screened += 1
+    return kept
+
+
 def minimize_rules(
     candidates: list[Rewrite],
     deadline: float | None = None,
     limits: RunnerLimits = _FILTER_LIMITS,
     batch_size: int = 16,
+    interpreter: Interpreter | None = None,
+    perf: SynthesisPerf | None = None,
 ) -> tuple[list[Rewrite], bool]:
     """Batched greedy selection of underivable rules.
 
     Returns ``(kept, aborted)``; hitting ``deadline`` drops the
     not-yet-examined tail (the paper's Fig. 7 behaviour: a short
-    offline budget yields a smaller rule set).
+    offline budget yields a smaller rule set).  With an
+    ``interpreter``, unsound candidates are screened out first via the
+    batched cvec evaluator (skipped under ``REPRO_LEGACY_CVEC=1``,
+    keeping the legacy baseline the historical path).
     """
     kept: list[Rewrite] = []
     remaining = list(candidates)
+    if (
+        interpreter is not None
+        and remaining
+        and not legacy_cvec_requested()
+    ):
+        remaining = _cvec_screen(remaining, interpreter, perf)
     aborted = False
     while remaining:
         if deadline is not None and time.monotonic() > deadline:

@@ -1,17 +1,104 @@
-"""Descriptive statistics over rule sets.
+"""Statistics over rule sets and the offline synthesis hot path.
 
 Used by the inspection tooling (the synthesis-tour example, Fig. 8's
 bench) to answer "what did synthesis actually learn?": operator
-coverage, rule-shape histograms, and per-operator rule counts.
+coverage, rule-shape histograms, and per-operator rule counts.  Also
+home of :class:`SynthesisPerf`, the offline-stage counter block that
+``synthesize_rules`` folds into its result, tracer spans, and the
+``BENCH_synthesis.json`` perf artifact — the synthesis-side sibling of
+the saturation engine's ``SaturationPerf``.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from dataclasses import dataclass, field
 
 from repro.egraph.rewrite import Rewrite
 from repro.lang.ops import LEAF_OPS
 from repro.lang.term import subterms, term_size
+
+
+@dataclass
+class SynthesisPerf:
+    """Counters for the offline synthesis hot path.
+
+    Filled in by :mod:`repro.ruler.enumerate` (batched cvec
+    evaluation), :mod:`repro.ruler.verify` (batched fuzzing) and
+    :mod:`repro.ruler.minimize` (cvec screening); merged across
+    enumeration shards.  ``backend`` records which cvec path ran:
+    ``"batched"`` (the default structure-of-arrays evaluator) or
+    ``"legacy"`` (``REPRO_LEGACY_CVEC=1``, one tree walk per
+    environment).
+    """
+
+    backend: str = "batched"
+    # Batched-evaluator counters (see repro.ruler.cvec.CvecEvaluator).
+    batched_evals: int = 0        # rows computed by one root-op application
+    legacy_evals: int = 0         # full per-env tree interpretations
+    cvec_cache_hits: int = 0      # child rows served from the cvec cache
+    cvec_cache_misses: int = 0    # rows that had to be computed
+    fingerprint_collisions: int = 0  # interned fingerprint seen before
+    interned_fingerprints: int = 0   # distinct fingerprints interned
+    # Pipeline-stage counters.
+    enumeration_shards: int = 0   # parallel shards of the largest size
+    verify_batched_terms: int = 0  # rule sides evaluated batched
+    verify_legacy_terms: int = 0   # rule sides evaluated per-env
+    minimize_screened: int = 0     # rules dropped by the cvec screen
+    # Per-term-size enumeration breakdown (size -> value).
+    per_size_times: dict = field(default_factory=dict)
+    per_size_terms: dict = field(default_factory=dict)
+    per_size_new: dict = field(default_factory=dict)
+
+    def merge(self, other: "SynthesisPerf") -> "SynthesisPerf":
+        """Fold ``other``'s counters into this block (returns self).
+
+        Used to combine per-shard counters from parallel enumeration
+        and per-chunk counters from parallel verification.
+        """
+        self.batched_evals += other.batched_evals
+        self.legacy_evals += other.legacy_evals
+        self.cvec_cache_hits += other.cvec_cache_hits
+        self.cvec_cache_misses += other.cvec_cache_misses
+        self.fingerprint_collisions += other.fingerprint_collisions
+        self.interned_fingerprints += other.interned_fingerprints
+        self.enumeration_shards += other.enumeration_shards
+        self.verify_batched_terms += other.verify_batched_terms
+        self.verify_legacy_terms += other.verify_legacy_terms
+        self.minimize_screened += other.minimize_screened
+        for ours, theirs in (
+            (self.per_size_times, other.per_size_times),
+            (self.per_size_terms, other.per_size_terms),
+            (self.per_size_new, other.per_size_new),
+        ):
+            for size, value in theirs.items():
+                ours[size] = ours.get(size, 0) + value
+        return self
+
+    def as_dict(self) -> dict:
+        """A JSON-ready dict (per-size keys stringified for JSON)."""
+        return {
+            "backend": self.backend,
+            "batched_evals": self.batched_evals,
+            "legacy_evals": self.legacy_evals,
+            "cvec_cache_hits": self.cvec_cache_hits,
+            "cvec_cache_misses": self.cvec_cache_misses,
+            "fingerprint_collisions": self.fingerprint_collisions,
+            "interned_fingerprints": self.interned_fingerprints,
+            "enumeration_shards": self.enumeration_shards,
+            "verify_batched_terms": self.verify_batched_terms,
+            "verify_legacy_terms": self.verify_legacy_terms,
+            "minimize_screened": self.minimize_screened,
+            "per_size_times": {
+                str(k): v for k, v in sorted(self.per_size_times.items())
+            },
+            "per_size_terms": {
+                str(k): v for k, v in sorted(self.per_size_terms.items())
+            },
+            "per_size_new": {
+                str(k): v for k, v in sorted(self.per_size_new.items())
+            },
+        }
 
 
 def ops_used(rules: list[Rewrite]) -> Counter:

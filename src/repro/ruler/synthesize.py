@@ -21,6 +21,7 @@ from repro.ruler.cvec import CvecSpec
 from repro.ruler.enumerate import enumerate_terms
 from repro.ruler.lanes import GeneralizationReport, generalize_rules
 from repro.ruler.minimize import minimize_rules
+from repro.ruler.stats import SynthesisPerf
 from repro.ruler.verify import verify_rule
 
 # Candidate-verification fan-out: below this many candidates a process
@@ -30,7 +31,12 @@ _PARALLEL_VERIFY_MIN = 64
 
 
 class _VerifyTask:
-    """Picklable per-candidate soundness check for the worker pool."""
+    """Picklable soundness check of a candidate chunk.
+
+    Chunked so each worker reports one perf-counter block per fan-out
+    (merged back into the run's :class:`SynthesisPerf`) instead of
+    shipping counters per rule.
+    """
 
     __slots__ = ("_spec", "_n_samples", "_seed")
 
@@ -39,14 +45,22 @@ class _VerifyTask:
         self._n_samples = n_samples
         self._seed = seed
 
-    def __call__(self, rule: Rewrite) -> bool:
-        return verify_rule(
-            rule.lhs,
-            rule.rhs,
-            self._spec,
-            n_samples=self._n_samples,
-            seed=self._seed,
-        ).ok
+    def __call__(
+        self, rules: tuple
+    ) -> tuple[list[bool], SynthesisPerf]:
+        perf = SynthesisPerf()
+        oks = [
+            verify_rule(
+                rule.lhs,
+                rule.rhs,
+                self._spec,
+                n_samples=self._n_samples,
+                seed=self._seed,
+                perf=perf,
+            ).ok
+            for rule in rules
+        ]
+        return oks, perf
 
 
 @dataclass(frozen=True)
@@ -67,6 +81,10 @@ class SynthesisConfig:
     # the interesting rules need size-6 terms that are intractable to
     # enumerate over the full instruction set.
     op_allowlist: tuple | None = None
+    # Sharding of the largest enumeration size across worker
+    # processes: None = automatic, 1 = forbid, >1 = force with at most
+    # that many workers (see ``enumerate_terms``).
+    enumeration_jobs: int | None = None
 
     @staticmethod
     def budgeted(seconds: float) -> "SynthesisConfig":
@@ -100,6 +118,7 @@ class SynthesisResult:
     elapsed: float = 0.0
     aborted: bool = False
     stage_times: dict = field(default_factory=dict)
+    perf: SynthesisPerf = field(default_factory=SynthesisPerf)
 
 
 def synthesize_rules(
@@ -127,6 +146,7 @@ def synthesize_rules(
                 n_unsound=result.n_unsound,
                 n_rules=len(result.rules),
                 aborted=result.aborted,
+                cvec_backend=result.perf.backend,
             )
     return result
 
@@ -139,6 +159,7 @@ def _synthesize_rules(
         start + config.time_budget if config.time_budget is not None else None
     )
     stage_times: dict[str, float] = {}
+    perf = SynthesisPerf()
 
     # 1. Enumerate single-lane terms, deduplicated by cvec.
     t0 = time.monotonic()
@@ -154,6 +175,8 @@ def _synthesize_rules(
         constants=config.constants,
         deadline=deadline,
         op_allowlist=config.op_allowlist,
+        jobs=config.enumeration_jobs,
+        perf=perf,
     )
     stage_times["enumerate"] = time.monotonic() - t0
     if tracer.enabled:
@@ -163,6 +186,17 @@ def _synthesize_rules(
             n_representatives=enumeration.n_representatives,
             n_pairs=len(enumeration.pairs),
             aborted=enumeration.aborted,
+            cvec_backend=perf.backend,
+            shards=perf.enumeration_shards,
+            size_times={
+                str(k): v for k, v in sorted(perf.per_size_times.items())
+            },
+            size_terms={
+                str(k): v for k, v in sorted(perf.per_size_terms.items())
+            },
+            size_new={
+                str(k): v for k, v in sorted(perf.per_size_new.items())
+            },
         )
 
     # 2. Orient cvec-equal pairs into directed candidates.
@@ -206,11 +240,23 @@ def _synthesize_rules(
             aborted = True
             break
         batch = candidates[index:index + chunk]
-        outcomes = (
-            [verify_task(batch[0])]
-            if chunk == 1
-            else parallel_map(verify_task, batch, max_workers=workers)
+        if chunk == 1:
+            per_worker = len(batch)
+        else:
+            per_worker = max(1, (len(batch) + workers - 1) // workers)
+        pieces = [
+            tuple(batch[i:i + per_worker])
+            for i in range(0, len(batch), per_worker)
+        ]
+        results = (
+            [verify_task(pieces[0])]
+            if len(pieces) == 1
+            else parallel_map(verify_task, pieces, max_workers=workers)
         )
+        outcomes = []
+        for oks, chunk_perf in results:
+            outcomes.extend(oks)
+            perf.merge(chunk_perf)
         for rule, ok in zip(batch, outcomes):
             if ok:
                 verified.append(rule)
@@ -223,12 +269,19 @@ def _synthesize_rules(
             "synthesize.verify", stage_times["verify"],
             n_verified=len(verified), n_unsound=n_unsound,
             parallel_workers=workers if chunk > 1 else 1,
+            batched_terms=perf.verify_batched_terms,
+            legacy_terms=perf.verify_legacy_terms,
         )
 
     # 4. Shrink by derivability.
     t0 = time.monotonic()
     if config.minimize:
-        kept, min_aborted = minimize_rules(verified, deadline=deadline)
+        kept, min_aborted = minimize_rules(
+            verified,
+            deadline=deadline,
+            interpreter=spec.interpreter(),
+            perf=perf,
+        )
         aborted = aborted or min_aborted
     else:
         kept = verified
@@ -237,11 +290,12 @@ def _synthesize_rules(
         tracer.record(
             "synthesize.minimize", stage_times["minimize"],
             n_in=len(verified), n_kept=len(kept),
+            n_screened=perf.minimize_screened,
         )
 
     # 5. Lane generalization to full vector width.
     t0 = time.monotonic()
-    full_width, gen_report = generalize_rules(kept, spec)
+    full_width, gen_report = generalize_rules(kept, spec, perf=perf)
     stage_times["generalize"] = time.monotonic() - t0
     if tracer.enabled:
         tracer.record(
@@ -262,4 +316,5 @@ def _synthesize_rules(
         elapsed=time.monotonic() - start,
         aborted=aborted,
         stage_times=stage_times,
+        perf=perf,
     )

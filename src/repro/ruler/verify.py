@@ -16,6 +16,14 @@ we get equivalent assurance from two mechanisms:
 
 Candidates have already passed cvec filtering, so verification runs on
 a disjoint, larger input set (different seed, more samples).
+
+Fuzzing reuses the batched :class:`~repro.ruler.cvec.CvecEvaluator`:
+each rule side is one cached DAG walk over the whole sample grid
+instead of ``n_samples`` independent tree interpretations.  A side the
+batched path cannot evaluate (an :class:`EvalError` mid-grid) falls
+back to the historical per-environment loop, which also runs outright
+under ``REPRO_LEGACY_CVEC=1`` — either way the verdict, method and
+counterexample are identical.
 """
 
 from __future__ import annotations
@@ -24,11 +32,14 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.interp.env import sample_envs
+from repro.interp.interpreter import EvalError, Interpreter
 from repro.interp.value import UNDEFINED, values_equal
 from repro.isa.spec import IsaSpec
 from repro.lang import term as T
 from repro.lang.pattern import wildcards_of
 from repro.lang.term import Term
+from repro.ruler.cvec import CvecEvaluator, legacy_cvec_requested
+from repro.ruler.stats import SynthesisPerf
 
 # Ops whose lane semantics are polynomial in their inputs.
 _POLY_SCALAR_OPS = {"+", "-", "*", "neg", "mac", "mulsub"}
@@ -237,8 +248,13 @@ def verify_rule(
     spec: IsaSpec,
     n_samples: int = 64,
     seed: int = 12345,
+    perf: SynthesisPerf | None = None,
 ) -> VerifyResult:
-    """Check that ``lhs ~> rhs`` is sound under the ISA semantics."""
+    """Check that ``lhs ~> rhs`` is sound under the ISA semantics.
+
+    ``perf`` (optional) collects how many rule sides took the batched
+    vs per-environment fuzz path.
+    """
     poly_l = polynomial_of(lhs, spec)
     if poly_l is not None:
         poly_r = polynomial_of(rhs, spec)
@@ -269,7 +285,72 @@ def verify_rule(
     interpreter = spec.interpreter()
     names = sorted(set(wildcards_of(lhs)) | set(wildcards_of(rhs)))
     lhs_term, rhs_term = pattern_to_term(lhs), pattern_to_term(rhs)
-    for env in sample_envs(tuple(names), n_random=n_samples, seed=seed):
+    # The sample grid depends on the rule's own variable names, so each
+    # rule gets a fresh evaluator — sharing one across rules would
+    # change the fuzz inputs and could flip verdicts vs the legacy path.
+    envs = tuple(sample_envs(tuple(names), n_random=n_samples, seed=seed))
+    if not legacy_cvec_requested():
+        result = _fuzz_batched(
+            lhs_term, rhs_term, interpreter, envs, rationally_equal, perf
+        )
+        if result is not None:
+            return result
+        # Batched evaluation raised mid-grid; the serial loop below
+        # reproduces the legacy outcome (a counterexample found before
+        # the failing environment, or the same error).
+    if perf is not None:
+        perf.verify_legacy_terms += 2
+    return _fuzz_serial(
+        lhs_term, rhs_term, interpreter, envs, rationally_equal
+    )
+
+
+def _fuzz_batched(
+    lhs_term: Term,
+    rhs_term: Term,
+    interpreter: Interpreter,
+    envs: tuple,
+    rationally_equal: bool,
+    perf: SynthesisPerf | None,
+) -> VerifyResult | None:
+    """Fuzz both sides as cached value rows; None means fall back."""
+    evaluator = CvecEvaluator(interpreter, envs, perf=perf)
+    try:
+        left_row = evaluator.row_of(lhs_term)
+        right_row = evaluator.row_of(rhs_term)
+    except EvalError:
+        return None
+    if perf is not None:
+        perf.verify_batched_terms += 2
+    if rationally_equal:
+        # Values already proven equal; only undefinedness agreement
+        # remains to check.
+        for env, left, right in zip(envs, left_row, right_row):
+            if (left is UNDEFINED) != (right is UNDEFINED):
+                return VerifyResult(
+                    False, "exact", f"definedness mismatch on {env}"
+                )
+        return VerifyResult(True, "exact")
+    for env, left, right in zip(envs, left_row, right_row):
+        if not values_equal(left, right):
+            return VerifyResult(
+                False,
+                "fuzz",
+                f"counterexample {env}: {left!r} != {right!r}",
+            )
+    return VerifyResult(True, "fuzz")
+
+
+def _fuzz_serial(
+    lhs_term: Term,
+    rhs_term: Term,
+    interpreter: Interpreter,
+    envs: tuple,
+    rationally_equal: bool,
+) -> VerifyResult:
+    """The historical per-environment fuzz loop (legacy path and the
+    fallback when batched evaluation errors mid-grid)."""
+    for env in envs:
         left = interpreter.evaluate(lhs_term, env)
         right = interpreter.evaluate(rhs_term, env)
         if rationally_equal:
@@ -297,12 +378,16 @@ def verify_vector_rule(
     spec: IsaSpec,
     n_samples: int = 16,
     seed: int = 54321,
+    perf: SynthesisPerf | None = None,
 ) -> VerifyResult:
     """Full-width check of a generalized rule (§3.1's re-verification).
 
     Wildcards are bound to random *vectors*; lanes evaluate through the
     real lane-wise interpreter, so any cross-lane unsoundness
-    introduced by generalization is caught here.
+    introduced by generalization is caught here.  Like
+    :func:`verify_rule`, both sides evaluate as cached batched rows,
+    with the per-environment loop as the legacy path and error
+    fallback.
     """
     from random import Random
 
@@ -313,6 +398,7 @@ def verify_vector_rule(
     rng = Random(seed)
 
     kinds = _wildcard_kinds(lhs, spec)
+    envs = []
     for _ in range(n_samples):
         env = {}
         for name in names:
@@ -325,8 +411,33 @@ def verify_vector_rule(
                 env[name] = Fraction(
                     rng.randint(-6, 6), rng.choice((1, 2, 3))
                 )
-        left = interpreter.evaluate(lhs_term, env)
-        right = interpreter.evaluate(rhs_term, env)
+        envs.append(env)
+
+    rows = None
+    if not legacy_cvec_requested():
+        evaluator = CvecEvaluator(interpreter, envs, perf=perf)
+        try:
+            rows = (
+                evaluator.row_of(lhs_term), evaluator.row_of(rhs_term)
+            )
+        except EvalError:
+            rows = None  # serial loop reproduces the legacy outcome
+    if rows is not None:
+        if perf is not None:
+            perf.verify_batched_terms += 2
+        pairs = zip(envs, rows[0], rows[1])
+    else:
+        if perf is not None:
+            perf.verify_legacy_terms += 2
+        pairs = (
+            (
+                env,
+                interpreter.evaluate(lhs_term, env),
+                interpreter.evaluate(rhs_term, env),
+            )
+            for env in envs
+        )
+    for env, left, right in pairs:
         if left is UNDEFINED and right is UNDEFINED:
             continue
         if not values_equal(left, right):

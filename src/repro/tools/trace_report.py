@@ -15,7 +15,10 @@ tree, and prints:
 3. a **pipeline pass rollup**: wall-clock per ``pass.<name>`` span —
    the span-level view of ``CompileReport.pass_times()``, aggregated
    across every compilation in the trace;
-4. the **top-N hottest rules** by cumulative e-match time, aggregated
+4. a **synthesis rollup**: per-term-size enumeration timings and the
+   verify batching counters carried by ``synthesize.*`` spans (the
+   span-level view of ``SynthesisPerf``);
+5. the **top-N hottest rules** by cumulative e-match time, aggregated
    from the ``SaturationPerf`` payloads of every ``eqsat`` span.
 """
 
@@ -179,6 +182,67 @@ def pass_rollup(events: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def synthesis_rollup(events: list[dict]) -> str:
+    """Offline-stage breakdown from ``synthesize.*`` spans.
+
+    Shows per-term-size enumeration cost (time, terms constructed, new
+    representatives — the ``SynthesisPerf`` per-size counters the
+    enumerate span carries) and how much of verification ran batched
+    vs through the legacy per-environment loop, aggregated across
+    every synthesis run in the trace.
+    """
+    size_times: dict[str, float] = {}
+    size_terms: dict[str, int] = {}
+    size_new: dict[str, int] = {}
+    backend = None
+    shards = 0
+    batched_terms = 0
+    legacy_terms = 0
+    screened = 0
+    seen = False
+    for event in events:
+        name = event.get("name", "")
+        if not name.startswith("synthesize."):
+            continue
+        seen = True
+        attrs = event.get("attrs", {})
+        if name == "synthesize.enumerate":
+            backend = attrs.get("cvec_backend", backend)
+            shards += attrs.get("shards", 0)
+            for totals, key in (
+                (size_times, "size_times"),
+                (size_terms, "size_terms"),
+                (size_new, "size_new"),
+            ):
+                for size, value in (attrs.get(key) or {}).items():
+                    totals[size] = totals.get(size, 0) + value
+        elif name == "synthesize.verify":
+            batched_terms += attrs.get("batched_terms", 0)
+            legacy_terms += attrs.get("legacy_terms", 0)
+        elif name == "synthesize.minimize":
+            screened += attrs.get("n_screened", 0)
+    if not seen:
+        return "(no synthesis spans in this trace)"
+    lines = []
+    if backend is not None:
+        lines.append(f"cvec backend: {backend} (shards: {shards})")
+    if size_times:
+        lines.append(f"{'size':>6}  {'time':>10}  {'terms':>8}  {'new':>8}")
+        lines.append("-" * 40)
+        for size in sorted(size_times, key=lambda s: int(s)):
+            lines.append(
+                f"{size:>6}"
+                f"  {size_times[size] * 1e3:>8.1f}ms"
+                f"  {size_terms.get(size, 0):>8}"
+                f"  {size_new.get(size, 0):>8}"
+            )
+    lines.append(
+        f"verify sides: {batched_terms} batched, {legacy_terms} legacy"
+        f"; minimize screened: {screened}"
+    )
+    return "\n".join(lines)
+
+
 def hottest_rules(events: list[dict], top: int = 10) -> str:
     """Top-``top`` rules by cumulative e-match time across the trace."""
     match_time: dict[str, float] = {}
@@ -205,7 +269,7 @@ def hottest_rules(events: list[dict], top: int = 10) -> str:
 def render_report(
     events: list[dict], top: int = 10, max_depth: int | None = None
 ) -> str:
-    """The full three-section report as one string."""
+    """The full multi-section report as one string."""
     sections = [
         "== timeline ==",
         timeline_table(events, max_depth=max_depth),
@@ -215,6 +279,9 @@ def render_report(
         "",
         "== pipeline passes ==",
         pass_rollup(events),
+        "",
+        "== synthesis ==",
+        synthesis_rollup(events),
         "",
         f"== hottest rules (top {top} by match time) ==",
         hottest_rules(events, top=top),

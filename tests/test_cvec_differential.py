@@ -1,0 +1,196 @@
+"""Differential fuzz: batched cvec evaluation vs the legacy oracle.
+
+The batched :class:`CvecEvaluator` must fingerprint every term exactly
+as the legacy path (one tree interpretation per environment) does —
+including UNDEFINED propagation through division by zero and the float
+rounding that sqrt introduces — and the enumeration built on top of it
+must produce identical pools, pairs, and synthesized rules, sharded or
+not.  ``REPRO_LEGACY_CVEC=1`` selects the oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.interp.value import UNDEFINED
+from repro.isa import fusion_g3_spec
+from repro.isa.custom import customized_spec
+from repro.lang import builders as B
+from repro.lang import term as T
+from repro.lang.parser import parse
+from repro.ruler.cvec import (
+    CvecEvaluator,
+    CvecSpec,
+    cvec_of,
+    legacy_cvec_requested,
+)
+from repro.ruler.enumerate import enumerate_terms
+from repro.ruler.verify import verify_rule
+
+
+def _specs():
+    base = fusion_g3_spec()
+    return [
+        pytest.param(base, id="fusion-g3"),
+        pytest.param(
+            customized_spec(base, mulsub=True, sqrtsgn=True), id="custom"
+        ),
+    ]
+
+
+def _random_term(rng, ops, atoms, depth):
+    if depth == 0 or rng.random() < 0.3:
+        return rng.choice(atoms)
+    instr = rng.choice(ops)
+    return T.make(
+        instr.name,
+        *(
+            _random_term(rng, ops, atoms, depth - 1)
+            for _ in range(instr.arity)
+        ),
+    )
+
+
+class TestFlagParsing:
+    def test_legacy_flag_truthiness(self, monkeypatch):
+        for raw, expected in (
+            ("1", True), ("true", True), ("YES", True), (" on ", True),
+            ("0", False), ("", False), ("off", False),
+        ):
+            monkeypatch.setenv("REPRO_LEGACY_CVEC", raw)
+            assert legacy_cvec_requested() is expected
+        monkeypatch.delenv("REPRO_LEGACY_CVEC")
+        assert legacy_cvec_requested() is False
+
+
+class TestFingerprintParity:
+    @pytest.mark.parametrize("spec", _specs())
+    def test_randomized_terms_agree(self, spec):
+        interp = spec.interpreter()
+        grid = CvecSpec.make(("a", "b"), n_random=12, seed=3)
+        evaluator = CvecEvaluator(interp, grid.envs)
+        rng = random.Random(1234)
+        atoms = [
+            B.symbol("a"), B.symbol("b"),
+            B.const(0), B.const(1), B.const(2),
+        ]
+        ops = list(spec.instructions)
+        for _ in range(200):
+            term = _random_term(rng, ops, atoms, 4)
+            legacy = cvec_of(term, interp, grid)
+            batched = evaluator.fingerprint_of(evaluator.row_of(term))
+            assert batched == legacy, term
+
+    def test_undefined_propagates_lanewise(self, spec):
+        # b = 0 appears in the corner envs: (/ a b) is undefined there
+        # and defined elsewhere, in exactly the same positions.
+        interp = spec.interpreter()
+        grid = CvecSpec.make(("a", "b"), n_random=8, seed=5)
+        evaluator = CvecEvaluator(interp, grid.envs)
+        term = parse("(/ a b)")
+        row = evaluator.row_of(term)
+        assert any(value is UNDEFINED for value in row)
+        assert any(value is not UNDEFINED for value in row)
+        assert evaluator.fingerprint_of(row) == cvec_of(
+            term, interp, grid
+        )
+
+    def test_all_undefined_matches_oracle_discard(self, spec):
+        interp = spec.interpreter()
+        grid = CvecSpec.make(("a",), n_random=4, seed=1)
+        evaluator = CvecEvaluator(interp, grid.envs)
+        term = parse("(/ a 0)")
+        assert evaluator.fingerprint_of(evaluator.row_of(term)) is None
+        assert cvec_of(term, interp, grid) is None
+
+    def test_sqrt_float_rounding_matches(self, spec):
+        # sqrt of a non-square yields floats; the fingerprint rounds
+        # them identically on both paths.
+        interp = spec.interpreter()
+        grid = CvecSpec.make(("a", "b"), n_random=12, seed=7)
+        evaluator = CvecEvaluator(interp, grid.envs)
+        for text in (
+            "(sqrt (* a a))",
+            "(sqrt (+ (* a a) (* b b)))",
+            "(VecSqrt (VecMAC 0 a b))",
+        ):
+            term = parse(text)
+            assert evaluator.fingerprint_of(
+                evaluator.row_of(term)
+            ) == cvec_of(term, interp, grid)
+
+    def test_row_cache_reuses_children(self, spec):
+        interp = spec.interpreter()
+        grid = CvecSpec.make(("a", "b"), n_random=4, seed=0)
+        evaluator = CvecEvaluator(interp, grid.envs)
+        evaluator.row_of(parse("(+ a b)"))
+        misses = evaluator.perf.cvec_cache_misses
+        evaluator.row_of(parse("(* (+ a b) (+ a b))"))
+        # Only the new root misses; (+ a b) and its leaves are cached,
+        # and the shared child is one interned DAG node.
+        assert evaluator.perf.cvec_cache_misses == misses + 1
+        evaluator.row_of(parse("(+ a b)"))  # fully cached
+        assert evaluator.perf.cvec_cache_hits > 0
+        assert evaluator.perf.cvec_cache_misses == misses + 1
+
+
+class TestEnumerationParity:
+    @pytest.mark.parametrize("spec", _specs())
+    def test_legacy_and_batched_identical(self, spec, monkeypatch):
+        grid = CvecSpec.make(("a", "b"), n_random=8, seed=0)
+        monkeypatch.setenv("REPRO_LEGACY_CVEC", "1")
+        legacy = enumerate_terms(spec, grid, max_size=3)
+        assert legacy.perf.backend == "legacy"
+        monkeypatch.delenv("REPRO_LEGACY_CVEC")
+        batched = enumerate_terms(spec, grid, max_size=3)
+        assert batched.perf.backend == "batched"
+        assert batched.representatives == legacy.representatives
+        assert batched.pairs == legacy.pairs
+        assert batched.n_enumerated == legacy.n_enumerated
+        assert batched.aborted == legacy.aborted
+
+    def test_sharded_matches_serial(self, spec, monkeypatch):
+        # jobs=2 + REPRO_PARALLEL=2 force the shard/merge path even on
+        # one CPU; parallel_map's fallback keeps it exercised when
+        # process pools are unavailable.
+        grid = CvecSpec.make(("a", "b"), n_random=8, seed=0)
+        monkeypatch.setenv("REPRO_PARALLEL", "2")
+        sharded = enumerate_terms(spec, grid, max_size=3, jobs=2)
+        assert sharded.perf.enumeration_shards > 0
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        serial = enumerate_terms(spec, grid, max_size=3)
+        assert sharded.representatives == serial.representatives
+        # Pair ordering may interleave differently across shards; the
+        # pair *set* (what candidate_rules consumes, which sorts) and
+        # every count are identical.
+        assert sorted(sharded.pairs, key=str) == sorted(
+            serial.pairs, key=str
+        )
+        assert sharded.n_enumerated == serial.n_enumerated
+        assert (
+            sharded.perf.interned_fingerprints
+            == serial.perf.interned_fingerprints
+        )
+
+
+class TestVerifyParity:
+    _RULES = [
+        ("(+ ?a ?b)", "(+ ?b ?a)", True),
+        ("(* ?a 1)", "?a", True),
+        ("(/ (* ?a ?b) ?b)", "?a", False),  # definedness differs
+        ("(- ?a ?b)", "(+ ?a ?b)", False),
+        ("(mac ?c ?a ?b)", "(+ ?c (* ?a ?b))", True),
+        ("(sqrt (* ?a ?a))", "?a", False),  # fails for negative a
+        ("(sgn (sgn ?a))", "(sgn ?a)", True),
+    ]
+
+    def test_batched_and_legacy_verdicts_agree(self, spec, monkeypatch):
+        for lhs, rhs, expected in self._RULES:
+            lhs, rhs = parse(lhs), parse(rhs)
+            monkeypatch.delenv("REPRO_LEGACY_CVEC", raising=False)
+            batched = verify_rule(lhs, rhs, spec)
+            monkeypatch.setenv("REPRO_LEGACY_CVEC", "1")
+            legacy = verify_rule(lhs, rhs, spec)
+            assert batched.ok is legacy.ok is expected
+            assert batched.method == legacy.method
+            assert batched.detail == legacy.detail

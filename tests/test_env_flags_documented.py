@@ -50,6 +50,7 @@ def test_known_flags_present():
     for flag in (
         "REPRO_TRACE",
         "REPRO_LEGACY_EMATCH",
+        "REPRO_LEGACY_CVEC",
         "REPRO_LEGACY_INDEX",
         "REPRO_PARALLEL",
         "REPRO_RULE_CACHE",

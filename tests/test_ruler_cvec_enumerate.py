@@ -2,6 +2,8 @@
 
 from fractions import Fraction
 
+import pytest
+
 from repro.lang.parser import parse
 from repro.ruler.cvec import CvecSpec, cvec_of
 from repro.ruler.enumerate import enumerate_terms
@@ -99,6 +101,48 @@ class TestEnumeration:
         grid = CvecSpec.make(("a", "b", "c"), n_random=8, seed=0)
         result = enumerate_terms(spec, grid, max_size=6, deadline=0.0)
         assert result.aborted
+
+
+class TestDeadlineMidSize:
+    """The budget aborts *inside* a size, not just between sizes.
+
+    A deterministic fake clock (one tick per deadline check) pins down
+    exactly where the abort lands, on both cvec backends.
+    """
+
+    def _fake_clock(self, monkeypatch):
+        ticks = iter(range(100_000))
+        monkeypatch.setattr(
+            "repro.ruler.enumerate.time.monotonic",
+            lambda: float(next(ticks)),
+        )
+
+    @pytest.mark.parametrize("legacy", [False, True], ids=["batched", "legacy"])
+    def test_aborts_during_atoms(self, spec, monkeypatch, legacy):
+        if legacy:
+            monkeypatch.setenv("REPRO_LEGACY_CVEC", "1")
+        grid = CvecSpec.make(("a", "b"), n_random=4, seed=0)
+        self._fake_clock(monkeypatch)
+        # Ticks 1 and 2 pass the deadline check; tick 3 aborts — on
+        # the third atom, before any composite size starts.
+        result = enumerate_terms(spec, grid, max_size=2, deadline=2.0)
+        assert result.aborted
+        assert 0 < result.n_enumerated < 4  # a, b, 0, 1
+        assert all(not t.args for t in result.representatives.values())
+
+    @pytest.mark.parametrize("legacy", [False, True], ids=["batched", "legacy"])
+    def test_aborts_mid_size(self, spec, monkeypatch, legacy):
+        if legacy:
+            monkeypatch.setenv("REPRO_LEGACY_CVEC", "1")
+        grid = CvecSpec.make(("a", "b"), n_random=4, seed=0)
+        full = enumerate_terms(spec, grid, max_size=2)
+        self._fake_clock(monkeypatch)
+        # All four atoms fit the budget; the abort lands a few
+        # candidates into size 2, leaving a partial composite pool.
+        result = enumerate_terms(spec, grid, max_size=2, deadline=8.0)
+        assert result.aborted
+        assert 4 < result.n_enumerated < full.n_enumerated
+        assert any(t.args for t in result.representatives.values())
 
 
 def _subterms(term):

@@ -10,6 +10,7 @@ from repro.tools.trace_report import (
     main,
     phase_rollup,
     render_report,
+    synthesis_rollup,
     timeline_table,
 )
 
@@ -87,7 +88,73 @@ class TestRendering:
         report = render_report(_synthetic_events())
         assert "== timeline ==" in report
         assert "== per-phase rollup ==" in report
+        assert "== synthesis ==" in report
         assert "hottest rules" in report
+
+
+def _synthesis_events():
+    return [
+        {"name": "synthesize", "id": 0, "ts": 1.0, "dur": 3.0,
+         "attrs": {"n_rules": 42, "cvec_backend": "batched"}},
+        {"name": "synthesize.enumerate", "id": 1, "parent": 0,
+         "ts": 1.0, "dur": 1.5,
+         "attrs": {"cvec_backend": "batched", "shards": 4,
+                   "size_times": {"1": 0.001, "2": 0.01, "3": 0.4},
+                   "size_terms": {"1": 5, "2": 30, "3": 260},
+                   "size_new": {"1": 5, "2": 10, "3": 58}}},
+        {"name": "synthesize.verify", "id": 2, "parent": 0,
+         "ts": 2.5, "dur": 0.8,
+         "attrs": {"n_verified": 80, "batched_terms": 160,
+                   "legacy_terms": 2}},
+        {"name": "synthesize.minimize", "id": 3, "parent": 0,
+         "ts": 3.3, "dur": 0.5, "attrs": {"n_screened": 3}},
+    ]
+
+
+class TestSynthesisRollup:
+    def test_per_size_table_and_counters(self):
+        out = synthesis_rollup(_synthesis_events())
+        lines = out.splitlines()
+        assert lines[0] == "cvec backend: batched (shards: 4)"
+        # One row per size, in numeric order, with terms and new counts.
+        size3 = next(l for l in lines if l.lstrip().startswith("3"))
+        assert "400.0ms" in size3 and "260" in size3 and "58" in size3
+        assert lines.index(size3) > lines.index(
+            next(l for l in lines if l.lstrip().startswith("2"))
+        )
+        assert "verify sides: 160 batched, 2 legacy" in out
+        assert "minimize screened: 3" in out
+
+    def test_aggregates_across_runs(self):
+        out = synthesis_rollup(_synthesis_events() + _synthesis_events())
+        assert "verify sides: 320 batched, 4 legacy" in out
+        size3 = next(
+            l for l in out.splitlines() if l.lstrip().startswith("3")
+        )
+        assert "800.0ms" in size3 and "520" in size3
+
+    def test_placeholder_without_synthesis_spans(self):
+        assert "no synthesis spans" in synthesis_rollup(
+            _synthetic_events()
+        )
+
+    def test_traced_synthesis_round_trips(self, tmp_path, monkeypatch):
+        """A real traced synthesize_rules renders a populated section."""
+        from repro.isa import fusion_g3_spec
+        from repro.ruler import SynthesisConfig, synthesize_rules
+
+        path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        synthesize_rules(
+            fusion_g3_spec(),
+            SynthesisConfig(max_term_size=2, minimize=False),
+        )
+        monkeypatch.delenv("REPRO_TRACE")
+        out = synthesis_rollup(load_events(path))
+        assert "cvec backend: batched" in out
+        assert "verify sides:" in out
+        # Sizes 1 and 2 both enumerated something.
+        assert any(l.lstrip().startswith("1 ") for l in out.splitlines())
 
 
 class TestLoading:
