@@ -173,7 +173,8 @@ def test_perf_saturation_speedup(benchmark):
         "repeats": _REPEATS,
     }
     write_bench_json(
-        _REPO_ROOT / "BENCH_saturation.json", "saturation-hot-path", payload
+        _REPO_ROOT / "BENCH_saturation.json", "saturation-hot-path", payload,
+        floors={"speedup": 2.0},
     )
     print(
         f"\nsaturation hot path: legacy {old_t:.3f}s -> new {new_t:.3f}s "

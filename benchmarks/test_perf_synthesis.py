@@ -134,6 +134,7 @@ def test_perf_synthesis_speedup(benchmark):
     write_bench_json(
         _REPO_ROOT / "BENCH_synthesis.json", "synthesis-offline-stage",
         payload,
+        floors={"fusion-g3": 2.0, "custom-mulsub-sqrtsgn": 1.2},
     )
     print("\n" + "\n".join(lines))
 

@@ -13,18 +13,24 @@ from pathlib import Path
 from repro.bench.harness import SuiteRow
 
 
-def write_bench_json(path, name: str, payload: dict) -> dict:
+def write_bench_json(
+    path, name: str, payload: dict, floors: dict | None = None
+) -> dict:
     """Write a ``BENCH_*.json`` perf artifact and return the document.
 
     The repo's convention for machine-readable benchmark results:
     future PRs are judged against these files, so the envelope keeps a
-    stable shape — ``name``, ``schema_version``, and a free-form
-    ``results`` body owned by the benchmark that wrote it.
+    stable shape — ``name``, ``schema_version``, a free-form
+    ``results`` body owned by the benchmark that wrote it, and
+    ``floors`` recording the speedup floors the benchmark asserted
+    (so the JSON documents the bar a regression would have to clear,
+    not just the measured numbers).
     """
     document = {
         "name": name,
-        "schema_version": 1,
+        "schema_version": 2,
         "results": payload,
+        "floors": dict(floors or {}),
     }
     Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
     return document

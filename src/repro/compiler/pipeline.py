@@ -40,7 +40,8 @@ from repro.compiler.compile import (
     _extract,
 )
 from repro.egraph.egraph import EGraph
-from repro.egraph.runner import RunnerReport, run_saturation
+from repro.egraph.runner import RunnerLimits, RunnerReport, run_saturation
+from repro.egraph.scheduling import ScheduleSpec, schedule_from_env
 from repro.lang.term import Term
 from repro.obs import current_tracer
 from repro.phases.cost import CostModel
@@ -67,6 +68,10 @@ class CompilationContext:
     ruleset: PhasedRuleSet | None = None
     cost_model: CostModel | None = None
     options: CompileOptions = field(default_factory=CompileOptions)
+    # Tuned saturation schedule (usually from the compiler artifact);
+    # None runs the default backoff scheduler everywhere.  The
+    # REPRO_SCHEDULE env override wins over this field.
+    schedule: ScheduleSpec | None = None
     term: Term | None = None
     program: Any = None  # KernelProgram (or KernelInstance pre-frontend)
     spec: Any = None  # IsaSpec, needed by lower/schedule
@@ -169,6 +174,46 @@ class Pipeline:
         return ctx
 
 
+def _active_schedule(ctx: CompilationContext) -> ScheduleSpec | None:
+    """The schedule governing ``ctx``'s saturations, if any.
+
+    ``REPRO_SCHEDULE`` (see :func:`schedule_from_env`) beats the
+    context's artifact-carried spec, so a spec file can be A/B-tested
+    against any compilation; an explicit ``REPRO_SCHEDULE=off`` forces
+    the default scheduler even when the artifact ships a tuned one.
+    """
+    env = schedule_from_env()
+    return env if env is not None else ctx.schedule
+
+
+def _run_phase(
+    egraph: EGraph,
+    rules: list,
+    phase: str,
+    base_limits: RunnerLimits,
+    schedule: ScheduleSpec | None,
+    frontier: bool = False,
+) -> RunnerReport:
+    """One bounded ``EqSat`` call under the active schedule.
+
+    With no schedule this is exactly the historical
+    :func:`run_saturation` call; with one, the phase's limit overrides
+    apply and a fresh :class:`~repro.egraph.scheduling.TunedScheduler`
+    enforces the per-rule budgets.
+    """
+    if schedule is None:
+        return run_saturation(egraph, rules, base_limits,
+                              frontier=frontier)
+    limits = schedule.limits_for(phase, base_limits)
+    return run_saturation(
+        egraph,
+        rules,
+        limits,
+        scheduler=schedule.scheduler_for(phase, limits),
+        frontier=frontier,
+    )
+
+
 class FrontendPass(Pass):
     """Resolve the kernel front end and seed the compile report.
 
@@ -213,6 +258,7 @@ class SaturatePass(Pass):
         report = ctx.ensure_report()
         options = ctx.options
         ruleset = ctx.ruleset
+        schedule = _active_schedule(ctx)
         tracer = current_tracer()
 
         if not options.phased:
@@ -220,8 +266,9 @@ class SaturatePass(Pass):
             egraph = EGraph()
             root = egraph.add_term(ctx.term)
             with tracer.span("phase.unphased"):
-                sat_report = run_saturation(
-                    egraph, ruleset.all_rules(), options.unphased_limits
+                sat_report = _run_phase(
+                    egraph, ruleset.all_rules(), "unphased",
+                    options.unphased_limits, schedule,
                 )
             ctx.egraph, ctx.root = egraph, root
             ctx.unphased_report = sat_report
@@ -241,9 +288,9 @@ class SaturatePass(Pass):
                 exp_report = None
                 if index >= options.expansion_start_round:
                     with tracer.span("phase.expansion"):
-                        exp_report = run_saturation(
-                            egraph, list(ruleset.expansion),
-                            options.expansion_limits,
+                        exp_report = _run_phase(
+                            egraph, list(ruleset.expansion), "expansion",
+                            options.expansion_limits, schedule,
                         )
                 # Frontier matching: compilation rules chain (each lift
                 # mints the Vec literal the next lift fires on), so
@@ -251,10 +298,12 @@ class SaturatePass(Pass):
                 # created structure instead of re-matching the
                 # expansion phase's variants.
                 with tracer.span("phase.compilation"):
-                    comp_report = run_saturation(
+                    comp_report = _run_phase(
                         egraph,
                         list(ruleset.compilation),
+                        "compilation",
                         options.compilation_limits,
+                        schedule,
                         frontier=True,
                     )
                 cost_new, extracted = _extract(
@@ -319,10 +368,12 @@ class OptimizePass(Pass):
         egraph = EGraph()
         root = egraph.add_term(ctx.current)
         with current_tracer().span("phase.optimization"):
-            ctx.report.optimization = run_saturation(
+            ctx.report.optimization = _run_phase(
                 egraph,
                 list(ctx.ruleset.optimization),
+                "optimization",
                 ctx.options.optimization_limits,
+                _active_schedule(ctx),
             )
         ctx.egraph, ctx.root = egraph, root
         return {"iterations": ctx.report.optimization.iterations}

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING
 from repro.compiler.compile import CompileOptions
 from repro.egraph.rewrite import Rewrite, parse_rewrite
 from repro.egraph.runner import RunnerLimits
+from repro.egraph.scheduling import ScheduleError, ScheduleSpec
 from repro.isa.spec import Instruction, IsaSpec
 from repro.obs import current_tracer
 from repro.phases.assign import PhaseParams
@@ -47,12 +48,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.framework import GeneratedCompiler
 
 ARTIFACT_KIND = "repro-compiler-artifact"
-ARTIFACT_VERSION = 2
+ARTIFACT_VERSION = 3
+
+# Versions this reader loads.  v2 artifacts predate the optional
+# ``schedule`` field and load with the default (backoff) schedule;
+# everything else about the two formats is identical.
+_SUPPORTED_VERSIONS = (2, ARTIFACT_VERSION)
+
+# Version folded into the semantics fingerprint.  Deliberately *not*
+# ARTIFACT_VERSION: v3 only added an optional field, so v2 artifacts
+# must keep matching their specs.  Bump this (invalidating every
+# cache) only when probed semantics themselves change meaning.
+_SEMANTICS_VERSION = 2
 
 # Fixed probe grid for the semantics hash.  The values exercise sign,
 # zero (division/sgn edge cases), fractional, and >1 magnitudes; they
 # are part of the artifact format and must never change silently —
-# bump ARTIFACT_VERSION instead.
+# bump _SEMANTICS_VERSION instead.
 _SEMANTIC_PROBES = (-2.5, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 3.25)
 
 
@@ -91,7 +103,7 @@ def spec_semantics_hash(spec: IsaSpec) -> str:
     only in a ``lane_fn`` body hash differently.
     """
     parts = [
-        str(ARTIFACT_VERSION),
+        str(_SEMANTICS_VERSION),
         spec.name,
         str(spec.vector_width),
         str(spec.leaf_cost),
@@ -257,6 +269,10 @@ class CompilerArtifact:
     cost_params: dict = field(default_factory=dict)
     synthesis_config: dict = field(default_factory=dict)
     provenance: dict = field(default_factory=dict)
+    # Tuned saturation schedule (its own versioned document; see
+    # repro.egraph.scheduling).  None — including every pre-v3
+    # artifact — compiles with the default backoff scheduler.
+    schedule: ScheduleSpec | None = None
     created: float = 0.0
     version: int = ARTIFACT_VERSION
 
@@ -301,6 +317,7 @@ class CompilerArtifact:
             },
             synthesis_config=_config_to_dict(config),
             provenance=provenance,
+            schedule=compiler.schedule,
             created=time.time(),
         )
 
@@ -325,6 +342,9 @@ class CompilerArtifact:
             "cost_params": dict(self.cost_params),
             "synthesis_config": dict(self.synthesis_config),
             "provenance": dict(self.provenance),
+            "schedule": (
+                self.schedule.to_dict() if self.schedule else None
+            ),
             "created": self.created,
         }
         return json.dumps(doc, indent=2, sort_keys=True) + "\n"
@@ -339,11 +359,20 @@ class CompilerArtifact:
         if not isinstance(doc, dict) or doc.get("kind") != ARTIFACT_KIND:
             raise ArtifactError("not a compiler artifact file")
         version = doc.get("version")
-        if version != ARTIFACT_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ArtifactError(
                 f"unsupported artifact version {version!r} "
-                f"(this reader handles {ARTIFACT_VERSION})"
+                f"(this reader handles {_SUPPORTED_VERSIONS})"
             )
+        schedule_doc = doc.get("schedule")
+        try:
+            schedule = (
+                ScheduleSpec.from_dict(schedule_doc)
+                if schedule_doc is not None
+                else None
+            )
+        except ScheduleError as exc:
+            raise ArtifactError(f"malformed artifact schedule: {exc}")
         try:
             isa = doc["isa"]
             ruleset = PhasedRuleSet.from_text(doc["ruleset"])
@@ -357,6 +386,7 @@ class CompilerArtifact:
                 cost_params=dict(doc.get("cost_params", {})),
                 synthesis_config=dict(doc.get("synthesis_config", {})),
                 provenance=dict(doc.get("provenance", {})),
+                schedule=schedule,
                 created=float(doc.get("created", 0.0)),
                 version=version,
             )
@@ -421,6 +451,12 @@ class CompilerArtifact:
             f"  phase params: alpha={params.alpha} beta={params.beta}",
             f"  cost params:  "
             + " ".join(f"{k}={v}" for k, v in self.cost_params.items()),
+            "  schedule:     "
+            + (
+                self.schedule.summary()
+                if self.schedule is not None
+                else "default (backoff scheduler)"
+            ),
         ]
         source = prov.get("source", "unknown")
         if source == "synthesized":

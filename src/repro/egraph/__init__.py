@@ -18,8 +18,11 @@ Modules:
   (compiled by default, legacy walk behind ``REPRO_LEGACY_EMATCH``);
 - :mod:`repro.egraph.rewrite` — rewrite rules and application;
 - :mod:`repro.egraph.runner` — the saturation loop with node/iteration/
-  time limits, egg's backoff rule scheduler, and hot-path perf
-  counters;
+  time limits, pluggable rule schedulers (egg-style backoff by
+  default), and hot-path perf counters;
+- :mod:`repro.egraph.scheduling` — declarative ``ScheduleSpec``
+  schedules (per-rule budgets/bans/disables, per-phase limits) and the
+  ``TunedScheduler`` that enforces them;
 - :mod:`repro.egraph.extract` — bottom-up minimum-cost extraction.
 """
 
@@ -35,10 +38,19 @@ from repro.egraph.rewrite import Rewrite, parse_rewrite
 from repro.egraph.runner import (
     RunnerLimits,
     RunnerReport,
+    RuleScheduler,
     SaturationPerf,
     StopReason,
     BackoffScheduler,
     run_saturation,
+)
+from repro.egraph.scheduling import (
+    PhasePolicy,
+    RulePolicy,
+    ScheduleError,
+    ScheduleSpec,
+    TunedScheduler,
+    schedule_from_env,
 )
 from repro.egraph.extract import Extractor, extract_best
 from repro.egraph.dot import to_dot
@@ -57,10 +69,17 @@ __all__ = [
     "parse_rewrite",
     "RunnerLimits",
     "RunnerReport",
+    "RuleScheduler",
     "SaturationPerf",
     "StopReason",
     "BackoffScheduler",
     "run_saturation",
+    "PhasePolicy",
+    "RulePolicy",
+    "ScheduleError",
+    "ScheduleSpec",
+    "TunedScheduler",
+    "schedule_from_env",
     "Extractor",
     "extract_best",
     "to_dot",

@@ -85,6 +85,10 @@ class SaturationPerf:
     rebuild_time: float = 0.0
     rule_match_time: dict = field(default_factory=dict)
     rule_node_visits: dict = field(default_factory=dict)
+    # Productive unions per rule: the signal separating expensive rules
+    # that *do* something from pure fail-late scanners (the autotuner's
+    # disable candidates).
+    rule_unions: dict = field(default_factory=dict)
 
     def absorb(self, other: "SaturationPerf") -> None:
         """Accumulate ``other`` into this (for cross-run aggregation)."""
@@ -100,6 +104,8 @@ class SaturationPerf:
             self.rule_node_visits[name] = (
                 self.rule_node_visits.get(name, 0) + n
             )
+        for name, n in other.rule_unions.items():
+            self.rule_unions[name] = self.rule_unions.get(name, 0) + n
 
     def as_dict(self) -> dict:
         """JSON-ready form (for ``BENCH_*.json`` files)."""
@@ -110,6 +116,7 @@ class SaturationPerf:
             "rebuild_time": self.rebuild_time,
             "rule_match_time": dict(self.rule_match_time),
             "rule_node_visits": dict(self.rule_node_visits),
+            "rule_unions": dict(self.rule_unions),
         }
 
 
@@ -133,7 +140,47 @@ class RunnerReport:
         return self.stop_reason is StopReason.SATURATED
 
 
-class BackoffScheduler:
+class RuleScheduler:
+    """The injectable rule-scheduling policy of :func:`run_saturation`.
+
+    One scheduler instance serves one saturation run.  The runner asks
+    it four questions per rule per iteration:
+
+    - :meth:`is_disabled` — drop the rule from this run entirely
+      (checked once, up front; a disabled rule does *not* block
+      saturation claims, unlike a banned one);
+    - :meth:`can_apply` — is the rule allowed to match this iteration;
+    - :meth:`threshold` — its current match cap;
+    - :meth:`record` — the observed match count, so the policy can
+      adapt (ban, back off, ...).
+
+    The base class is the trivial always-run policy; subclasses only
+    override what they change.  :class:`BackoffScheduler` is the
+    default; :class:`repro.egraph.scheduling.TunedScheduler` consumes
+    a declarative per-rule/per-phase schedule.
+    """
+
+    def is_disabled(self, rule: Rewrite) -> bool:
+        """True to remove ``rule`` from the run before it starts."""
+        return False
+
+    def threshold(self, rule: Rewrite) -> int:
+        """The rule's current match cap for one iteration."""
+        return 1 << 62
+
+    def can_apply(self, rule: Rewrite, iteration: int) -> bool:
+        """False while the rule must sit this iteration out."""
+        return True
+
+    def record(self, rule: Rewrite, iteration: int, n_matches: int) -> None:
+        """Observe a match count (hook for adaptive policies)."""
+
+    def any_banned(self, iteration: int) -> bool:
+        """True while any rule is banned (blocks saturation claims)."""
+        return False
+
+
+class BackoffScheduler(RuleScheduler):
     """egg's exponential-backoff rule scheduler.
 
     Each rule has a match threshold.  If an iteration finds more
@@ -141,6 +188,11 @@ class BackoffScheduler:
     applied up to the cap, but the rule is banned for ``ban_length``
     iterations and its threshold doubles.  Saturation is only declared
     when no rule is banned (a banned rule might still have work to do).
+
+    The per-rule base threshold and ban length come from the
+    ``_base_limit`` / ``_base_ban_length`` hooks so subclasses (the
+    tuned scheduler) can vary them per rule without re-implementing
+    the ban machinery.
     """
 
     def __init__(self, match_limit: int = 1000, ban_length: int = 5):
@@ -150,10 +202,17 @@ class BackoffScheduler:
         self._banned_until: dict[str, int] = {}
         self._ban_count: dict[str, int] = {}
 
+    def _base_limit(self, rule: Rewrite) -> int:
+        """The rule's pre-backoff match cap (uniform by default)."""
+        return self._initial_limit
+
+    def _base_ban_length(self, rule: Rewrite) -> int:
+        """How many iterations an overflow bans this rule for."""
+        return self._ban_length
+
     def threshold(self, rule: Rewrite) -> int:
         """The rule's current match cap (doubles on each ban)."""
-        base = self._thresholds.get(rule.name, self._initial_limit)
-        return base
+        return self._thresholds.get(rule.name, self._base_limit(rule))
 
     def can_apply(self, rule: Rewrite, iteration: int) -> bool:
         """False while the rule is serving a ban."""
@@ -163,9 +222,11 @@ class BackoffScheduler:
         """Report a match count; bans the rule if it overflowed."""
         if n_matches > self.threshold(rule):
             bans = self._ban_count.get(rule.name, 0)
-            self._banned_until[rule.name] = iteration + 1 + self._ban_length
+            self._banned_until[rule.name] = (
+                iteration + 1 + self._base_ban_length(rule)
+            )
             self._ban_count[rule.name] = bans + 1
-            self._thresholds[rule.name] = self._initial_limit * (
+            self._thresholds[rule.name] = self._base_limit(rule) * (
                 2 ** (bans + 1)
             )
 
@@ -180,7 +241,7 @@ def run_saturation(
     egraph: EGraph,
     rules: list[Rewrite],
     limits: RunnerLimits | None = None,
-    scheduler: BackoffScheduler | None = None,
+    scheduler: RuleScheduler | None = None,
     frontier: bool = False,
 ) -> RunnerReport:
     """Apply ``rules`` to ``egraph`` until saturation or a limit.
@@ -188,6 +249,12 @@ def run_saturation(
     Mutates ``egraph``; returns a :class:`RunnerReport`.  The graph is
     rebuilt (congruence-closed) when the function returns, whatever the
     stop reason, so extraction can run immediately.
+
+    ``scheduler`` is any :class:`RuleScheduler`; the default is a
+    fresh :class:`BackoffScheduler` parameterized by the limits'
+    ``match_limit``/``ban_length``.  Rules the scheduler reports as
+    disabled are dropped before the first iteration and do not block
+    saturation claims.
 
     With ``frontier=True``, iterations after the first only match
     pattern roots in classes changed by the previous iteration.  This
@@ -222,7 +289,7 @@ def _run_saturation(
     egraph: EGraph,
     rules: list[Rewrite],
     limits: RunnerLimits | None,
-    scheduler: BackoffScheduler | None,
+    scheduler: RuleScheduler | None,
     frontier: bool,
     tracer,
 ) -> RunnerReport:
@@ -231,6 +298,9 @@ def _run_saturation(
         scheduler = BackoffScheduler(
             match_limit=limits.match_limit, ban_length=limits.ban_length
         )
+    # Disabled rules leave the run entirely: unlike a ban, dropping
+    # them must not block the saturation claim below.
+    rules = [rule for rule in rules if not scheduler.is_disabled(rule)]
     start = time.monotonic()
     report = RunnerReport(stop_reason=StopReason.ITERATION_LIMIT)
     perf = report.perf
@@ -352,4 +422,7 @@ def _record_perf(perf: SaturationPerf, rule_name: str, stats) -> None:
     )
     perf.rule_node_visits[rule_name] = (
         perf.rule_node_visits.get(rule_name, 0) + stats.n_visits
+    )
+    perf.rule_unions[rule_name] = (
+        perf.rule_unions.get(rule_name, 0) + stats.n_unions
     )

@@ -19,7 +19,10 @@ tree, and prints:
    verify batching counters carried by ``synthesize.*`` spans (the
    span-level view of ``SynthesisPerf``);
 5. the **top-N hottest rules** by cumulative e-match time, aggregated
-   from the ``SaturationPerf`` payloads of every ``eqsat`` span.
+   from the ``SaturationPerf`` payloads of every ``eqsat`` span;
+6. a **scheduling rollup**: every rule's match-time share next to the
+   merges it bought, flagging zero-merge rules as disable candidates
+   for ``repro-autotune`` (see :mod:`repro.tools.autotune`).
 """
 
 from __future__ import annotations
@@ -266,6 +269,56 @@ def hottest_rules(events: list[dict], top: int = 10) -> str:
     return "\n".join(lines)
 
 
+def scheduling_rollup(events: list[dict]) -> str:
+    """Rules ranked by match-time share, with productivity flags.
+
+    The trace-level view the schedule autotuner (see
+    :mod:`repro.tools.autotune`) automates: each rule's share of total
+    e-match time next to how many merges that time actually bought.
+    Rules with nonzero match time and **zero** merges are flagged as
+    disable candidates.  Merges come from the ``rule_unions`` counter
+    on ``eqsat`` spans; for traces recorded before that counter
+    existed they are reconstructed from the per-iteration ``applied``
+    maps.
+    """
+    match_time: dict[str, float] = {}
+    unions: dict[str, int] = {}
+    for event in events:
+        attrs = event.get("attrs", {})
+        for name, t in (attrs.get("rule_match_time") or {}).items():
+            match_time[name] = match_time.get(name, 0.0) + t
+        for name, n in (attrs.get("rule_unions") or {}).items():
+            unions[name] = unions.get(name, 0) + n
+        if event.get("name") == "eqsat.iteration":
+            for name, n in (attrs.get("applied") or {}).items():
+                unions[name] = unions.get(name, 0) + n
+    if not match_time:
+        return "(no rule-level counters in this trace)"
+    total = sum(match_time.values()) or 1.0
+    lines = [f"{'share':>7}  {'match time':>12}  {'merges':>8}  rule"]
+    lines.append("-" * 60)
+    flagged = []
+    for name, t in sorted(
+        match_time.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        merged = unions.get(name, 0)
+        note = ""
+        if merged == 0 and t > 0.0:
+            flagged.append(name)
+            note = "  <- zero merges"
+        lines.append(
+            f"{t / total:>6.1%}  {t * 1e3:>10.1f}ms  {merged:>8}"
+            f"  {name}{note}"
+        )
+    if flagged:
+        lines.append(
+            f"{len(flagged)} rule(s) spend match time without ever "
+            "merging — disable candidates for repro-autotune: "
+            + ", ".join(flagged)
+        )
+    return "\n".join(lines)
+
+
 def render_report(
     events: list[dict], top: int = 10, max_depth: int | None = None
 ) -> str:
@@ -285,6 +338,9 @@ def render_report(
         "",
         f"== hottest rules (top {top} by match time) ==",
         hottest_rules(events, top=top),
+        "",
+        "== scheduling ==",
+        scheduling_rollup(events),
     ]
     return "\n".join(sections)
 

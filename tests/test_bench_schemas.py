@@ -1,0 +1,103 @@
+"""Schema validation for every committed ``BENCH_*.json`` artifact.
+
+CI archives these files and future PRs are judged against them, so a
+bench that silently drops a key (or writes a string where a number
+belongs) would corrupt the comparison baseline.  This test pins the
+envelope (``name`` / ``schema_version`` / ``results`` / ``floors``)
+for *all* BENCH files at the repo root plus the per-bench fields the
+speedup-floor assertions read.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import write_bench_json
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_BENCH_FILES = sorted(_REPO_ROOT.glob("BENCH_*.json"))
+
+# Every bench's floor keys must point at a matching measured value in
+# ``results`` — (path-into-results, floor-key) per bench name.
+_SPEEDUP_PATHS = {
+    "saturation-hot-path": lambda r, key: r[key],
+    "adaptive-schedule": lambda r, key: r[key],
+    "synthesis-offline-stage": lambda r, key: r["workloads"][key][
+        "speedup"
+    ],
+}
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def test_bench_corpus_is_present():
+    names = {p.name for p in _BENCH_FILES}
+    assert {
+        "BENCH_saturation.json",
+        "BENCH_synthesis.json",
+        "BENCH_schedule.json",
+    } <= names, names
+
+
+@pytest.mark.parametrize(
+    "path", _BENCH_FILES, ids=lambda p: p.name
+)
+def test_envelope_schema(path: Path):
+    doc = _load(path)
+    assert set(doc) == {"name", "schema_version", "results", "floors"}
+    assert isinstance(doc["name"], str) and doc["name"]
+    assert isinstance(doc["schema_version"], int)
+    assert doc["schema_version"] >= 2
+    assert isinstance(doc["results"], dict) and doc["results"]
+    assert isinstance(doc["floors"], dict) and doc["floors"]
+
+
+@pytest.mark.parametrize(
+    "path", _BENCH_FILES, ids=lambda p: p.name
+)
+def test_floors_match_measured_speedups(path: Path):
+    doc = _load(path)
+    resolve = _SPEEDUP_PATHS.get(doc["name"])
+    assert resolve is not None, (
+        f"unknown bench {doc['name']!r}: teach test_bench_schemas.py "
+        "where its speedups live"
+    )
+    for key, floor in doc["floors"].items():
+        assert isinstance(floor, numbers.Real) and floor > 1.0
+        measured = resolve(doc["results"], key)
+        assert isinstance(measured, numbers.Real)
+        # The committed numbers must themselves clear the floor the
+        # bench asserts — otherwise the baseline documents a failure.
+        assert measured >= floor, (path.name, key, measured, floor)
+
+
+def test_schedule_bench_records_parity_evidence():
+    doc = _load(_REPO_ROOT / "BENCH_schedule.json")
+    results = doc["results"]
+    assert results["default"]["cost"] == results["tuned"]["cost"]
+    assert (
+        results["tuned"]["node_visits"]
+        < results["default"]["node_visits"]
+    )
+    assert results["schedule"]["decisions"]
+    # The persisted spec must be loadable by today's reader.
+    from repro.egraph.scheduling import ScheduleSpec
+
+    spec = ScheduleSpec.from_dict(results["schedule"]["spec"])
+    assert spec.disabled_rules()
+
+
+def test_write_bench_json_envelope(tmp_path):
+    doc = write_bench_json(
+        tmp_path / "BENCH_x.json", "x", {"speedup": 2.0},
+        floors={"speedup": 1.5},
+    )
+    assert doc == json.loads((tmp_path / "BENCH_x.json").read_text())
+    assert doc["schema_version"] == 2
+    assert doc["floors"] == {"speedup": 1.5}

@@ -54,5 +54,6 @@ def test_known_flags_present():
         "REPRO_LEGACY_INDEX",
         "REPRO_PARALLEL",
         "REPRO_RULE_CACHE",
+        "REPRO_SCHEDULE",
     ):
         assert f"## `{flag}`" in text

@@ -1,0 +1,251 @@
+"""ScheduleSpec / TunedScheduler: serialization, runner and pipeline
+consumption, the ``REPRO_SCHEDULE`` override, and artifact persistence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.compiler.compile import CompileOptions, compile_term
+from repro.core.artifact import CompilerArtifact
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import parse_rewrite
+from repro.egraph.runner import RunnerLimits, run_saturation
+from repro.egraph.scheduling import (
+    PhasePolicy,
+    RulePolicy,
+    ScheduleError,
+    ScheduleSpec,
+    TunedScheduler,
+    schedule_from_env,
+)
+from repro.lang.parser import parse
+
+
+def fast_compile_options() -> CompileOptions:
+    """Reduced saturation limits so these tests stay quick."""
+    return CompileOptions(
+        max_rounds=4,
+        expansion_limits=RunnerLimits(
+            max_iterations=4, max_nodes=12_000, time_limit=6.0
+        ),
+        compilation_limits=RunnerLimits(
+            max_iterations=10, max_nodes=20_000, time_limit=8.0
+        ),
+        optimization_limits=RunnerLimits(
+            max_iterations=5, max_nodes=12_000, time_limit=5.0
+        ),
+    )
+
+
+def _spec():
+    return (
+        ScheduleSpec()
+        .with_rule("hot", RulePolicy(match_limit=16, ban_length=4))
+        .with_rule("dead", RulePolicy(disabled=True))
+        .with_phase("compilation", PhasePolicy(max_iterations=3))
+    )
+
+
+class TestSpecValue:
+    def test_round_trips_through_json(self):
+        spec = _spec()
+        restored = ScheduleSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.disabled_rules() == ["dead"]
+        assert restored.rule_policy("hot").match_limit == 16
+
+    def test_default_policies_are_elided(self):
+        spec = ScheduleSpec().with_rule("noop", RulePolicy())
+        doc = spec.to_dict()
+        assert doc["rules"] == {}
+        assert ScheduleSpec.from_json(spec.to_json()).is_default()
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ScheduleError, match="unknown phase"):
+            ScheduleSpec().with_phase("warmup", PhasePolicy())
+        with pytest.raises(ScheduleError, match="unknown phase"):
+            ScheduleSpec.from_dict(
+                {"phases": {"warmup": {"max_iterations": 1}}}
+            )
+
+    def test_unknown_policy_key_rejected(self):
+        with pytest.raises(ScheduleError, match="unknown policy keys"):
+            ScheduleSpec.from_dict({"rules": {"r": {"match_cap": 3}}})
+
+    def test_future_version_rejected(self):
+        with pytest.raises(ScheduleError, match="unsupported schedule"):
+            ScheduleSpec.from_dict({"version": 99})
+
+    def test_limits_for_overrides_only_set_fields(self):
+        base = RunnerLimits(max_iterations=30, match_limit=80)
+        limits = _spec().limits_for("compilation", base)
+        assert limits.max_iterations == 3
+        assert limits.match_limit == 80  # inherited
+        assert _spec().limits_for("expansion", base) == base
+
+    def test_summary_names_the_levers(self):
+        text = _spec().summary()
+        assert "disables dead" in text
+        assert "tunes hot" in text
+        assert "caps phases compilation" in text
+
+
+class TestTunedScheduler:
+    def test_per_rule_budgets_override_defaults(self):
+        hot = parse_rewrite("hot", "(+ ?a ?b) => (+ ?b ?a)")
+        other = parse_rewrite("other", "(- ?a ?b) => (- ?b ?a)")
+        sched = TunedScheduler(_spec(), match_limit=1000, ban_length=5)
+        assert sched.threshold(hot) == 16
+        assert sched.threshold(other) == 1000
+        # Doubling starts from the rule's own base...
+        sched.record(hot, iteration=0, n_matches=17)
+        assert sched.threshold(hot) == 32
+        # ...and the ban uses the rule's own length (iters 1-4).
+        assert not sched.can_apply(hot, 4)
+        assert sched.can_apply(hot, 5)
+
+    def test_disabled_rule_is_filtered_not_banned(self):
+        rules = [
+            parse_rewrite("comm", "(+ ?a ?b) => (+ ?b ?a)"),
+            parse_rewrite("dead", "(* ?a ?b) => (* ?b ?a)"),
+        ]
+        spec = ScheduleSpec().with_rule("dead", RulePolicy(disabled=True))
+        g = EGraph()
+        g.add_term(parse("(+ (Get a 0) (* (Get b 0) (Get c 0)))"))
+        g.rebuild()
+        limits = RunnerLimits(max_iterations=10)
+        report = run_saturation(
+            g, rules, limits,
+            scheduler=spec.scheduler_for("unphased", limits),
+        )
+        # The run still *saturates* — a disabled rule must not count
+        # as skipped work the way a banned rule does.
+        assert report.saturated
+        assert "dead" not in report.perf.rule_match_time
+        assert "comm" in report.perf.rule_match_time
+
+
+class TestPipelineConsumption:
+    def test_phase_cap_reaches_the_runner(self, isaria_compiler):
+        term = parse("(+ (Get a 0) (Get b 0))")
+        options = fast_compile_options()
+        spec = ScheduleSpec().with_phase(
+            "compilation", PhasePolicy(max_iterations=1)
+        )
+        _, report = compile_term(
+            term, isaria_compiler.ruleset, isaria_compiler.cost_model,
+            options, schedule=spec,
+        )
+        comp_iters = [
+            r.compilation.n_iterations
+            for r in report.rounds
+            if r.compilation is not None
+        ]
+        assert comp_iters and all(n <= 1 for n in comp_iters)
+
+    def test_default_schedule_changes_nothing(self, isaria_compiler):
+        term = parse("(+ (* (Get a 0) (Get b 0)) (Get c 0))")
+        options = fast_compile_options()
+        plain, plain_report = compile_term(
+            term, isaria_compiler.ruleset, isaria_compiler.cost_model,
+            options,
+        )
+        scheduled, sched_report = compile_term(
+            term, isaria_compiler.ruleset, isaria_compiler.cost_model,
+            options, schedule=ScheduleSpec(),
+        )
+        assert scheduled == plain
+        assert sched_report.final_cost == plain_report.final_cost
+
+
+class TestEnvOverride:
+    def test_unset_means_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULE", raising=False)
+        assert schedule_from_env() is None
+
+    def test_off_forces_default_schedule(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULE", "off")
+        spec = schedule_from_env()
+        assert spec is not None and spec.is_default()
+
+    def test_loads_spec_file(self, monkeypatch, tmp_path):
+        path = _spec().save(tmp_path / "sched.json")
+        monkeypatch.setenv("REPRO_SCHEDULE", str(path))
+        assert schedule_from_env() == _spec()
+
+    def test_unreadable_file_raises(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCHEDULE", str(tmp_path / "nope.json"))
+        with pytest.raises(ScheduleError):
+            schedule_from_env()
+
+    def test_env_wins_over_compile_schedule(
+        self, monkeypatch, tmp_path, isaria_compiler
+    ):
+        # Disable the compile's hottest rule via REPRO_SCHEDULE: its
+        # counters must vanish.  Then flip precedence: env "off" while
+        # the *context* disables it — the rule must come back.
+        term = parse("(+ (Get a 0) (Get b 0))")
+        options = fast_compile_options()
+
+        def perf_rules(schedule=None):
+            _, report = compile_term(
+                term, isaria_compiler.ruleset,
+                isaria_compiler.cost_model, options, schedule=schedule,
+            )
+            return report.saturation_perf().rule_match_time
+
+        monkeypatch.delenv("REPRO_SCHEDULE", raising=False)
+        baseline = perf_rules()
+        hot = max(baseline, key=baseline.get)
+        without_hot = ScheduleSpec().with_rule(
+            hot, RulePolicy(disabled=True)
+        )
+
+        path = without_hot.save(tmp_path / "sched.json")
+        monkeypatch.setenv("REPRO_SCHEDULE", str(path))
+        assert hot not in perf_rules()
+
+        monkeypatch.setenv("REPRO_SCHEDULE", "off")
+        assert hot in perf_rules(schedule=without_hot)
+
+
+class TestArtifactPersistence:
+    def test_schedule_round_trips(self, isaria_compiler):
+        compiler = dataclasses.replace(isaria_compiler, schedule=_spec())
+        artifact = compiler.to_artifact()
+        restored = CompilerArtifact.from_json(artifact.to_json())
+        assert restored.schedule == _spec()
+        assert "schedule" in restored.summary()
+
+    def test_from_artifact_restores_schedule(self, isaria_compiler, spec):
+        compiler = dataclasses.replace(isaria_compiler, schedule=_spec())
+        restored = type(isaria_compiler).from_artifact(
+            compiler.to_artifact(), spec
+        )
+        assert restored.schedule == _spec()
+
+    def test_v2_artifact_without_schedule_still_loads(
+        self, isaria_compiler
+    ):
+        doc = json.loads(isaria_compiler.to_artifact().to_json())
+        doc.pop("schedule")
+        doc["version"] = 2
+        restored = CompilerArtifact.from_json(json.dumps(doc))
+        assert restored.schedule is None
+        assert "default" in restored.summary()
+
+    def test_semantics_hash_unchanged_by_format_bump(
+        self, isaria_compiler, spec
+    ):
+        # A v2-era artifact's spec_hash must still match today's probe
+        # of the same ISA, or every pre-existing artifact would be
+        # rejected by from_artifact.
+        from repro.core.artifact import spec_semantics_hash
+
+        artifact = isaria_compiler.to_artifact()
+        assert artifact.spec_hash == spec_semantics_hash(spec)
+        type(isaria_compiler).from_artifact(artifact, spec)  # no raise

@@ -10,6 +10,7 @@ from repro.tools.trace_report import (
     main,
     phase_rollup,
     render_report,
+    scheduling_rollup,
     synthesis_rollup,
     timeline_table,
 )
@@ -90,6 +91,40 @@ class TestRendering:
         assert "== per-phase rollup ==" in report
         assert "== synthesis ==" in report
         assert "hottest rules" in report
+        assert "== scheduling ==" in report
+
+
+class TestSchedulingRollup:
+    def test_ranks_by_match_time_share_and_flags_zero_merges(self):
+        events = [
+            {"name": "eqsat", "id": 1, "ts": 1.0, "dur": 0.2,
+             "attrs": {
+                 "rule_match_time": {"dead": 0.6, "live": 0.2},
+                 "rule_unions": {"live": 5},
+             }},
+        ]
+        out = scheduling_rollup(events)
+        lines = out.splitlines()
+        assert "dead" in lines[2] and "75.0%" in lines[2]
+        assert "zero merges" in lines[2]
+        assert "live" in lines[3] and "zero merges" not in lines[3]
+        assert "disable candidates" in out and "dead" in out
+
+    def test_reconstructs_merges_from_legacy_applied_maps(self):
+        events = [
+            {"name": "eqsat", "id": 1, "ts": 1.0, "dur": 0.2,
+             "attrs": {"rule_match_time": {"comm": 0.1}}},
+            {"name": "eqsat.iteration", "id": 2, "parent": 1, "ts": 1.0,
+             "dur": 0.1, "attrs": {"applied": {"comm": 4}}},
+        ]
+        out = scheduling_rollup(events)
+        assert "zero merges" not in out
+        assert "disable candidates" not in out
+
+    def test_placeholder_without_counters(self):
+        assert "no rule-level counters" in scheduling_rollup(
+            [{"name": "lower", "id": 0, "ts": 1.0, "dur": 0.1}]
+        )
 
 
 def _synthesis_events():
