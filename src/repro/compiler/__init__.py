@@ -34,6 +34,7 @@ from repro.compiler.compile import (
 )
 from repro.compiler.pipeline import (
     CompilationContext,
+    KernelCompileError,
     Pass,
     Pipeline,
     baseline_kernel_pipeline,
@@ -60,6 +61,7 @@ __all__ = [
     "RoundReport",
     "compile_term",
     "CompilationContext",
+    "KernelCompileError",
     "Pass",
     "Pipeline",
     "baseline_kernel_pipeline",

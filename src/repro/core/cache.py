@@ -1,17 +1,29 @@
-"""Legacy flat rule cache (superseded by :mod:`repro.core.artifact`).
+"""On-disk caches of the artifact registry.
 
-The artifact module is the real persistence layer now: it stores the
-*whole* offline product (phased rules, parameters, provenance) in one
-versioned JSON file keyed by a semantics-aware fingerprint.  This shim
-keeps the original flat-text API alive for the pregenerated rule data
-files (``src/repro/data/*.txt``) and any external callers:
-``rules_to_text``/``rules_from_text``, ``spec_fingerprint`` (now the
-semantics-aware version), and a tolerant ``load_cached_rules`` that
-treats corrupt cache entries as misses instead of crashing.
+Two layers live here:
+
+- the **expansion cache** (:class:`ExpansionCache`) — content-
+  addressed phase-boundary e-graph snapshots, so repeat compiles of a
+  kernel restore the saturated state of a phase instead of re-running
+  its ``EqSat`` call.  Off by default; ``REPRO_EXPANSION_CACHE``
+  enables it (see :func:`expansion_cache_from_env`).  Entries live
+  next to the compiler artifacts, under
+  ``<registry>/expansion/<key>.snap``;
+- the **legacy flat rule cache** (superseded by
+  :mod:`repro.core.artifact`, which stores the whole offline product
+  in one versioned JSON file).  The shim keeps the original flat-text
+  API alive for the pregenerated rule data files
+  (``src/repro/data/*.txt``) and any external callers.
+
+Both layers share the corrupt-entry policy PR 4 set for artifacts: a
+truncated, garbled, or schema-mismatched entry is a tracer-logged
+**miss** that triggers a clean rebuild, never an error.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 from pathlib import Path
 
 from repro.core.artifact import (
@@ -20,19 +32,240 @@ from repro.core.artifact import (
     rules_to_text,
     spec_fingerprint,
 )
+from repro.egraph.egraph import EGraph
 from repro.egraph.rewrite import Rewrite
+from repro.egraph.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    load_snapshot_meta,
+    save_egraph,
+)
 from repro.isa.spec import IsaSpec
 from repro.obs import current_tracer
 from repro.ruler.synthesize import SynthesisConfig
 
 __all__ = [
+    "ExpansionCache",
     "default_cache_dir",
+    "expansion_cache_dir",
+    "expansion_cache_from_env",
     "load_cached_rules",
     "rules_from_text",
     "rules_to_text",
     "spec_fingerprint",
     "store_cached_rules",
 ]
+
+_FALSY = ("0", "false", "no", "off")
+_DEFAULT_ON = ("1", "true", "yes", "on")
+
+
+def expansion_cache_dir() -> Path:
+    """Where expansion-cache entries live (or would live).
+
+    ``REPRO_EXPANSION_CACHE`` set to a path overrides; otherwise the
+    ``expansion/`` subdirectory of the artifact registry
+    (:func:`default_cache_dir`).  This resolves the *location* only —
+    whether the cache is active is :func:`expansion_cache_from_env`'s
+    call.
+    """
+    raw = os.environ.get("REPRO_EXPANSION_CACHE", "").strip()
+    if raw and raw.lower() not in _FALSY + _DEFAULT_ON:
+        return Path(raw)
+    return default_cache_dir() / "expansion"
+
+
+def expansion_cache_from_env() -> "ExpansionCache | None":
+    """The active expansion cache, or ``None`` when disabled.
+
+    ``REPRO_EXPANSION_CACHE`` unset or falsy (``0``/``off``/...)
+    disables caching — the default, so compile behavior and timing are
+    unchanged unless explicitly opted in.  A truthy literal
+    (``1``/``on``/...) uses the artifact registry's ``expansion/``
+    subdirectory; any other value is the cache directory itself.
+    """
+    raw = os.environ.get("REPRO_EXPANSION_CACHE", "").strip()
+    if not raw or raw.lower() in _FALSY:
+        return None
+    return ExpansionCache(expansion_cache_dir())
+
+
+class ExpansionCache:
+    """Content-addressed phase-boundary e-graph snapshots.
+
+    The paper's three-phase compile re-runs every ``EqSat`` call on
+    every compile, but each phase is a *pure function* of (input
+    state, rule list, limits, schedule): the expansion phase is even
+    ISA-independent.  This cache stores the post-phase e-graph
+    snapshot under a key hashing all of those inputs — the expansion
+    phase keys on the round-input term digest, and downstream phases
+    chain on the *content digest of the previous phase's snapshot*,
+    so a warm compile restores state phase after phase and
+    reproduces byte-identical extractions without running saturation.
+
+    One entry is one ``<key>.snap`` file in the snapshot container
+    format (:mod:`repro.egraph.snapshot`): an uncompressed meta line
+    (kernel, phase, root id, stop reason — what ``repro-artifact
+    inspect`` scans) over a compressed e-graph payload.  Corrupt or
+    schema-mismatched entries are tracer-logged misses.
+    """
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+
+    # -- keys ------------------------------------------------------------
+
+    @staticmethod
+    def phase_key(
+        phase: str,
+        input_digest: str,
+        rules_digest: str,
+        limits_digest: str,
+        schedule_digest: str,
+        frontier: bool,
+    ) -> str:
+        """The content address of one phase's output snapshot.
+
+        Everything that can change the phase's resulting e-graph state
+        is hashed in: the phase name, the input-state digest (a term
+        digest for phase 1, the previous snapshot's content digest
+        after that), the exact rule list, the runner limits, the
+        active schedule spec, frontier matching, the snapshot schema
+        version, and the legacy-path env toggles (the legacy matcher
+        and index evolve internal state differently).
+        """
+        flags = ",".join(
+            f"{name}={os.environ.get(name, '').strip().lower()}"
+            for name in ("REPRO_LEGACY_EMATCH", "REPRO_LEGACY_INDEX")
+        )
+        blob = "|".join(
+            [
+                f"v{SNAPSHOT_VERSION}",
+                phase,
+                input_digest,
+                rules_digest,
+                limits_digest,
+                schedule_digest,
+                f"frontier={int(frontier)}",
+                flags,
+            ]
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+    def path_for(self, key: str) -> Path:
+        """The entry file for ``key``."""
+        return self.root / f"{key}.snap"
+
+    # -- load / store ----------------------------------------------------
+
+    def load_entry(self, key: str) -> tuple[dict, bytes] | None:
+        """``(meta, container bytes)`` for ``key``, or ``None``.
+
+        Validates the container header only (magic, schema, meta
+        line) — the body stays compressed until :meth:`restore`, so an
+        expansion hit whose compilation phase also hits never inflates
+        the intermediate state.  Hits, misses, and corrupt entries are
+        tracer-recorded (``expansion_cache.{hit,miss,corrupt}``).
+        """
+        path = self.path_for(key)
+        tracer = current_tracer()
+        try:
+            data = path.read_bytes()
+        except OSError:
+            tracer.record("expansion_cache.miss", 0.0, key=key)
+            return None
+        try:
+            meta, _ = load_snapshot_meta(data)
+        except SnapshotError as exc:
+            tracer.record(
+                "expansion_cache.corrupt", 0.0,
+                key=key, path=str(path), error=str(exc),
+            )
+            return None
+        tracer.record(
+            "expansion_cache.hit", 0.0,
+            key=key, phase=meta.get("phase"), kernel=meta.get("kernel"),
+        )
+        return meta, data
+
+    @staticmethod
+    def restore(data: bytes) -> "tuple[EGraph, dict] | None":
+        """Inflate entry bytes into ``(egraph, meta)``.
+
+        Returns ``None`` (tracer-recorded) when the compressed body is
+        corrupt — the caller falls back to running the phase live,
+        exactly as on a miss.
+        """
+        from repro.egraph.snapshot import load_egraph
+
+        try:
+            return load_egraph(data)
+        except SnapshotError as exc:
+            current_tracer().record(
+                "expansion_cache.corrupt", 0.0, error=str(exc)
+            )
+            return None
+
+    def store(self, key: str, egraph: EGraph, meta: dict) -> bytes:
+        """Write ``egraph`` under ``key``; returns the entry bytes.
+
+        The write is atomic (temp file + rename) so a concurrent
+        compile never observes a torn entry; ``meta`` must carry the
+        consumer's restore context (at minimum the ``root`` class id)
+        and rides the uncompressed header line.  Returns the container
+        bytes so callers can chain the next phase's key off their
+        content digest without re-reading the file.
+        """
+        meta = dict(meta)
+        meta["key"] = key
+        data = save_egraph(egraph, meta=meta)
+        path = self.path_for(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp-%d" % os.getpid())
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        current_tracer().record(
+            "expansion_cache.store", 0.0,
+            key=key, phase=meta.get("phase"), n_bytes=len(data),
+        )
+        return data
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """Entry count, total bytes, and per-kernel keys (for CLIs).
+
+        Scans meta lines only; corrupt entries are counted under
+        ``corrupt`` rather than raising, matching the load policy.
+        """
+        entries = 0
+        corrupt = 0
+        total_bytes = 0
+        kernels: dict[str, list[dict]] = {}
+        for path in sorted(self.root.glob("*.snap")):
+            try:
+                data = path.read_bytes()
+                meta, _ = load_snapshot_meta(data)
+            except (OSError, SnapshotError):
+                corrupt += 1
+                continue
+            entries += 1
+            total_bytes += len(data)
+            kernel = str(meta.get("kernel") or "<unknown>")
+            kernels.setdefault(kernel, []).append(
+                {
+                    "key": str(meta.get("key") or path.stem),
+                    "phase": str(meta.get("phase") or "?"),
+                    "bytes": len(data),
+                }
+            )
+        return {
+            "dir": str(self.root),
+            "entries": entries,
+            "corrupt": corrupt,
+            "total_bytes": total_bytes,
+            "kernels": kernels,
+        }
 
 
 def load_cached_rules(

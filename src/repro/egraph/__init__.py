@@ -23,6 +23,10 @@ Modules:
 - :mod:`repro.egraph.scheduling` — declarative ``ScheduleSpec``
   schedules (per-rule budgets/bans/disables, per-phase limits) and the
   ``TunedScheduler`` that enforces them;
+- :mod:`repro.egraph.snapshot` — versioned byte serialization of
+  e-graphs, scheduler state, and paused saturations (``Runner``
+  checkpoint/resume, the expansion cache, phase-pipelined
+  ``compile_many``);
 - :mod:`repro.egraph.extract` — bottom-up minimum-cost extraction.
 """
 
@@ -36,6 +40,7 @@ from repro.egraph.compile_pattern import (
 from repro.egraph.ematch import ematch, match_in_class
 from repro.egraph.rewrite import Rewrite, parse_rewrite
 from repro.egraph.runner import (
+    Runner,
     RunnerLimits,
     RunnerReport,
     RuleScheduler,
@@ -43,6 +48,13 @@ from repro.egraph.runner import (
     StopReason,
     BackoffScheduler,
     run_saturation,
+)
+from repro.egraph.snapshot import (
+    SNAPSHOT_VERSION,
+    SaturationCheckpoint,
+    SnapshotError,
+    load_egraph,
+    save_egraph,
 )
 from repro.egraph.scheduling import (
     PhasePolicy,
@@ -67,6 +79,7 @@ __all__ = [
     "match_in_class",
     "Rewrite",
     "parse_rewrite",
+    "Runner",
     "RunnerLimits",
     "RunnerReport",
     "RuleScheduler",
@@ -74,6 +87,11 @@ __all__ = [
     "StopReason",
     "BackoffScheduler",
     "run_saturation",
+    "SNAPSHOT_VERSION",
+    "SaturationCheckpoint",
+    "SnapshotError",
+    "load_egraph",
+    "save_egraph",
     "PhasePolicy",
     "RulePolicy",
     "ScheduleError",

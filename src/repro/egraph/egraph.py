@@ -37,7 +37,15 @@ class EClass:
 
 
 class EGraph:
-    """A congruence-closed term graph supporting equality saturation."""
+    """A congruence-closed term graph supporting equality saturation.
+
+    The full internal state — union-find, class and hashcons tables,
+    worklist, touched set, op-index, and counters — serializes to a
+    compact versioned byte form via :mod:`repro.egraph.snapshot`;
+    adding a stateful field here means extending ``egraph_to_doc`` /
+    ``egraph_from_doc`` (and bumping the snapshot schema version) or
+    restored graphs will silently diverge from live ones.
+    """
 
     def __init__(self):
         self._uf = UnionFind()

@@ -11,7 +11,12 @@ e-graph is orders of magnitude slower per node than egg, and every
 experimental *comparison* survives the scaling.
 """
 
-from repro.kernels.specs import KernelInstance, padded_memory, run_reference
+from repro.kernels.specs import (
+    KernelInstance,
+    kernel_spec_hash,
+    padded_memory,
+    run_reference,
+)
 from repro.kernels.conv2d import conv2d_kernel
 from repro.kernels.mat_mul import matmul_kernel
 from repro.kernels.qr import qr_kernel
@@ -20,6 +25,7 @@ from repro.kernels.suite import default_suite, suite_by_key
 
 __all__ = [
     "KernelInstance",
+    "kernel_spec_hash",
     "padded_memory",
     "run_reference",
     "conv2d_kernel",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import Callable
@@ -43,6 +44,29 @@ class KernelInstance:
             name: [round(rng.uniform(-4.0, 4.0), 3) for _ in range(length)]
             for name, length in self.arrays.items()
         }
+
+
+def kernel_spec_hash(program: KernelProgram) -> str:
+    """Stable short hash of a kernel's compilable surface.
+
+    Covers everything the compiler consumes — the canonicalized term,
+    output array/length, input array layout, and vector width — so two
+    programs with the same hash compile identically.  Used to identify
+    kernels in error reports and as the leading component of
+    expansion-cache keys.
+    """
+    from repro.lang.parser import to_sexpr
+
+    parts = [
+        program.name,
+        to_sexpr(program.term),
+        program.output,
+        str(program.output_len),
+        ",".join(f"{k}={v}" for k, v in sorted(program.arrays.items())),
+        str(program.width),
+    ]
+    blob = "\n".join(parts).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
 
 
 def padded_memory(instance: KernelInstance, inputs: dict) -> dict:

@@ -29,6 +29,7 @@ _SPEEDUP_PATHS = {
     "synthesis-offline-stage": lambda r, key: r["workloads"][key][
         "speedup"
     ],
+    "compile-pipeline": lambda r, key: r[key]["speedup"],
 }
 
 
@@ -42,6 +43,7 @@ def test_bench_corpus_is_present():
         "BENCH_saturation.json",
         "BENCH_synthesis.json",
         "BENCH_schedule.json",
+        "BENCH_pipeline.json",
     } <= names, names
 
 

@@ -1,0 +1,280 @@
+"""The phase-pipelined ``compile_many`` and the expansion cache.
+
+Three contracts from the resumable-saturation work:
+
+- the staged (phase-pipelined) ``compile_many`` and the legacy
+  one-worker-per-kernel fan-out produce **byte-identical** results to
+  the serial loop — they run the same ``_advance_round``/pass code,
+  and these tests are the differential proof;
+- a failing kernel in a batch surfaces as
+  :class:`~repro.compiler.pipeline.KernelCompileError` naming the
+  kernel, its spec hash, and the failing stage — and survives the
+  process-pool pickle hop;
+- expansion-cache entries that are corrupt or schema-mismatched are
+  tracer-logged *misses* that trigger a clean rebuild (and overwrite),
+  never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.compiler.frontend import trace_kernel
+from repro.compiler.pipeline import KernelCompileError, compile_many
+from repro.core.cache import (
+    ExpansionCache,
+    expansion_cache_dir,
+    expansion_cache_from_env,
+)
+from repro.kernels.specs import kernel_spec_hash
+from repro.obs import ListSink, Tracer, use_tracer
+
+
+@pytest.fixture(scope="module")
+def vadd_program(spec):
+    return trace_kernel(
+        "vadd",
+        lambda x, y: [x[i] + y[i] for i in range(4)],
+        {"x": 4, "y": 4},
+        spec.vector_width,
+    )
+
+
+@pytest.fixture(scope="module")
+def vmul_program(spec):
+    return trace_kernel(
+        "vmul",
+        lambda x, y: [x[i] * y[i] for i in range(4)],
+        {"x": 4, "y": 4},
+        spec.vector_width,
+    )
+
+
+@pytest.fixture()
+def clean_env(monkeypatch):
+    """No ambient cache/checkpoint/legacy flags leak into a test."""
+    for name in (
+        "REPRO_EXPANSION_CACHE",
+        "REPRO_CHECKPOINT_DIR",
+        "REPRO_LEGACY_PIPELINE",
+    ):
+        monkeypatch.delenv(name, raising=False)
+    return monkeypatch
+
+
+def _fingerprint(kernel):
+    """Everything that must agree between serial and staged compiles."""
+    return {
+        "name": kernel.name,
+        "compiled": str(kernel.compiled_term),
+        "final_cost": kernel.report.final_cost,
+        "initial_cost": kernel.report.initial_cost,
+        "n_rounds": len(kernel.report.rounds),
+        "passes": [p.name for p in kernel.report.passes],
+        "n_instructions": len(kernel.machine_program.instrs),
+    }
+
+
+class TestStagedParity:
+    """Serial ≡ staged ≡ legacy, proven on real compiles."""
+
+    def test_staged_and_legacy_match_serial(
+        self, isaria_compiler, vadd_program, vmul_program, clean_env
+    ):
+        programs = [vadd_program, vmul_program]
+        serial = [
+            _fingerprint(k)
+            for k in compile_many(isaria_compiler, programs)
+        ]
+
+        clean_env.setenv("REPRO_PARALLEL", "2")
+        staged = [
+            _fingerprint(k)
+            for k in compile_many(isaria_compiler, programs, jobs=2)
+        ]
+        assert staged == serial
+
+        clean_env.setenv("REPRO_LEGACY_PIPELINE", "1")
+        legacy = [
+            _fingerprint(k)
+            for k in compile_many(isaria_compiler, programs, jobs=2)
+        ]
+        assert legacy == serial
+
+    def test_staged_serial_degrade_matches_too(
+        self, isaria_compiler, vadd_program, vmul_program, clean_env
+    ):
+        # REPRO_PARALLEL=0: the pipelined path must degrade to an
+        # in-process loop and still produce identical results.
+        programs = [vadd_program, vmul_program]
+        serial = [
+            _fingerprint(k)
+            for k in compile_many(isaria_compiler, programs)
+        ]
+        clean_env.setenv("REPRO_PARALLEL", "0")
+        staged = [
+            _fingerprint(k)
+            for k in compile_many(isaria_compiler, programs, jobs=2)
+        ]
+        assert staged == serial
+
+
+class TestKernelCompileError:
+    def _failing_compiler(self, compiler, monkeypatch):
+        def explode(original, compiled):
+            raise ValueError("synthetic validation failure")
+
+        monkeypatch.setattr(compiler, "validate_equivalence", explode)
+        return compiler
+
+    def test_serial_batch_names_the_failing_kernel(
+        self, isaria_compiler, vadd_program, clean_env
+    ):
+        compiler = self._failing_compiler(isaria_compiler, clean_env)
+        with pytest.raises(KernelCompileError) as excinfo:
+            compile_many(compiler, [vadd_program], validate=True)
+        err = excinfo.value
+        assert err.kernel_key == "vadd"
+        assert err.spec_hash == kernel_spec_hash(vadd_program)
+        assert "synthetic validation failure" in err.message
+        assert "vadd" in str(err) and err.spec_hash in str(err)
+
+    def test_staged_batch_names_kernel_and_stage(
+        self, isaria_compiler, vadd_program, vmul_program, clean_env
+    ):
+        compiler = self._failing_compiler(isaria_compiler, clean_env)
+        clean_env.setenv("REPRO_PARALLEL", "0")  # staged, in-process
+        with pytest.raises(KernelCompileError) as excinfo:
+            compile_many(
+                compiler, [vadd_program, vmul_program],
+                validate=True, jobs=2,
+            )
+        err = excinfo.value
+        assert err.kernel_key == "vadd"
+        assert err.stage == "finish"  # validation runs in the finish stage
+        assert err.spec_hash == kernel_spec_hash(vadd_program)
+
+    def test_error_survives_pickling(self):
+        err = KernelCompileError("qprod", "ab12" * 4, "round2", "boom")
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, KernelCompileError)
+        assert clone.kernel_key == "qprod"
+        assert clone.spec_hash == "ab12" * 4
+        assert clone.stage == "round2"
+        assert str(clone) == str(err)
+
+
+class TestSpecHash:
+    def test_hash_is_stable_and_content_addressed(
+        self, vadd_program, vmul_program
+    ):
+        h = kernel_spec_hash(vadd_program)
+        assert h == kernel_spec_hash(vadd_program)
+        assert len(h) == 16
+        assert h != kernel_spec_hash(vmul_program)
+
+
+class TestExpansionCacheEnv:
+    def test_unset_or_falsy_disables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXPANSION_CACHE", raising=False)
+        assert expansion_cache_from_env() is None
+        monkeypatch.setenv("REPRO_EXPANSION_CACHE", "0")
+        assert expansion_cache_from_env() is None
+
+    def test_truthy_literal_uses_registry_subdir(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPANSION_CACHE", "1")
+        cache = expansion_cache_from_env()
+        assert cache is not None
+        assert cache.root == expansion_cache_dir()
+        assert cache.root.name == "expansion"
+
+    def test_path_value_is_the_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EXPANSION_CACHE", str(tmp_path / "c"))
+        cache = expansion_cache_from_env()
+        assert cache.root == tmp_path / "c"
+
+    def test_phase_key_hashes_every_input(self):
+        base = ("expansion", "term:abc", "r1", "l1", "none", False)
+        key = ExpansionCache.phase_key(*base)
+        assert key == ExpansionCache.phase_key(*base)
+        for i, changed in enumerate(
+            [
+                ("compilation", "term:abc", "r1", "l1", "none", False),
+                ("expansion", "term:xyz", "r1", "l1", "none", False),
+                ("expansion", "term:abc", "r2", "l1", "none", False),
+                ("expansion", "term:abc", "r1", "l2", "none", False),
+                ("expansion", "term:abc", "r1", "l1", "s1", False),
+                ("expansion", "term:abc", "r1", "l1", "none", True),
+            ]
+        ):
+            assert ExpansionCache.phase_key(*changed) != key, i
+
+
+class TestExpansionCacheCompiles:
+    def test_warm_compile_is_byte_identical_and_cached(
+        self, isaria_compiler, vadd_program, clean_env, tmp_path
+    ):
+        clean_env.setenv("REPRO_EXPANSION_CACHE", str(tmp_path))
+        cold = isaria_compiler.compile_kernel(vadd_program)
+        entries = list(tmp_path.glob("*.snap"))
+        assert entries  # every phase boundary stored
+
+        warm = isaria_compiler.compile_kernel(vadd_program)
+        assert str(warm.compiled_term) == str(cold.compiled_term)
+        assert warm.report.final_cost == cold.report.final_cost
+        # The warm run answered phases from the cache: the stand-in
+        # runner reports are flagged and carry no iteration details.
+        cached_phases = [
+            phase
+            for r in warm.report.rounds
+            for phase in (r.expansion, r.compilation)
+            if phase is not None and phase.cached
+        ]
+        assert cached_phases
+        assert all(p.n_iterations == 0 for p in cached_phases)
+        assert warm.report.optimization.cached
+
+    def test_corrupt_entries_are_logged_misses_with_clean_rebuild(
+        self, isaria_compiler, vadd_program, clean_env, tmp_path
+    ):
+        clean_env.setenv("REPRO_EXPANSION_CACHE", str(tmp_path))
+        cold = isaria_compiler.compile_kernel(vadd_program)
+        entries = sorted(tmp_path.glob("*.snap"))
+        assert entries
+        for path in entries:
+            path.write_bytes(b"RSNP1\ngarbage that is not json\nxx")
+
+        sink = ListSink()
+        with use_tracer(Tracer(sink)):
+            rebuilt = isaria_compiler.compile_kernel(vadd_program)
+        # Same answer as the cold compile, never an error.
+        assert str(rebuilt.compiled_term) == str(cold.compiled_term)
+        names = [e["name"] for e in sink.events]
+        assert "expansion_cache.corrupt" in names
+        # The rebuild overwrote the bad entries with loadable ones.
+        assert "expansion_cache.store" in names
+        cache = ExpansionCache(tmp_path)
+        stats = cache.stats()
+        assert stats["corrupt"] == 0
+        assert stats["entries"] == len(entries)
+        assert "vadd" in stats["kernels"]
+
+    def test_schema_mismatch_is_a_miss(
+        self, isaria_compiler, vadd_program, clean_env, tmp_path
+    ):
+        clean_env.setenv("REPRO_EXPANSION_CACHE", str(tmp_path))
+        cold = isaria_compiler.compile_kernel(vadd_program)
+        for path in tmp_path.glob("*.snap"):
+            magic, meta, body = path.read_bytes().split(b"\n", 2)
+            meta = meta.replace(b'"schema":1', b'"schema":999')
+            path.write_bytes(b"\n".join([magic, meta, body]))
+
+        sink = ListSink()
+        with use_tracer(Tracer(sink)):
+            rebuilt = isaria_compiler.compile_kernel(vadd_program)
+        assert str(rebuilt.compiled_term) == str(cold.compiled_term)
+        assert "expansion_cache.corrupt" in [
+            e["name"] for e in sink.events
+        ]
