@@ -521,9 +521,11 @@ def load_cached_artifact(
     try:
         artifact = CompilerArtifact.load(path)
     except ArtifactError as exc:
-        current_tracer().record(
-            "artifact.cache_corrupt", 0.0, path=str(path), error=str(exc)
-        )
+        # Local import: repro.core.cache imports this module at load
+        # time, so the shared corrupt-entry policy is bound lazily.
+        from repro.core.cache import corrupt_entry_miss
+
+        corrupt_entry_miss("artifact_cache", path, exc)
         return None
     if artifact.spec_hash != spec_semantics_hash(spec):
         # Fingerprint collision or hand-edited file: safer to rebuild.

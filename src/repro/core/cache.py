@@ -17,7 +17,12 @@ Two layers live here:
 
 Both layers share the corrupt-entry policy PR 4 set for artifacts: a
 truncated, garbled, or schema-mismatched entry is a tracer-logged
-**miss** that triggers a clean rebuild, never an error.
+**miss** that triggers a clean rebuild, never an error.  That policy
+has exactly one implementation — :func:`corrupt_entry_miss` — which
+every on-disk layer (expansion cache, legacy rule shim, artifact
+cache, service registry) routes through, so the recovery behaviour
+and the ``<layer>.corrupt`` trace-event shape cannot drift apart
+again.
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ from repro.ruler.synthesize import SynthesisConfig
 
 __all__ = [
     "ExpansionCache",
+    "corrupt_entry_miss",
     "default_cache_dir",
     "expansion_cache_dir",
     "expansion_cache_from_env",
@@ -58,6 +64,22 @@ __all__ = [
 
 _FALSY = ("0", "false", "no", "off")
 _DEFAULT_ON = ("1", "true", "yes", "on")
+
+
+def corrupt_entry_miss(layer: str, path, error) -> None:
+    """Record a corrupt/truncated on-disk cache entry as a **miss**.
+
+    The single implementation of the repo-wide recovery policy: a bad
+    entry is reported through the tracer as ``<layer>.corrupt``
+    (carrying the file path and the parse error) and the caller
+    rebuilds the value cleanly, overwriting the entry — a corrupt file
+    must never surface as an exception or a wrong answer.  ``layer``
+    is the cache's trace-event namespace (``expansion_cache``,
+    ``cache``, ``artifact_cache``, ``registry``).
+    """
+    current_tracer().record(
+        f"{layer}.corrupt", 0.0, path=str(path), error=str(error)
+    )
 
 
 def expansion_cache_dir() -> Path:
@@ -177,10 +199,7 @@ class ExpansionCache:
         try:
             meta, _ = load_snapshot_meta(data)
         except SnapshotError as exc:
-            tracer.record(
-                "expansion_cache.corrupt", 0.0,
-                key=key, path=str(path), error=str(exc),
-            )
+            corrupt_entry_miss("expansion_cache", path, exc)
             return None
         tracer.record(
             "expansion_cache.hit", 0.0,
@@ -201,9 +220,7 @@ class ExpansionCache:
         try:
             return load_egraph(data)
         except SnapshotError as exc:
-            current_tracer().record(
-                "expansion_cache.corrupt", 0.0, error=str(exc)
-            )
+            corrupt_entry_miss("expansion_cache", "<entry body>", exc)
             return None
 
     def store(self, key: str, egraph: EGraph, meta: dict) -> bytes:
@@ -286,9 +303,7 @@ def load_cached_rules(
     try:
         return rules_from_text(path.read_text())
     except (ValueError, OSError) as exc:
-        current_tracer().record(
-            "cache.corrupt", 0.0, path=str(path), error=str(exc)
-        )
+        corrupt_entry_miss("cache", path, exc)
         return None
 
 

@@ -1,0 +1,329 @@
+"""The service's on-disk artifact registry and result cache.
+
+The registry is the durable half of the compile service: one
+directory holding
+
+- ``artifacts/<fingerprint>.json`` — published
+  :class:`~repro.core.artifact.CompilerArtifact` files, the whole
+  offline product per ISA.  Lookup is by the *semantics-probe* spec
+  hash (:func:`~repro.core.artifact.spec_semantics_hash`), so a
+  client that names an ISA gets a warm
+  :class:`~repro.core.framework.GeneratedCompiler` with zero offline
+  work, and a stale artifact can never compile against changed
+  instruction behaviour;
+- ``results/<key>.json`` — the content-addressed result cache, one
+  finished compile answer per :func:`~repro.service.protocol.result_key`;
+- ``expansion/`` — the PR 7 :class:`~repro.core.cache.ExpansionCache`
+  as the per-kernel warm layer, so even a result-cache *miss* on a
+  known kernel restores phase-boundary e-graph snapshots instead of
+  re-running saturation.
+
+All three layers share the repo-wide corrupt-entry policy
+(:func:`~repro.core.cache.corrupt_entry_miss`): a truncated or
+garbled file is a tracer-logged miss with a clean rebuild, never an
+exception — a damaged registry must not take down a serve loop.
+
+The registry resolves ISA *names* to executable specs through a
+table of spec factories (:data:`KNOWN_SPECS` plus any passed to the
+constructor) because lane-semantics functions cannot travel over the
+wire; publishing an artifact for a custom ISA means registering its
+factory with the server process (see ``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.artifact import (
+    ArtifactError,
+    CompilerArtifact,
+    default_cache_dir,
+    spec_semantics_hash,
+)
+from repro.core.cache import ExpansionCache, corrupt_entry_miss
+from repro.isa import customized_spec, fusion_g3_spec
+from repro.isa.spec import IsaSpec
+from repro.obs import current_tracer
+
+__all__ = [
+    "ArtifactRegistry",
+    "KNOWN_SPECS",
+    "RegistryEntry",
+    "RegistryError",
+    "service_cache_dir",
+]
+
+
+class RegistryError(ValueError):
+    """A registry lookup cannot be satisfied (unknown ISA, no artifact)."""
+
+
+def _fusion_g3_full():
+    return customized_spec(fusion_g3_spec(), mulsub=True, sqrtsgn=True)
+
+
+#: ISA names the service resolves out of the box, each mapping to a
+#: zero-argument spec factory.  Extend per-process via
+#: ``ArtifactRegistry(..., specs={...})`` for custom ISAs.
+KNOWN_SPECS = {
+    "fusion-g3": fusion_g3_spec,
+    "fusion-g3+mulsub+sqrtsgn": _fusion_g3_full,
+}
+
+
+def service_cache_dir() -> Path:
+    """The registry root (``REPRO_SERVICE_CACHE`` overrides).
+
+    Defaults to the ``service/`` subdirectory of the artifact cache
+    (:func:`~repro.core.artifact.default_cache_dir`), so the service's
+    state lives next to the offline products it serves.
+    """
+    env = os.environ.get("REPRO_SERVICE_CACHE", "").strip()
+    if env:
+        return Path(env)
+    return default_cache_dir() / "service"
+
+
+class RegistryEntry:
+    """One resolved ISA: its spec, warm compiler, and fingerprint.
+
+    What :meth:`ArtifactRegistry.entry_for` memoizes per semantics
+    hash — the fingerprint is the artifact identity the service's
+    result-cache keys hash in.
+    """
+
+    def __init__(self, isa: str, spec: IsaSpec, compiler, fingerprint: str):
+        self.isa = isa
+        self.spec = spec
+        self.compiler = compiler
+        self.fingerprint = fingerprint
+
+
+class ArtifactRegistry:
+    """Artifacts, compiled-result cache, and warm layer for one root.
+
+    Stateless on disk, memoizing in memory: resolved
+    ``GeneratedCompiler`` instances are kept per artifact fingerprint
+    so repeated requests for the same ISA skip even the JSON parse.
+    """
+
+    def __init__(
+        self,
+        root: "Path | str | None" = None,
+        specs: "dict | None" = None,
+    ):
+        """``root`` defaults to :func:`service_cache_dir`; ``specs``
+        adds per-process ISA-name → spec-factory entries on top of
+        :data:`KNOWN_SPECS`."""
+        self.root = Path(root) if root is not None else service_cache_dir()
+        self.specs = dict(KNOWN_SPECS)
+        if specs:
+            self.specs.update(specs)
+        self._compilers: dict = {}
+        self._spec_cache: dict = {}
+
+    # -- layout ----------------------------------------------------------
+
+    @property
+    def artifacts_dir(self) -> Path:
+        """Where published artifacts live."""
+        return self.root / "artifacts"
+
+    @property
+    def results_dir(self) -> Path:
+        """Where cached compile results live."""
+        return self.root / "results"
+
+    def expansion_cache(self) -> ExpansionCache:
+        """The registry's per-kernel warm layer (phase snapshots)."""
+        return ExpansionCache(self.root / "expansion")
+
+    def artifact_path(self, fingerprint: str) -> Path:
+        """The file a given artifact fingerprint is published at."""
+        return self.artifacts_dir / f"{fingerprint}.json"
+
+    def result_path(self, key: str) -> Path:
+        """The file a given result key is cached at."""
+        return self.results_dir / f"{key}.json"
+
+    # -- ISA resolution --------------------------------------------------
+
+    def spec_for(self, isa: str) -> IsaSpec:
+        """The executable spec for an ISA name.
+
+        Raises :class:`RegistryError` for names with no registered
+        factory — the server cannot invent lane semantics.
+        """
+        if isa not in self.specs:
+            known = ", ".join(sorted(self.specs))
+            raise RegistryError(
+                f"unknown ISA {isa!r} (known: {known})"
+            )
+        if isa not in self._spec_cache:
+            self._spec_cache[isa] = self.specs[isa]()
+        return self._spec_cache[isa]
+
+    def publish(self, artifact: CompilerArtifact) -> Path:
+        """Write an artifact into the registry; returns its path.
+
+        The write is atomic (temp file + rename) so a concurrently
+        serving process never reads a torn artifact.
+        """
+        self.artifacts_dir.mkdir(parents=True, exist_ok=True)
+        path = self.artifact_path(artifact.fingerprint)
+        tmp = path.with_suffix(".tmp-%d" % os.getpid())
+        tmp.write_text(artifact.to_json())
+        os.replace(tmp, path)
+        current_tracer().record(
+            "registry.publish", 0.0,
+            fingerprint=artifact.fingerprint, isa=artifact.isa_name,
+        )
+        return path
+
+    def find_artifact(self, spec: IsaSpec) -> "CompilerArtifact | None":
+        """The newest published artifact matching ``spec``'s semantics.
+
+        Scans ``artifacts/`` and filters on the semantics-probe hash;
+        corrupt files are tracer-logged misses and skipped.  Among
+        multiple matches (several synthesis configs for one ISA) the
+        most recently *created* wins.
+        """
+        want = spec_semantics_hash(spec)
+        best: CompilerArtifact | None = None
+        if not self.artifacts_dir.is_dir():
+            return None
+        for path in sorted(self.artifacts_dir.glob("*.json")):
+            try:
+                artifact = CompilerArtifact.load(path)
+            except ArtifactError as exc:
+                corrupt_entry_miss("registry", path, exc)
+                continue
+            if artifact.spec_hash != want:
+                continue
+            if best is None or artifact.created > best.created:
+                best = artifact
+        return best
+
+    def entry_for(self, isa: str) -> RegistryEntry:
+        """The warm :class:`RegistryEntry` for an ISA name.
+
+        Resolution order: in-memory memo → published artifact whose
+        semantics hash matches the named spec → (for the base ISA
+        only) a compiler bootstrapped from the shipped pregenerated
+        rules, which is immediately published so the next process
+        finds it as an artifact.  No path runs rule synthesis.
+        """
+        spec = self.spec_for(isa)
+        memo_key = spec_semantics_hash(spec)
+        if memo_key in self._compilers:
+            return self._compilers[memo_key]
+        artifact = self.find_artifact(spec)
+        if artifact is not None:
+            compiler = artifact.to_compiler(spec)
+            current_tracer().record(
+                "registry.artifact_hit", 0.0,
+                isa=isa, fingerprint=artifact.fingerprint,
+            )
+        elif isa == "fusion-g3":
+            from repro.core.pregen import default_compiler
+
+            compiler = default_compiler(spec)
+            artifact = compiler.to_artifact()
+            self.publish(artifact)
+            current_tracer().record(
+                "registry.bootstrap", 0.0, isa=isa
+            )
+        else:
+            raise RegistryError(
+                f"no artifact published for ISA {isa!r} "
+                f"(semantics {memo_key}); run `repro-artifact build` "
+                "and publish into the registry"
+            )
+        entry = RegistryEntry(isa, spec, compiler, artifact.fingerprint)
+        self._compilers[memo_key] = entry
+        return entry
+
+    def compiler_for(self, isa: str):
+        """A warm ``GeneratedCompiler`` for an ISA name (see
+        :meth:`entry_for`)."""
+        return self.entry_for(isa).compiler
+
+    # -- result cache ----------------------------------------------------
+
+    def load_result(self, key: str) -> "dict | None":
+        """The cached result payload for ``key``, or ``None``.
+
+        A corrupt or truncated entry is a tracer-logged miss
+        (``registry.corrupt``) — the caller recompiles and overwrites.
+        """
+        path = self.result_path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            doc = json.loads(text)
+            if not isinstance(doc, dict) or "payload" not in doc:
+                raise ValueError("missing result payload")
+            payload = doc["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("result payload is not an object")
+        except ValueError as exc:
+            corrupt_entry_miss("registry", path, exc)
+            return None
+        return payload
+
+    def store_result(self, key: str, payload: dict) -> Path:
+        """Cache a finished compile answer under ``key`` (atomic)."""
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        path = self.result_path(key)
+        doc = {"key": key, "payload": payload}
+        tmp = path.with_suffix(".tmp-%d" % os.getpid())
+        tmp.write_text(json.dumps(doc, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """Registry contents for CLIs and the server's ``stats`` op.
+
+        Per-artifact summaries (fingerprint, ISA, rule count), result
+        and expansion entry counts, and total bytes; corrupt artifacts
+        are counted, not raised.
+        """
+        artifacts = []
+        corrupt = 0
+        if self.artifacts_dir.is_dir():
+            for path in sorted(self.artifacts_dir.glob("*.json")):
+                try:
+                    artifact = CompilerArtifact.load(path)
+                except ArtifactError:
+                    corrupt += 1
+                    continue
+                artifacts.append(
+                    {
+                        "fingerprint": artifact.fingerprint,
+                        "isa": artifact.isa_name,
+                        "vector_width": artifact.vector_width,
+                        "spec_hash": artifact.spec_hash,
+                        "n_rules": len(artifact.ruleset),
+                        "bytes": path.stat().st_size,
+                    }
+                )
+        results = (
+            sorted(p.name for p in self.results_dir.glob("*.json"))
+            if self.results_dir.is_dir()
+            else []
+        )
+        expansion = self.expansion_cache().stats()
+        return {
+            "root": str(self.root),
+            "artifacts": artifacts,
+            "corrupt_artifacts": corrupt,
+            "n_results": len(results),
+            "expansion_entries": expansion["entries"],
+            "expansion_bytes": expansion["total_bytes"],
+        }

@@ -1,0 +1,644 @@
+"""The async compile server: ``repro-serve``.
+
+A long-running, stdlib-only asyncio TCP server speaking the
+newline-delimited JSON protocol (:mod:`repro.service.protocol`).  One
+process serves compile requests for every ISA the backing
+:class:`~repro.service.registry.ArtifactRegistry` can resolve,
+amortizing the expensive offline stage across all traffic — the
+paper's two-stage split turned into a service.
+
+Request handling is three-tiered, cheapest first:
+
+1. **result cache** — a repeat request (same artifact fingerprint,
+   kernel spec hash, and options) is answered from the registry's
+   content-addressed result store without touching the compile pool;
+2. **in-flight dedupe** — concurrent identical requests share one
+   compile: the first creates a future keyed by the result key,
+   later arrivals await the same future;
+3. **batched compile** — cache misses queue up; a batcher task
+   collects waiting jobs for a short window, groups them by
+   (compiler, options), and runs each group through the existing
+   :func:`~repro.compiler.pipeline.compile_many` phase-pipelined
+   pool.  A failing kernel is isolated by per-kernel retry so one bad
+   request never poisons its batchmates.
+
+Every request and batch is tracer-recorded (``service.request``,
+``service.batch``) so ``trace_report`` can roll up queue wait, batch
+size, and hit rates in its ``== service ==`` section.  Operational
+semantics (protocol, registry layout, failure modes, capacity
+planning) are documented in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import threading
+import time
+
+from repro.obs import current_tracer
+
+from repro.service import protocol
+from repro.service.registry import ArtifactRegistry, RegistryError
+
+__all__ = [
+    "BackgroundServer",
+    "CompileService",
+    "DEFAULT_PORT",
+    "ServiceConfig",
+    "main",
+    "serve",
+]
+
+#: Default TCP port (overridden by ``REPRO_SERVICE_PORT``).
+DEFAULT_PORT = 7341
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}")
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}")
+
+
+class ServiceConfig:
+    """Tunable knobs of one server process.
+
+    Defaults come from the environment (``REPRO_SERVICE_PORT``,
+    ``REPRO_SERVICE_WORKERS``, ``REPRO_SERVICE_TIMEOUT`` — see
+    ``docs/env_flags.md``); constructor arguments override.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: "int | None" = None,
+        workers: "int | None" = None,
+        batch_window: float = 0.02,
+        max_batch: int = 16,
+        request_timeout: "float | None" = None,
+    ):
+        """``port`` 0 asks the OS for a free port (tests);
+        ``workers`` ≤ 1 compiles batches serially in the server
+        process; ``batch_window`` is how long the batcher waits to
+        coalesce more jobs after the first (seconds)."""
+        self.host = host
+        self.port = (
+            port
+            if port is not None
+            else _env_int("REPRO_SERVICE_PORT", DEFAULT_PORT)
+        )
+        self.workers = (
+            workers
+            if workers is not None
+            else _env_int("REPRO_SERVICE_WORKERS", 1)
+        )
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.request_timeout = (
+            request_timeout
+            if request_timeout is not None
+            else _env_float("REPRO_SERVICE_TIMEOUT", 120.0)
+        )
+
+
+class _Job:
+    """One queued compile: request context plus its shared future."""
+
+    __slots__ = (
+        "key",
+        "isa",
+        "program",
+        "spec_hash",
+        "entry",
+        "options",
+        "opts_digest",
+        "future",
+        "enqueued",
+        "dequeued",
+    )
+
+    def __init__(
+        self, key, isa, program, spec_hash, entry, options, opts_digest, future
+    ):
+        self.key = key
+        self.isa = isa
+        self.program = program
+        self.spec_hash = spec_hash
+        self.entry = entry
+        self.options = options
+        self.opts_digest = opts_digest
+        self.future = future
+        self.enqueued = time.perf_counter()
+        self.dequeued = self.enqueued
+
+
+class CompileService:
+    """The serve loop: connections, dedupe, batcher, and counters.
+
+    Create one, then either ``asyncio.run(service.run())`` (what
+    :func:`serve` and the CLI do) or drive it from a background
+    thread via :class:`BackgroundServer` (what the tests and the
+    load-generator benchmark do).
+    """
+
+    def __init__(
+        self,
+        config: "ServiceConfig | None" = None,
+        registry: "ArtifactRegistry | None" = None,
+    ):
+        """``registry`` defaults to the environment-resolved root
+        (``REPRO_SERVICE_CACHE``).  The constructor does not touch the
+        environment; the foreground entry points (:func:`serve`, the
+        CLI) additionally wire the registry's ``expansion/`` directory
+        in as the compile pipeline's warm layer via
+        ``REPRO_EXPANSION_CACHE`` unless the operator set it."""
+        self.config = config or ServiceConfig()
+        self.registry = registry or ArtifactRegistry()
+        self.port: "int | None" = None  # actual port once listening
+        self.requests = 0
+        self.compile_requests = 0
+        self.cache_hits = 0
+        self.dedup_hits = 0
+        self.compiled = 0
+        self.batches = 0
+        self.errors = 0
+        self._queue: "asyncio.Queue[_Job]" = asyncio.Queue()
+        self._inflight: dict = {}
+        self._writers: set = set()
+        self._active = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stop = asyncio.Event()
+        self._ready = asyncio.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def run(self) -> None:
+        """Serve until :meth:`request_stop` (or a ``shutdown`` op).
+
+        Shutdown is graceful: the listener closes first, every
+        already-accepted request drains through the batcher and gets
+        its response, then connections close and the loop returns.
+        """
+        server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        batcher = asyncio.create_task(self._batcher())
+        self._ready.set()
+        current_tracer().record(
+            "service.start", 0.0, host=self.config.host, port=self.port
+        )
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self._idle.wait()  # drain accepted requests
+            batcher.cancel()
+            for writer in list(self._writers):
+                writer.close()
+            self._ready.clear()
+            current_tracer().record(
+                "service.stop", 0.0, requests=self.requests
+            )
+
+    def request_stop(self) -> None:
+        """Begin graceful shutdown (same effect as a ``shutdown`` op)."""
+        self._stop.set()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_conn(self, reader, writer):
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                self._active += 1
+                self._idle.clear()
+                try:
+                    response = await self._handle_line(line)
+                    writer.write(protocol.encode_message(response))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    break
+                finally:
+                    self._active -= 1
+                    if self._active == 0:
+                        self._idle.set()
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _handle_line(self, line: bytes) -> dict:
+        self.requests += 1
+        try:
+            message = protocol.decode_message(line)
+        except protocol.ProtocolError as exc:
+            return self._error("protocol", str(exc))
+        op = message.get("op")
+        request_id = message.get("id")
+        try:
+            if op == "ping":
+                response = {
+                    "ok": True,
+                    "op": "ping",
+                    "protocol": protocol.PROTOCOL_VERSION,
+                }
+            elif op == "stats":
+                response = {"ok": True, "op": "stats", "stats": await self._stats()}
+            elif op == "shutdown":
+                response = {
+                    "ok": True,
+                    "op": "shutdown",
+                    "pending": len(self._inflight),
+                }
+                self._stop.set()
+            elif op == "compile":
+                response = await self._handle_compile(message)
+            else:
+                response = self._error("protocol", f"unknown op {op!r}")
+        except protocol.ProtocolError as exc:
+            response = self._error("protocol", str(exc))
+        except RegistryError as exc:
+            response = self._error("registry", str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # a bug must answer, not hang clients
+            response = self._error("internal", f"{type(exc).__name__}: {exc}")
+        if request_id is not None:
+            response["id"] = request_id
+        if not response.get("ok"):
+            self.errors += 1
+        return response
+
+    def _error(self, kind: str, message: str) -> dict:
+        return {"ok": False, "error": {"kind": kind, "message": message}}
+
+    # -- the compile op --------------------------------------------------
+
+    async def _handle_compile(self, message: dict) -> dict:
+        from repro.compiler.pipeline import KernelCompileError
+        from repro.kernels.specs import kernel_spec_hash
+
+        t0 = time.perf_counter()
+        self.compile_requests += 1
+        if "kernel" not in message:
+            raise protocol.ProtocolError("compile request needs a kernel")
+        program = protocol.kernel_from_wire(message["kernel"])
+        isa = str(message.get("isa", "fusion-g3"))
+        entry = await asyncio.to_thread(self.registry.entry_for, isa)
+        explicit = message.get("options")
+        options = (
+            protocol.options_from_wire(explicit)
+            if explicit is not None
+            else None
+        )
+        resolved = options if options is not None else entry.compiler.options
+        opts_digest = protocol.options_digest(resolved)
+        spec_hash = kernel_spec_hash(program)
+        key = protocol.result_key(entry.fingerprint, spec_hash, opts_digest)
+
+        cached = await asyncio.to_thread(self.registry.load_result, key)
+        if cached is not None:
+            self.cache_hits += 1
+            current_tracer().record(
+                "service.request",
+                time.perf_counter() - t0,
+                kernel=program.name,
+                cache_hit=True,
+                deduped=False,
+                queue_s=0.0,
+            )
+            return {
+                "ok": True,
+                "result": cached,
+                "cached": True,
+                "deduped": False,
+            }
+
+        deduped = key in self._inflight
+        if deduped:
+            self.dedup_hits += 1
+            future = self._inflight[key]
+            job = None
+        else:
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+            job = _Job(
+                key, isa, program, spec_hash, entry, options, opts_digest, future
+            )
+            await self._queue.put(job)
+
+        try:
+            payload = await asyncio.wait_for(
+                asyncio.shield(future), self.config.request_timeout
+            )
+        except asyncio.TimeoutError:
+            return self._error(
+                "timeout",
+                f"compile of {program.name!r} exceeded "
+                f"{self.config.request_timeout}s",
+            )
+        except KernelCompileError as exc:
+            return self._error("compile", str(exc))
+        queue_s = (job.dequeued - job.enqueued) if job is not None else 0.0
+        current_tracer().record(
+            "service.request",
+            time.perf_counter() - t0,
+            kernel=program.name,
+            cache_hit=False,
+            deduped=deduped,
+            queue_s=queue_s,
+        )
+        return {
+            "ok": True,
+            "result": payload,
+            "cached": False,
+            "deduped": deduped,
+        }
+
+    # -- the batcher -----------------------------------------------------
+
+    async def _batcher(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            batch = [job]
+            deadline = loop.time() + self.config.batch_window
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            now = time.perf_counter()
+            for j in batch:
+                j.dequeued = now
+            # Group by (compiler identity, resolved-options digest):
+            # compile_many takes one compiler and one options value per
+            # call, and the digest makes equal-but-distinct options
+            # objects coalesce.
+            groups: dict = {}
+            for j in batch:
+                groups.setdefault(
+                    (id(j.entry.compiler), j.opts_digest), []
+                ).append(j)
+            for group in groups.values():
+                await self._compile_group(group)
+            self.batches += 1
+
+    async def _compile_group(self, group: "list[_Job]") -> None:
+        from repro.compiler.pipeline import compile_many
+
+        entry = group[0].entry
+        options = group[0].options
+        t0 = time.perf_counter()
+        jobs = self.config.workers if len(group) > 1 else 1
+        try:
+            compiled = await asyncio.to_thread(
+                compile_many,
+                entry.compiler,
+                [j.program for j in group],
+                options,
+                True,
+                jobs,
+            )
+        except Exception:
+            # One bad kernel poisons compile_many's whole batch; retry
+            # each kernel alone so only the guilty request fails.
+            compiled = None
+        if compiled is not None:
+            await self._resolve(group, compiled)
+        else:
+            for j in group:
+                try:
+                    result = await asyncio.to_thread(
+                        compile_many,
+                        entry.compiler,
+                        [j.program],
+                        options,
+                        True,
+                        1,
+                    )
+                except Exception as exc:
+                    self._inflight.pop(j.key, None)
+                    if not j.future.done():
+                        j.future.set_exception(exc)
+                else:
+                    await self._resolve([j], result)
+        current_tracer().record(
+            "service.batch",
+            time.perf_counter() - t0,
+            n_kernels=len(group),
+            isa=entry.isa,
+        )
+
+    async def _resolve(self, group, compiled) -> None:
+        for j, kernel in zip(group, compiled):
+            payload = protocol.compiled_to_wire(kernel, j.spec_hash)
+            await asyncio.to_thread(self.registry.store_result, j.key, payload)
+            self.compiled += 1
+            self._inflight.pop(j.key, None)
+            if not j.future.done():
+                j.future.set_result(payload)
+
+    # -- introspection ---------------------------------------------------
+
+    async def _stats(self) -> dict:
+        registry = await asyncio.to_thread(self.registry.stats)
+        return {
+            "requests": self.requests,
+            "compile_requests": self.compile_requests,
+            "cache_hits": self.cache_hits,
+            "dedup_hits": self.dedup_hits,
+            "compiled": self.compiled,
+            "batches": self.batches,
+            "errors": self.errors,
+            "queue_depth": self._queue.qsize(),
+            "inflight": len(self._inflight),
+            "registry": registry,
+        }
+
+
+def _wire_warm_layer(registry: ArtifactRegistry) -> None:
+    """Point the compile pipeline's expansion cache at the registry.
+
+    The registry's ``expansion/`` directory becomes the per-kernel
+    warm layer for every compile this process runs, unless the
+    operator already set ``REPRO_EXPANSION_CACHE`` themselves.  Only
+    the foreground entry points call this — embedded services
+    (tests, benchmarks) must not mutate process-global state.
+    """
+    os.environ.setdefault(
+        "REPRO_EXPANSION_CACHE", str(registry.root / "expansion")
+    )
+
+
+def serve(
+    config: "ServiceConfig | None" = None,
+    registry: "ArtifactRegistry | None" = None,
+) -> None:
+    """Run a compile server in the foreground until shutdown."""
+    service = CompileService(config=config, registry=registry)
+    _wire_warm_layer(service.registry)
+    asyncio.run(service.run())
+
+
+class BackgroundServer:
+    """A compile server on a daemon thread — tests and benchmarks.
+
+    Context manager: entering starts the server (port 0 picks a free
+    port; read the resolved one off ``.port``), exiting requests a
+    graceful shutdown and joins the thread.
+    """
+
+    def __init__(
+        self,
+        config: "ServiceConfig | None" = None,
+        registry: "ArtifactRegistry | None" = None,
+    ):
+        """Arguments are forwarded to :class:`CompileService`."""
+        self._config = config or ServiceConfig(port=0)
+        self._registry = registry
+        self.service: "CompileService | None" = None
+        self.port: "int | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._loop = None
+        self._started = threading.Event()
+
+    def _main(self) -> None:
+        async def body():
+            self.service = CompileService(
+                config=self._config, registry=self._registry
+            )
+            self._loop = asyncio.get_running_loop()
+            task = asyncio.create_task(self.service.run())
+            await self.service._ready.wait()
+            self.port = self.service.port
+            self._started.set()
+            await task
+
+        try:
+            asyncio.run(body())
+        finally:
+            self._started.set()  # never leave __enter__ hanging
+
+    def __enter__(self) -> "BackgroundServer":
+        """Start the server thread; returns once it is accepting."""
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self.port is None:
+            raise RuntimeError("compile server failed to start")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Gracefully stop the server and join its thread."""
+        self.stop()
+
+    def stop(self) -> None:
+        """Request shutdown and wait for the serve loop to drain."""
+        if self.service is not None and self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.service.request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+
+def main(argv=None) -> int:
+    """``repro-serve``: start a compile server from the command line."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Long-running compile server: newline-delimited JSON over "
+            "TCP, backed by the on-disk artifact registry."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=f"TCP port (default REPRO_SERVICE_PORT or {DEFAULT_PORT}; 0 = any)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="compile pool size per batch (default REPRO_SERVICE_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--registry",
+        default=None,
+        help="registry root (default REPRO_SERVICE_CACHE or the artifact "
+        "cache's service/ subdirectory)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request compile timeout in seconds "
+        "(default REPRO_SERVICE_TIMEOUT or 120)",
+    )
+    args = parser.parse_args(argv)
+    registry = (
+        ArtifactRegistry(args.registry) if args.registry else ArtifactRegistry()
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        request_timeout=args.timeout,
+    )
+    service = CompileService(config=config, registry=registry)
+    _wire_warm_layer(service.registry)
+
+    async def announced():
+        task = asyncio.create_task(service.run())
+        await service._ready.wait()
+        print(
+            f"repro-serve: listening on {config.host}:{service.port} "
+            f"(registry {service.registry.root})",
+            flush=True,
+        )
+        await task
+
+    try:
+        asyncio.run(announced())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

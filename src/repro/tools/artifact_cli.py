@@ -125,9 +125,53 @@ def _expansion_cache_section() -> str:
     return "\n".join(lines)
 
 
+def _registry_section(root: Path | None) -> str:
+    """The compile-service registry rollup printed by ``inspect``.
+
+    One line per published artifact (fingerprint, ISA, rule count),
+    plus result-cache and expansion-warm-layer entry counts — the
+    operator's view of what ``repro-serve`` can answer without any
+    offline work.  An absent registry renders as a note, not an error.
+    """
+    from repro.service.registry import ArtifactRegistry, service_cache_dir
+
+    directory = root if root is not None else service_cache_dir()
+    if not directory.is_dir():
+        return f"registry: empty (no registry at {directory})"
+    stats = ArtifactRegistry(directory).stats()
+    lines = [
+        f"registry: {len(stats['artifacts'])} artifacts, "
+        f"{stats['n_results']} cached results, "
+        f"{stats['expansion_entries']} expansion snapshots "
+        f"({_format_bytes(stats['expansion_bytes'])}) in {stats['root']}"
+    ]
+    if stats["corrupt_artifacts"]:
+        lines.append(f"  corrupt artifacts: {stats['corrupt_artifacts']}")
+    for art in stats["artifacts"]:
+        lines.append(
+            f"  {art['fingerprint'][:16]}  {art['isa']} "
+            f"(width {art['vector_width']}, {art['n_rules']} rules, "
+            f"{_format_bytes(art['bytes'])})"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.core.artifact import CompilerArtifact
 
+    if args.registry is not None:
+        # Bare ``--registry`` (const True) means the env-default root.
+        root = None if args.registry is True else args.registry
+        print(_registry_section(root))
+        if args.artifact is None:
+            return 0
+        print()
+    if args.artifact is None:
+        print(
+            "inspect: an artifact path or --registry is required",
+            file=sys.stderr,
+        )
+        return 2
     artifact = CompilerArtifact.load(args.artifact)
     print(artifact.summary())
     print()
@@ -211,7 +255,14 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_ = sub.add_parser(
         "inspect", help="print an artifact's provenance and rule counts"
     )
-    inspect_.add_argument("artifact", type=Path)
+    inspect_.add_argument("artifact", type=Path, nargs="?", default=None)
+    inspect_.add_argument(
+        "--registry", type=Path, nargs="?", const=True, default=None,
+        metavar="DIR",
+        help="print the compile-service artifact registry at DIR "
+        "(default: REPRO_SERVICE_CACHE) — usable with or without an "
+        "artifact file",
+    )
     inspect_.set_defaults(fn=_cmd_inspect)
 
     compile_ = sub.add_parser(

@@ -27,11 +27,13 @@ from pathlib import Path
 
 
 def _speedups(doc: dict) -> dict[str, float]:
-    """Flatten every numeric ``speedup`` field out of a bench document.
+    """Flatten every comparable metric out of a bench document.
 
-    Keys are dotted paths into ``results`` (the top-level ``speedup``
-    flattens to just ``speedup``), so benches with one global ratio
-    and benches with per-workload ratios both summarize uniformly.
+    Picks up numeric ``speedup`` / ``*_speedup`` ratios and ``*_rate``
+    fractions.  Keys are dotted paths into ``results`` (the top-level
+    ``speedup`` flattens to just ``speedup``), so benches with one
+    global ratio and benches with per-workload ratios both summarize
+    uniformly.
     """
     found: dict[str, float] = {}
 
@@ -40,6 +42,10 @@ def _speedups(doc: dict) -> dict[str, float]:
             for key, value in node.items():
                 if key == "speedup" and isinstance(value, (int, float)):
                     found[".".join(path) or "speedup"] = float(value)
+                elif key.endswith(("_speedup", "_rate")) and isinstance(
+                    value, (int, float)
+                ):
+                    found[".".join(path + [key])] = float(value)
                 else:
                     walk(value, path + [key])
 
@@ -64,11 +70,13 @@ def summary_line(path: Path, new: dict, old: dict | None) -> str:
     parts = [f"{path.name:24s}"]
     old_speedups = _speedups(old) if old else {}
     for key, value in sorted(_speedups(new).items()):
-        cell = f"{key} {value:.2f}x"
+        # Rates are fractions, not ratios — no "x" suffix.
+        unit = "" if key.endswith("_rate") else "x"
+        cell = f"{key} {value:.2f}{unit}"
         was = old_speedups.get(key)
         if was:
             delta = (value - was) / was * 100.0
-            cell += f" (was {was:.2f}x, {delta:+.0f}%)"
+            cell += f" (was {was:.2f}{unit}, {delta:+.0f}%)"
         elif old is None:
             cell += " (new)"
         parts.append(cell)

@@ -18,12 +18,15 @@ tree, and prints:
 4. a **pipeline stage rollup**: per-stage execution vs queue-wait
    times from the ``pipeline.stage`` records the staged
    ``compile_many`` emits, plus expansion-cache hit/miss tallies;
-5. a **synthesis rollup**: per-term-size enumeration timings and the
+5. a **service rollup**: compile-server health from ``service.*``
+   records — queue wait, batch size, and the result-cache / in-flight
+   dedupe hit rates (see ``docs/service.md``);
+6. a **synthesis rollup**: per-term-size enumeration timings and the
    verify batching counters carried by ``synthesize.*`` spans (the
    span-level view of ``SynthesisPerf``);
-6. the **top-N hottest rules** by cumulative e-match time, aggregated
+7. the **top-N hottest rules** by cumulative e-match time, aggregated
    from the ``SaturationPerf`` payloads of every ``eqsat`` span;
-7. a **scheduling rollup**: every rule's match-time share next to the
+8. a **scheduling rollup**: every rule's match-time share next to the
    merges it bought, flagging zero-merge rules as disable candidates
    for ``repro-autotune`` (see :mod:`repro.tools.autotune`).
 """
@@ -382,6 +385,79 @@ def pipeline_rollup(events: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def service_rollup(events: list[dict]) -> str:
+    """Serve-loop health from ``service.*`` records.
+
+    Aggregates the ``service.request`` records the compile server
+    emits (one per compile request, carrying ``cache_hit``,
+    ``deduped``, and the seconds the job sat queued before its batch
+    started) and the ``service.batch`` records (one per compile_many
+    dispatch, carrying the batch size).  The rates answer the
+    capacity-planning questions in ``docs/service.md``: how much
+    traffic the result cache and in-flight dedupe absorb, and whether
+    queue wait — not compile time — is the latency driver.
+    """
+    requests = 0
+    cache_hits = 0
+    deduped = 0
+    request_time = 0.0
+    queue_total = 0.0
+    queue_max = 0.0
+    batches = 0
+    batch_kernels = 0
+    batch_max = 0
+    batch_time = 0.0
+    seen = False
+    for event in events:
+        name = event.get("name", "")
+        if not name.startswith("service."):
+            continue
+        seen = True
+        attrs = event.get("attrs", {})
+        if name == "service.request":
+            requests += 1
+            request_time += event.get("dur", 0.0)
+            if attrs.get("cache_hit"):
+                cache_hits += 1
+            if attrs.get("deduped"):
+                deduped += 1
+            wait = attrs.get("queue_s", 0.0)
+            queue_total += wait
+            queue_max = max(queue_max, wait)
+        elif name == "service.batch":
+            batches += 1
+            n = attrs.get("n_kernels", 0)
+            batch_kernels += n
+            batch_max = max(batch_max, n)
+            batch_time += event.get("dur", 0.0)
+    if not seen:
+        return "(no service records in this trace)"
+    lines = []
+    if requests:
+        misses = requests - cache_hits - deduped
+        lines.append(
+            f"requests: {requests} "
+            f"({cache_hits} cache hits, {deduped} deduped, "
+            f"{misses} compiled)"
+        )
+        lines.append(
+            f"cache hit rate: {cache_hits / requests:.1%}"
+            f"  dedupe rate: {deduped / requests:.1%}"
+        )
+        lines.append(
+            f"request time: {request_time / requests * 1e3:.1f}ms avg"
+            f"  queue wait: {queue_total / requests * 1e3:.1f}ms avg, "
+            f"{queue_max * 1e3:.1f}ms max"
+        )
+    if batches:
+        lines.append(
+            f"batches: {batches} "
+            f"({batch_kernels / batches:.1f} kernels avg, "
+            f"{batch_max} max, {batch_time / batches * 1e3:.1f}ms avg)"
+        )
+    return "\n".join(lines)
+
+
 def render_report(
     events: list[dict], top: int = 10, max_depth: int | None = None
 ) -> str:
@@ -398,6 +474,9 @@ def render_report(
         "",
         "== pipeline ==",
         pipeline_rollup(events),
+        "",
+        "== service ==",
+        service_rollup(events),
         "",
         "== synthesis ==",
         synthesis_rollup(events),

@@ -60,3 +60,30 @@ class TestCompile:
         ])
         assert code == 2
         assert "unknown kernels" in capsys.readouterr().err
+
+
+class TestInspectRegistry:
+    def test_registry_flag_with_explicit_dir(self, tmp_path, capsys):
+        from repro.service.registry import ArtifactRegistry
+
+        registry = ArtifactRegistry(tmp_path / "svc")
+        registry.entry_for("fusion-g3")
+        assert main(["inspect", "--registry", str(registry.root)]) == 0
+        out = capsys.readouterr().out
+        assert "registry: 1 artifacts" in out
+        assert "fusion-g3" in out
+
+    def test_bare_registry_flag_uses_env_default(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SERVICE_CACHE", str(tmp_path / "svc"))
+        assert main(["inspect", "--registry"]) == 0
+        out = capsys.readouterr().out
+        # Nothing published yet: an empty registry is a note, and the
+        # env-default root (not the cwd) is the one being read.
+        assert "registry: empty" in out
+        assert str(tmp_path / "svc") in out
+
+    def test_inspect_without_arguments_is_an_error(self, capsys):
+        assert main(["inspect"]) == 2
+        assert "--registry" in capsys.readouterr().err

@@ -30,6 +30,7 @@ _SPEEDUP_PATHS = {
         "speedup"
     ],
     "compile-pipeline": lambda r, key: r[key]["speedup"],
+    "compile-service": lambda r, key: r[key],
 }
 
 
@@ -44,6 +45,7 @@ def test_bench_corpus_is_present():
         "BENCH_synthesis.json",
         "BENCH_schedule.json",
         "BENCH_pipeline.json",
+        "BENCH_service.json",
     } <= names, names
 
 
@@ -71,7 +73,13 @@ def test_floors_match_measured_speedups(path: Path):
         "where its speedups live"
     )
     for key, floor in doc["floors"].items():
-        assert isinstance(floor, numbers.Real) and floor > 1.0
+        # Speedup floors must demand an actual improvement (> 1.0);
+        # ``*_rate`` floors are fractions and live in (0, 1].
+        assert isinstance(floor, numbers.Real)
+        if key.endswith("_rate"):
+            assert 0.0 < floor <= 1.0, (path.name, key, floor)
+        else:
+            assert floor > 1.0, (path.name, key, floor)
         measured = resolve(doc["results"], key)
         assert isinstance(measured, numbers.Real)
         # The committed numbers must themselves clear the floor the

@@ -55,5 +55,28 @@ def test_known_flags_present():
         "REPRO_PARALLEL",
         "REPRO_RULE_CACHE",
         "REPRO_SCHEDULE",
+        "REPRO_EXPANSION_CACHE",
+        "REPRO_CHECKPOINT_DIR",
+        "REPRO_SERVICE_PORT",
+        "REPRO_SERVICE_WORKERS",
+        "REPRO_SERVICE_CACHE",
+        "REPRO_SERVICE_TIMEOUT",
     ):
         assert f"## `{flag}`" in text
+
+
+def test_no_stale_documented_flags():
+    """Every documented flag is still read somewhere in ``src/``.
+
+    The reverse sweep: a flag removed from the code must leave the
+    docs too, so docs/env_flags.md can't accumulate dead switches.
+    """
+    live = _flags_in_tree(ROOT / "src") | _flags_in_tree(
+        ROOT / "benchmarks"
+    )
+    documented = set(_FLAG.findall(ENV_FLAGS_DOC.read_text()))
+    stale = documented - live
+    assert not stale, (
+        f"flags documented in docs/env_flags.md but never read in "
+        f"src/ or benchmarks/: {sorted(stale)}"
+    )

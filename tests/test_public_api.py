@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.kernels",
     "repro.bench",
     "repro.obs",
+    "repro.service",
     "repro.tools",
 ]
 

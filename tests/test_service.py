@@ -1,0 +1,587 @@
+"""The compile service: protocol, registry, serve loop, and clients.
+
+Serve-loop tests drive a real :class:`CompileService` on a private
+event loop with the real registry, compiler, and pipeline — no mocks
+— using tiny traced kernels and tight saturation limits so each live
+compile stays well under a second.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.compiler.compile import CompileOptions
+from repro.compiler.frontend import trace_kernel
+from repro.compiler.pipeline import compile_many
+from repro.egraph.runner import RunnerLimits
+from repro.kernels.specs import kernel_spec_hash
+from repro.obs import ListSink, Tracer, use_tracer
+from repro.service import (
+    ArtifactRegistry,
+    AsyncCompileClient,
+    BackgroundServer,
+    CompileClient,
+    ProtocolError,
+    RegistryError,
+    ServiceError,
+    protocol,
+)
+from repro.service.registry import RegistryEntry
+from repro.service.server import CompileService, ServiceConfig
+
+
+def _quick_options() -> CompileOptions:
+    """Tight budgets: tiny kernels vectorize in a couple hundred ms."""
+    return CompileOptions(
+        max_rounds=1,
+        expansion_limits=RunnerLimits(
+            max_iterations=2, max_nodes=2_000, time_limit=2.0
+        ),
+        compilation_limits=RunnerLimits(
+            max_iterations=4, max_nodes=4_000, time_limit=2.0
+        ),
+        optimization_limits=RunnerLimits(
+            max_iterations=2, max_nodes=2_000, time_limit=2.0
+        ),
+    )
+
+
+def _vadd(name: str = "vadd4"):
+    return trace_kernel(
+        name, lambda a, b: [a[i] + b[i] for i in range(4)],
+        {"a": 4, "b": 4}, width=4,
+    )
+
+
+def _vmul(name: str = "vmul4"):
+    return trace_kernel(
+        name, lambda a, b: [a[i] * b[i] for i in range(4)],
+        {"a": 4, "b": 4}, width=4,
+    )
+
+
+#: A wire kernel that fails inside the pipeline (unknown symbols), so
+#: batch-isolation paths get a deterministic KernelCompileError.
+_BAD_WIRE = {
+    "name": "bad",
+    "term": "(Prog (Vec (+ a0 zz0) (+ a1 zz1) (+ a2 zz2) (+ a3 zz3)))",
+    "output": "out",
+    "output_len": 4,
+    "arrays": {"a": 4},
+    "width": 4,
+}
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ArtifactRegistry(tmp_path / "registry")
+
+
+def _run_with_service(registry, body, **config):
+    """Run ``await body(service, client)`` against a live server."""
+    config.setdefault("port", 0)
+    config.setdefault("batch_window", 0.05)
+
+    async def main():
+        service = CompileService(
+            config=ServiceConfig(**config), registry=registry
+        )
+        task = asyncio.create_task(service.run())
+        await service._ready.wait()
+        try:
+            async with AsyncCompileClient(port=service.port) as client:
+                result = await body(service, client)
+        finally:
+            service.request_stop()
+            await asyncio.wait_for(task, timeout=30)
+        return result
+
+    return asyncio.run(main())
+
+
+def _compile_msg(kernel, options=None, **extra):
+    message = {
+        "op": "compile",
+        "isa": "fusion-g3",
+        "kernel": kernel if isinstance(kernel, dict)
+        else protocol.kernel_to_wire(kernel),
+    }
+    if options is not None:
+        message["options"] = protocol.options_to_wire(options)
+    message.update(extra)
+    return message
+
+
+class TestProtocol:
+    def test_message_framing_round_trips(self):
+        line = protocol.encode_message({"op": "ping", "id": 7})
+        assert line.endswith(b"\n")
+        assert protocol.decode_message(line) == {"op": "ping", "id": 7}
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.decode_message(b"nope\n")
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_message(b"[1, 2]\n")
+
+    def test_decode_rejects_non_utf8(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            protocol.decode_message(b"\xff\xfe\n")
+
+    def test_kernel_round_trips_with_same_spec_hash(self):
+        kernel = _vadd()
+        back = protocol.kernel_from_wire(protocol.kernel_to_wire(kernel))
+        assert kernel_spec_hash(back) == kernel_spec_hash(kernel)
+        assert back.arrays == kernel.arrays
+
+    def test_kernel_from_wire_rejects_missing_fields(self):
+        wire = protocol.kernel_to_wire(_vadd())
+        del wire["arrays"]
+        with pytest.raises(ProtocolError, match="malformed kernel"):
+            protocol.kernel_from_wire(wire)
+
+    def test_options_round_trip_preserves_digest(self):
+        options = _quick_options()
+        wire = protocol.options_to_wire(options)
+        back = protocol.options_from_wire(wire)
+        assert protocol.options_digest(back) == protocol.options_digest(
+            options
+        )
+
+    def test_options_from_wire_none_is_defaults(self):
+        assert protocol.options_from_wire(None) == CompileOptions()
+
+    def test_options_from_wire_rejects_non_dict(self):
+        with pytest.raises(ProtocolError, match="options"):
+            protocol.options_from_wire([1])
+
+    def test_result_key_separates_every_component(self):
+        base = protocol.result_key("fp", "kh", "od")
+        assert protocol.result_key("fp2", "kh", "od") != base
+        assert protocol.result_key("fp", "kh2", "od") != base
+        assert protocol.result_key("fp", "kh", "od2") != base
+
+
+class TestRegistry:
+    def test_bootstrap_publishes_base_isa_artifact(self, registry):
+        entry = registry.entry_for("fusion-g3")
+        assert isinstance(entry, RegistryEntry)
+        path = registry.artifact_path(entry.fingerprint)
+        assert path.exists()
+        # Second resolution is the in-memory memo (same object).
+        assert registry.entry_for("fusion-g3") is entry
+
+    def test_fresh_registry_finds_published_artifact(self, registry):
+        entry = registry.entry_for("fusion-g3")
+        again = ArtifactRegistry(registry.root)
+        sink = ListSink()
+        with use_tracer(Tracer(sink)):
+            entry2 = again.entry_for("fusion-g3")
+        assert entry2.fingerprint == entry.fingerprint
+        assert any(
+            e["name"] == "registry.artifact_hit" for e in sink.events
+        )
+
+    def test_unknown_isa_raises_with_known_names(self, registry):
+        with pytest.raises(RegistryError, match="fusion-g3"):
+            registry.entry_for("not-an-isa")
+
+    def test_known_isa_without_artifact_raises(self, registry):
+        with pytest.raises(RegistryError, match="no artifact published"):
+            registry.entry_for("fusion-g3+mulsub+sqrtsgn")
+
+    def test_corrupt_artifact_is_logged_miss_not_error(self, registry):
+        registry.entry_for("fusion-g3")
+        (registry.artifacts_dir / "junk.json").write_text("{truncated")
+        sink = ListSink()
+        with use_tracer(Tracer(sink)):
+            entry = ArtifactRegistry(registry.root).entry_for("fusion-g3")
+        assert entry.compiler is not None
+        corrupt = [e for e in sink.events if e["name"] == "registry.corrupt"]
+        assert len(corrupt) == 1
+        assert "junk.json" in corrupt[0]["attrs"]["path"]
+
+    def test_result_cache_round_trips(self, registry):
+        payload = {"kernel": "k", "final_cost": 1.0}
+        registry.store_result("abc", payload)
+        assert registry.load_result("abc") == payload
+        assert registry.load_result("missing") is None
+
+    def test_truncated_result_is_logged_miss(self, registry):
+        registry.store_result("abc", {"kernel": "k"})
+        path = registry.result_path("abc")
+        path.write_text(path.read_text()[:10])
+        sink = ListSink()
+        with use_tracer(Tracer(sink)):
+            assert registry.load_result("abc") is None
+        assert any(e["name"] == "registry.corrupt" for e in sink.events)
+
+    def test_stats_counts_layers(self, registry):
+        registry.entry_for("fusion-g3")
+        registry.store_result("abc", {"kernel": "k"})
+        stats = registry.stats()
+        assert len(stats["artifacts"]) == 1
+        assert stats["artifacts"][0]["isa"] == "fusion-g3"
+        assert stats["n_results"] == 1
+        assert stats["corrupt_artifacts"] == 0
+
+
+class TestServeLoop:
+    def test_compile_round_trip_matches_direct_compile_many(self, registry):
+        kernel = _vadd()
+        options = _quick_options()
+
+        async def body(service, client):
+            return await client.compile(kernel, options=options)
+
+        response = _run_with_service(registry, body)
+        assert response["cached"] is False and response["deduped"] is False
+        direct = compile_many(
+            registry.compiler_for("fusion-g3"), [kernel], options
+        )[0]
+        expected = protocol.compiled_to_wire(
+            direct, kernel_spec_hash(kernel)
+        )
+        assert response["result"] == expected
+
+    def test_concurrent_identical_requests_compile_once(self, registry):
+        kernel = _vadd()
+        options = _quick_options()
+
+        async def body(service, client):
+            async with AsyncCompileClient(port=service.port) as second:
+                task_a = asyncio.create_task(
+                    client.compile(kernel, options=options)
+                )
+                await asyncio.sleep(0.05)  # a registers in-flight first
+                task_b = asyncio.create_task(
+                    second.compile(kernel, options=options)
+                )
+                return await asyncio.gather(task_a, task_b), service
+
+        (first, second_), service = _run_with_service(
+            registry, body, batch_window=0.3
+        )
+        assert service.compiled == 1
+        assert service.dedup_hits == 1
+        assert first["result"] == second_["result"]
+        assert second_["deduped"] is True
+
+    def test_cache_hit_answers_without_pool_dispatch(self, registry):
+        kernel = _vadd()
+        options = _quick_options()
+
+        async def compile_once(service, client):
+            return await client.compile(kernel, options=options)
+
+        _run_with_service(registry, compile_once)
+
+        async def repeat(service, client):
+            response = await client.compile(kernel, options=options)
+            return response, service
+
+        response, service = _run_with_service(registry, repeat)
+        assert response["cached"] is True
+        assert service.cache_hits == 1
+        assert service.compiled == 0  # nothing reached the batcher
+        assert service.batches == 0
+
+    def test_waiting_requests_batch_together(self, registry):
+        kernels = [_vadd(), _vmul()]
+        options = _quick_options()
+
+        async def body(service, client):
+            async with AsyncCompileClient(port=service.port) as second:
+                responses = await asyncio.gather(
+                    client.compile(kernels[0], options=options),
+                    second.compile(kernels[1], options=options),
+                )
+            return responses, service
+
+        responses, service = _run_with_service(
+            registry, body, batch_window=0.5
+        )
+        assert all(r["ok"] for r in responses)
+        assert service.compiled == 2
+        assert service.batches == 1  # one window swallowed both
+
+    def test_failing_kernel_is_isolated_from_its_batchmates(self, registry):
+        options = _quick_options()
+
+        async def body(service, client):
+            async with AsyncCompileClient(port=service.port) as second:
+                good_task = asyncio.create_task(
+                    client.compile(_vadd(), options=options)
+                )
+                bad = second.request(_compile_msg(_BAD_WIRE, options))
+                bad_exc = None
+                try:
+                    await bad
+                except ServiceError as exc:
+                    bad_exc = exc
+                return await good_task, bad_exc
+
+        good, bad_exc = _run_with_service(registry, body, batch_window=0.5)
+        assert good["ok"] and good["result"]["kernel"] == "vadd4"
+        assert bad_exc is not None and bad_exc.kind == "compile"
+        assert "bad" in bad_exc.message
+
+    def test_graceful_shutdown_drains_pending_compiles(self, registry):
+        kernel = _vadd()
+        options = _quick_options()
+
+        async def body(service, client):
+            async with AsyncCompileClient(port=service.port) as second:
+                compile_task = asyncio.create_task(
+                    client.compile(kernel, options=options)
+                )
+                await asyncio.sleep(0.05)  # let it enqueue
+                shutdown = await second.request({"op": "shutdown"})
+                response = await compile_task
+            return shutdown, response
+
+        shutdown, response = _run_with_service(
+            registry, body, batch_window=0.3
+        )
+        assert shutdown["ok"]
+        assert response["ok"] and response["result"]["kernel"] == "vadd4"
+
+    def test_malformed_line_answers_error_and_connection_survives(
+        self, registry
+    ):
+        async def body(service, client):
+            client._writer.write(b"this is not json\n")
+            await client._writer.drain()
+            line = await client._reader.readline()
+            error = protocol.decode_message(line)
+            ping = await client.ping()
+            return error, ping
+
+        error, ping = _run_with_service(registry, body)
+        assert error["ok"] is False
+        assert error["error"]["kind"] == "protocol"
+        assert ping["ok"]
+
+    def test_unknown_isa_is_a_registry_error_response(self, registry):
+        async def body(service, client):
+            message = _compile_msg(_vadd(), _quick_options())
+            message["isa"] = "not-an-isa"
+            try:
+                await client.request(message)
+            except ServiceError as exc:
+                return exc
+            return None
+
+        exc = _run_with_service(registry, body)
+        assert exc is not None and exc.kind == "registry"
+
+    def test_request_id_is_echoed(self, registry):
+        async def body(service, client):
+            return await client.request({"op": "ping", "id": "req-42"})
+
+        assert _run_with_service(registry, body)["id"] == "req-42"
+
+    def test_stats_op_reports_counters_and_registry(self, registry):
+        kernel = _vadd()
+        options = _quick_options()
+
+        async def body(service, client):
+            await client.compile(kernel, options=options)
+            await client.compile(kernel, options=options)
+            return (await client.request({"op": "stats"}))["stats"]
+
+        stats = _run_with_service(registry, body)
+        assert stats["compile_requests"] == 2
+        assert stats["cache_hits"] == 1
+        assert stats["registry"]["n_results"] == 1
+
+    def test_truncated_registry_entries_never_take_down_the_serve_loop(
+        self, registry
+    ):
+        """The satellite-bugfix regression: corrupt on-disk state in
+        every registry layer is a logged miss; the loop recompiles."""
+        kernel = _vadd()
+        options = _quick_options()
+
+        async def compile_once(service, client):
+            return await client.compile(kernel, options=options)
+
+        first = _run_with_service(registry, compile_once)
+
+        # Truncate the cached result and drop garbage artifacts next
+        # to the good one — every corrupt layer at once.
+        result_files = list(registry.results_dir.glob("*.json"))
+        assert result_files
+        for path in result_files:
+            path.write_text(path.read_text()[: 20])
+        (registry.artifacts_dir / "zz-junk.json").write_text("{nope")
+
+        sink = ListSink()
+        fresh = ArtifactRegistry(registry.root)
+        with use_tracer(Tracer(sink)):
+            second = _run_with_service(fresh, compile_once)
+        assert second["ok"] and second["cached"] is False
+        assert second["result"] == first["result"]
+        corrupt = [e for e in sink.events if e["name"] == "registry.corrupt"]
+        assert len(corrupt) >= 2  # the result entry and the junk artifact
+
+
+class TestServiceTracing:
+    def test_requests_and_batches_are_recorded(self, registry):
+        kernel = _vadd()
+        options = _quick_options()
+
+        async def body(service, client):
+            await client.compile(kernel, options=options)
+            await client.compile(kernel, options=options)
+
+        sink = ListSink()
+        with use_tracer(Tracer(sink)):
+            _run_with_service(registry, body)
+        requests = [
+            e for e in sink.events if e["name"] == "service.request"
+        ]
+        assert len(requests) == 2
+        assert requests[0]["attrs"]["cache_hit"] is False
+        assert requests[1]["attrs"]["cache_hit"] is True
+        batches = [e for e in sink.events if e["name"] == "service.batch"]
+        assert len(batches) == 1
+        assert batches[0]["attrs"]["n_kernels"] == 1
+
+    def test_trace_report_grows_a_service_section(self, registry):
+        from repro.tools.trace_report import render_report, service_rollup
+
+        kernel = _vadd()
+        options = _quick_options()
+
+        async def body(service, client):
+            await client.compile(kernel, options=options)
+            await client.compile(kernel, options=options)
+
+        sink = ListSink()
+        with use_tracer(Tracer(sink)):
+            _run_with_service(registry, body)
+        events = list(sink.events)
+        out = service_rollup(events)
+        assert "requests: 2 (1 cache hits, 0 deduped, 1 compiled)" in out
+        assert "cache hit rate: 50.0%" in out
+        assert "== service ==" in render_report(events)
+
+
+class _StubServer:
+    """A TCP stub misbehaving on purpose, for client retry tests."""
+
+    def __init__(self, behaviors):
+        # behaviors: per-connection, "close" | "serve" | "stall"
+        self.behaviors = list(behaviors)
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5)
+
+    def _loop(self):
+        while self.behaviors:
+            behavior = self.behaviors.pop(0)
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            with conn:
+                if behavior == "close":
+                    continue
+                if behavior == "stall":
+                    time.sleep(0.8)
+                    continue
+                file = conn.makefile("rb")
+                line = file.readline()
+                if line:
+                    conn.sendall(
+                        json.dumps(
+                            {"ok": True, "op": "ping", "protocol": 1}
+                        ).encode() + b"\n"
+                    )
+
+
+class TestClientRetry:
+    def test_reconnects_after_server_drops_the_connection(self):
+        with _StubServer(["close", "serve"]) as stub:
+            client = CompileClient(port=stub.port, retries=2, timeout=5)
+            with client:
+                response = client.ping()
+            assert response["ok"]
+            assert stub.connections == 2
+
+    def test_gives_up_after_exhausting_retries(self):
+        with _StubServer(["close", "close", "close", "close"]) as stub:
+            client = CompileClient(port=stub.port, retries=2, timeout=5)
+            with pytest.raises(ConnectionError, match="3 attempts"):
+                client.ping()
+
+    def test_times_out_on_a_stalled_server_and_recovers(self):
+        # The stub stalls its first connection for 0.8s — longer than
+        # one client timeout, shorter than two — so attempt 1 times
+        # out and attempt 2 lands after the stall has cleared.
+        with _StubServer(["stall", "serve"]) as stub:
+            client = CompileClient(port=stub.port, retries=1, timeout=0.6)
+            with client:
+                assert client.ping()["ok"]
+            assert stub.connections == 2
+
+
+class TestBackgroundServerAndCli:
+    def test_sync_client_against_background_server(self, registry):
+        kernel = _vadd()
+        options = _quick_options()
+        with BackgroundServer(
+            config=ServiceConfig(port=0, batch_window=0.05),
+            registry=registry,
+        ) as server:
+            with CompileClient(port=server.port) as client:
+                cold = client.compile(kernel, options=options)
+                warm = client.compile(kernel, options=options)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert cold["result"] == warm["result"]
+
+    def test_client_cli_quickstart_flow(self, registry, capsys):
+        with BackgroundServer(
+            config=ServiceConfig(port=0, batch_window=0.05),
+            registry=registry,
+        ) as server:
+            from repro.service.client import main as client_main
+
+            assert client_main(
+                ["--port", str(server.port), "--ping"]
+            ) == 0
+        assert "server up (protocol v1)" in capsys.readouterr().out
+
+    def test_shutdown_op_stops_background_server(self, registry):
+        server = BackgroundServer(
+            config=ServiceConfig(port=0), registry=registry
+        )
+        with server:
+            with CompileClient(port=server.port) as client:
+                response = client.shutdown()
+            assert response["ok"]
+            server._thread.join(timeout=10)
+            assert not server._thread.is_alive()

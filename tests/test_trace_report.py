@@ -11,6 +11,7 @@ from repro.tools.trace_report import (
     phase_rollup,
     render_report,
     scheduling_rollup,
+    service_rollup,
     synthesis_rollup,
     timeline_table,
 )
@@ -89,6 +90,7 @@ class TestRendering:
         report = render_report(_synthetic_events())
         assert "== timeline ==" in report
         assert "== per-phase rollup ==" in report
+        assert "== service ==" in report
         assert "== synthesis ==" in report
         assert "hottest rules" in report
         assert "== scheduling ==" in report
@@ -125,6 +127,47 @@ class TestSchedulingRollup:
         assert "no rule-level counters" in scheduling_rollup(
             [{"name": "lower", "id": 0, "ts": 1.0, "dur": 0.1}]
         )
+
+
+def _service_events():
+    return [
+        {"name": "service.request", "id": 1, "ts": 1.0, "dur": 2.0,
+         "attrs": {"kernel": "qprod", "cache_hit": False,
+                   "deduped": False, "queue_s": 0.02}},
+        {"name": "service.request", "id": 2, "ts": 1.1, "dur": 2.0,
+         "attrs": {"kernel": "qprod", "cache_hit": False,
+                   "deduped": True, "queue_s": 0.0}},
+        {"name": "service.request", "id": 3, "ts": 3.5, "dur": 0.001,
+         "attrs": {"kernel": "qprod", "cache_hit": True,
+                   "deduped": False, "queue_s": 0.0}},
+        {"name": "service.request", "id": 4, "ts": 3.6, "dur": 0.001,
+         "attrs": {"kernel": "dot-8", "cache_hit": True,
+                   "deduped": False, "queue_s": 0.0}},
+        {"name": "service.batch", "id": 5, "ts": 1.05, "dur": 1.9,
+         "attrs": {"n_kernels": 3, "isa": "fusion-g3"}},
+    ]
+
+
+class TestServiceRollup:
+    def test_rates_and_queue_wait(self):
+        out = service_rollup(_service_events())
+        assert "requests: 4 (2 cache hits, 1 deduped, 1 compiled)" in out
+        assert "cache hit rate: 50.0%" in out
+        assert "dedupe rate: 25.0%" in out
+        # Queue wait: 0.02s over 4 requests = 5ms avg, 20ms max.
+        assert "5.0ms avg, 20.0ms max" in out
+
+    def test_batch_sizes(self):
+        out = service_rollup(_service_events())
+        assert "batches: 1 (3.0 kernels avg, 3 max" in out
+
+    def test_placeholder_without_service_records(self):
+        assert "no service records" in service_rollup(_synthetic_events())
+
+    def test_aggregates_across_traces(self):
+        out = service_rollup(_service_events() + _service_events())
+        assert "requests: 8" in out
+        assert "cache hit rate: 50.0%" in out
 
 
 def _synthesis_events():
