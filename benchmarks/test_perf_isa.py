@@ -1,0 +1,191 @@
+"""ISA-family lane-width sweep: cycles and lane utilization.
+
+Compiles the same elementwise kernels for every bundled non-base ISA
+family (avx-like, masked) at widths 4/8/16 — each compiler built by
+re-generalizing the shipped single-lane algebra at the target width
+(:func:`~repro.core.pregen.family_compiler`) — runs the compiled code
+on the cycle simulator, and checks output values against a plain
+Python reference.  Two workloads per (family, width):
+
+- **lane-multiple** (length 16): every width divides it, so compiled
+  code should fill its lanes — utilization floor 0.9 across all
+  families;
+- **non-lane-multiple** (length 11): no width divides it.  On the
+  masked family the tail must compile to prefix-masked vector code
+  with **zero scalar instructions** and utilization ≥ 0.5; unmasked
+  families pay the scalar/insert tail and their (unfloored)
+  utilization is recorded for comparison.
+
+Results go to ``BENCH_isa.json`` at the repo root;
+``tests/test_bench_schemas.py`` holds the committed numbers to the
+floors asserted here.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.bench.report import write_bench_json
+from repro.compiler.compile import CompileOptions
+from repro.compiler.frontend import trace_kernel
+from repro.core.pregen import family_compiler
+from repro.egraph.runner import RunnerLimits
+from repro.isa.families import isa_family
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_WIDTHS = (4, 8, 16)
+_FAMILIES = ("avx-like", "masked")
+_LANE_MULTIPLE_UTIL_FLOOR = 0.9
+_MASKED_TAIL_UTIL_FLOOR = 0.5
+
+_LANE_MULTIPLE_LEN = 16
+_NON_MULTIPLE_LEN = 11
+
+
+def _options() -> CompileOptions:
+    """Tight budgets: elementwise kernels lift in one round."""
+    return CompileOptions(
+        max_rounds=1,
+        expansion_limits=RunnerLimits(
+            max_iterations=2, max_nodes=2_000, time_limit=2.0
+        ),
+        compilation_limits=RunnerLimits(
+            max_iterations=4, max_nodes=4_000, time_limit=2.0
+        ),
+        optimization_limits=RunnerLimits(
+            max_iterations=2, max_nodes=2_000, time_limit=2.0
+        ),
+    )
+
+
+def _mac_kernel(length: int, width: int):
+    def mac(a, b, c):
+        return [a[i] * b[i] + c[i] for i in range(length)]
+
+    program = trace_kernel(
+        f"ew-mac-{length}", mac,
+        {"a": length, "b": length, "c": length}, width=width,
+    )
+    return program, mac
+
+
+def _inputs(length: int) -> dict:
+    return {
+        "a": [float(i + 1) for i in range(length)],
+        "b": [float(2 * i - 3) for i in range(length)],
+        "c": [float(i * i % 7) for i in range(length)],
+    }
+
+
+def _measure(compiler, length: int, width: int) -> dict:
+    program, mac = _mac_kernel(length, width)
+    t0 = time.monotonic()
+    compiled = compiler.compile_kernel(program)
+    compile_s = time.monotonic() - t0
+    opcodes = [i.opcode for i in compiled.machine_program.instrs]
+    scalar_tail = sum(1 for op in opcodes if op.startswith("s."))
+    inputs = _inputs(length)
+    result = compiled.run(inputs)
+    got = list(result.memory[compiled.output][:length])
+    want = [float(x) for x in mac(inputs["a"], inputs["b"], inputs["c"])]
+    return {
+        "kernel": program.name,
+        "length": length,
+        "compile_s": compile_s,
+        "cycles": result.cycles,
+        "n_instructions": result.n_instructions,
+        "scalar_instructions": scalar_tail,
+        "masked_ops": result.masked_ops,
+        "lane_utilization": result.lane_utilization,
+        "masked_op_share": result.masked_op_share,
+        "correct": got == want,
+    }
+
+
+def test_perf_isa(benchmark):
+    options = _options()
+
+    def experiment():
+        rows = []
+        for family_name in _FAMILIES:
+            family = isa_family(family_name)
+            for width in _WIDTHS:
+                spec = family.spec(width)
+                t0 = time.monotonic()
+                compiler = family_compiler(spec, compile_options=options)
+                build_s = time.monotonic() - t0
+                for length in (_LANE_MULTIPLE_LEN, _NON_MULTIPLE_LEN):
+                    row = _measure(compiler, length, width)
+                    row.update(
+                        family=family_name,
+                        isa=spec.name,
+                        width=width,
+                        compiler_build_s=build_s,
+                        masked_family=family.masked,
+                    )
+                    rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert len(rows) == len(_FAMILIES) * len(_WIDTHS) * 2
+    for row in rows:
+        assert row["correct"], f"{row['isa']}/{row['kernel']}: wrong values"
+
+    multiples = [
+        r for r in rows if r["length"] % r["width"] == 0
+    ]
+    masked_tails = [
+        r for r in rows
+        if r["masked_family"] and r["length"] % r["width"]
+    ]
+    lane_multiple_util = min(r["lane_utilization"] for r in multiples)
+    masked_tail_util = min(r["lane_utilization"] for r in masked_tails)
+
+    # The tentpole's tail-masking claim: non-lane-multiple kernels on
+    # the masked family compile without a scalar epilogue.
+    for row in masked_tails:
+        assert row["scalar_instructions"] == 0, (
+            f"{row['isa']}/{row['kernel']}: "
+            f"{row['scalar_instructions']} scalar tail instructions"
+        )
+        assert row["masked_ops"] > 0, (
+            f"{row['isa']}/{row['kernel']}: no masked ops in a "
+            "non-lane-multiple kernel"
+        )
+
+    payload = {
+        "rows": rows,
+        "widths": list(_WIDTHS),
+        "families": list(_FAMILIES),
+        "lane_multiple_utilization_rate": lane_multiple_util,
+        "masked_tail_utilization_rate": masked_tail_util,
+    }
+    write_bench_json(
+        _REPO_ROOT / "BENCH_isa.json",
+        "isa-families",
+        payload,
+        floors={
+            "lane_multiple_utilization_rate": _LANE_MULTIPLE_UTIL_FLOOR,
+            "masked_tail_utilization_rate": _MASKED_TAIL_UTIL_FLOOR,
+        },
+    )
+    by_isa = {}
+    for row in rows:
+        by_isa.setdefault(row["isa"], []).append(row)
+    print("\nisa sweep (cycles @ util):")
+    for isa, isa_rows in by_isa.items():
+        cells = ", ".join(
+            f"{r['kernel']}: {r['cycles']}c @ {r['lane_utilization']:.3f}"
+            for r in isa_rows
+        )
+        print(f"  {isa}: {cells}")
+    assert lane_multiple_util >= _LANE_MULTIPLE_UTIL_FLOOR, (
+        f"lane-multiple utilization {lane_multiple_util:.3f} below "
+        f"{_LANE_MULTIPLE_UTIL_FLOOR}"
+    )
+    assert masked_tail_util >= _MASKED_TAIL_UTIL_FLOOR, (
+        f"masked-tail utilization {masked_tail_util:.3f} below "
+        f"{_MASKED_TAIL_UTIL_FLOOR}"
+    )

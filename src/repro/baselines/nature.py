@@ -20,9 +20,21 @@ from repro.kernels.specs import KernelInstance
 from repro.machine.program import Program, ProgramBuilder
 
 
-def has_nature_kernel(instance: KernelInstance) -> bool:
-    """Nature covers conv2d, matmul, and quaternion product — not QR."""
-    return instance.family in ("2DConv", "MatMul", "QP")
+def has_nature_kernel(
+    instance: KernelInstance, spec: IsaSpec | None = None
+) -> bool:
+    """Nature covers conv2d, matmul, and quaternion product — not QR.
+
+    The conv2d and matmul routines are size- and width-generic (they
+    loop over ``spec.vector_width`` blocks), but the quaternion
+    product is a fixed 4-wide shuffle recipe; on any other width the
+    library simply does not provide it, so with a ``spec`` the QP
+    entry reports uncovered instead of failing at build time — the
+    same "library omits some kernels" behavior §5.1 notes for QR.
+    """
+    if instance.family == "QP":
+        return spec is None or spec.vector_width == 4
+    return instance.family in ("2DConv", "MatMul")
 
 
 def nature_program(
@@ -253,10 +265,19 @@ def _conv2d(instance: KernelInstance, spec: IsaSpec):
 
 
 def _qprod(instance: KernelInstance, spec: IsaSpec):
-    """Library quaternion product: shuffles + sign masks + MACs."""
+    """Library quaternion product: shuffles + sign masks + MACs.
+
+    The shuffle patterns and sign masks are intrinsically 4-wide;
+    callers should gate on :func:`has_nature_kernel` (which reports QP
+    uncovered off width 4) rather than catch this error.
+    """
     width = spec.vector_width
     if width != 4:
-        raise ValueError("the library quaternion product is 4-wide")
+        raise ValueError(
+            f"the library quaternion product is 4-wide; "
+            f"{spec.name!r} is {width}-wide (has_nature_kernel "
+            "reports this instance uncovered)"
+        )
     builder = ProgramBuilder()
 
     q = builder.v_load("q", 0)

@@ -98,7 +98,7 @@ def measure_baseline(
         elif system == "slp":
             program = compile_slp(instance.program, spec)
         elif system == "nature":
-            if not has_nature_kernel(instance):
+            if not has_nature_kernel(instance, spec):
                 return Measurement(
                     system, 0, False, error="no library kernel"
                 )

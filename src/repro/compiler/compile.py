@@ -135,6 +135,18 @@ class CompileReport:
     # One entry per pipeline pass, in execution order; their elapsed
     # segments sum to ``elapsed`` (the pipeline accumulates both).
     passes: list[PassReport] = field(default_factory=list)
+    # Lane-utilization counters from simulating the compiled program
+    # (filled by drivers that run the machine — e.g. CompiledKernel.run
+    # and the bench harness; zero until then).
+    lanes_issued: int = 0
+    lanes_active: int = 0
+
+    @property
+    def lane_utilization(self) -> float | None:
+        """Active/issued lane ratio, or None before any simulation."""
+        if self.lanes_issued == 0:
+            return None
+        return self.lanes_active / self.lanes_issued
 
     @property
     def n_eqsat_calls(self) -> int:

@@ -4,12 +4,20 @@
 §2.1); lowering makes the movement concrete, choosing per literal:
 
 1. all-constant lanes → one ``v.const``;
-2. a contiguous ascending ``Get`` run of one array → one ``v.load``;
-3. arbitrary ``Get`` lanes drawn from at most two aligned windows →
+2. a contiguous ascending ``Get`` run of one array → one ``v.load``
+   (``v.loadu`` when the ISA models alignment and the run is
+   misaligned);
+3. on a masked ISA, a ``Get`` run followed by zero padding → one
+   prefix-masked ``v.load.m``;
+4. arbitrary ``Get`` lanes drawn from at most two aligned windows →
    vector loads + one ``v.shuffle``;
-4. identical computed lanes → ``v.splat``;
-5. otherwise → compute each lane as a scalar and ``v.insert`` it —
+5. identical computed lanes → ``v.splat``;
+6. otherwise → compute each lane as a scalar and ``v.insert`` it —
    the expensive path the cost model steers extraction away from.
+
+On a masked ISA a kernel whose output length is not a lane multiple
+stores its final chunk under a prefix mask (``v.store.m``) — the
+tail-masking that replaces the scalar epilogue.
 
 Lowering is memoized over interned terms, so common subexpressions are
 computed once (the CSE the fully-unrolled kernels rely on).
@@ -22,6 +30,7 @@ from repro.lang import term as T
 from repro.lang.ops import OpKind
 from repro.lang.term import Term
 from repro.machine.program import Program, ProgramBuilder
+from repro.phases.cost import masked_prefix_split
 
 
 class LoweringError(ValueError):
@@ -33,14 +42,22 @@ def _padded_len(length: int, width: int) -> int:
 
 
 class _Lowerer:
-    def __init__(self, spec: IsaSpec, arrays: dict, output: str):
+    def __init__(
+        self,
+        spec: IsaSpec,
+        arrays: dict,
+        output: str,
+        output_len: int | None = None,
+    ):
         self._spec = spec
         self._width = spec.vector_width
         self._arrays = dict(arrays)
         self._output = output
+        self._output_len = output_len
         self._builder = ProgramBuilder()
         self._scalar_memo: dict[Term, str] = {}
         self._vector_memo: dict[Term, str] = {}
+        self._mask_memo: dict[int, str] = {}
         self._kinds = {i.name: i.kind for i in spec.instructions}
 
     # -- entry ---------------------------------------------------------------
@@ -49,11 +66,32 @@ class _Lowerer:
         if program.op != "List":
             raise LoweringError("expected a (List ...) program at top level")
         width = self._width
+        tail = (self._output_len or 0) % width
+        last = len(program.args) - 1
         for i, chunk in enumerate(program.args):
-            reg = self.lower_vector(chunk)
-            self._builder.v_store(self._output, i * width, reg)
+            if self._spec.masked and tail and i == last:
+                # Tail-masking: the final chunk computes and stores
+                # under a prefix mask — its padding lanes never touch
+                # the vector ALU or memory, so the stored output is
+                # exact without a scalar epilogue.
+                reg = self.lower_vector(chunk, mask_active=tail)
+                self._builder.v_store_m(
+                    self._output, i * width, reg, self._prefix_mask(tail)
+                )
+            else:
+                reg = self.lower_vector(chunk)
+                self._builder.v_store(self._output, i * width, reg)
         self._builder.halt()
         return self._builder.build()
+
+    def _prefix_mask(self, active: int) -> str:
+        """The (memoized) mask register with ``active`` leading 1s."""
+        reg = self._mask_memo.get(active)
+        if reg is None:
+            lanes = (1,) * active + (0,) * (self._width - active)
+            reg = self._builder.m_const(lanes)
+            self._mask_memo[active] = reg
+        return reg
 
     # -- scalar lowering ---------------------------------------------------
 
@@ -85,33 +123,62 @@ class _Lowerer:
 
     # -- vector lowering ---------------------------------------------------
 
-    def lower_vector(self, term: Term) -> str:
-        reg = self._vector_memo.get(term)
+    def lower_vector(
+        self, term: Term, mask_active: int | None = None
+    ) -> str:
+        """Lower a vector-valued term, optionally under a prefix mask.
+
+        ``mask_active`` (tail-masking, masked ISAs only) predicates the
+        term's whole cone on the first ``mask_active`` lanes: vector
+        ALU ops become ``v.op.m`` and ``Vec`` literals discard their
+        padding lanes — sound because the caller only observes the
+        active lanes.  Memoization is keyed per mask so a subterm
+        shared between a full-width chunk and the tail is not
+        conflated.
+        """
+        key = (term, mask_active)
+        reg = self._vector_memo.get(key)
         if reg is not None:
             return reg
         if term.op == "Vec":
-            reg = self._lower_vec_literal(term)
+            reg = self._lower_vec_literal(term, mask_active)
         elif term.op == "Concat":
             raise LoweringError(
                 "Concat produces a double-width vector; the machine is "
                 f"{self._width}-wide"
             )
         elif self._kinds.get(term.op) is OpKind.VECTOR:
-            args = [self.lower_vector(arg) for arg in term.args]
-            reg = self._builder.v_op(term.op, *args)
+            args = [
+                self.lower_vector(arg, mask_active) for arg in term.args
+            ]
+            if mask_active is None:
+                reg = self._builder.v_op(term.op, *args)
+            else:
+                reg = self._builder.v_op_m(
+                    term.op, self._prefix_mask(mask_active), *args
+                )
         else:
             raise LoweringError(
                 f"operator {term.op!r} is not vector-valued; the "
                 "compiled program left a scalar where a vector is needed"
             )
-        self._vector_memo[term] = reg
+        self._vector_memo[key] = reg
         return reg
 
-    def _lower_vec_literal(self, term: Term) -> str:
+    def _lower_vec_literal(
+        self, term: Term, mask_active: int | None = None
+    ) -> str:
         lanes = term.args
         if len(lanes) != self._width:
             raise LoweringError(
                 f"Vec of width {len(lanes)} on a {self._width}-wide machine"
+            )
+        if mask_active is not None and mask_active < self._width:
+            # Under a prefix mask the padding lanes are dead: extraction
+            # may leave computed junk there (e.g. an unfolded `(* 0 0)`)
+            # which would otherwise defeat the cheap strategies below.
+            lanes = lanes[:mask_active] + (T.const(0.0),) * (
+                self._width - mask_active
             )
         builder = self._builder
 
@@ -122,6 +189,11 @@ class _Lowerer:
 
         if all(T.is_get(lane) for lane in lanes):
             reg = self._try_loads_and_shuffle(lanes)
+            if reg is not None:
+                return reg
+
+        if self._spec.masked:
+            reg = self._try_masked_prefix_load(lanes)
             if reg is not None:
                 return reg
 
@@ -141,6 +213,22 @@ class _Lowerer:
             reg = builder.v_insert(reg, i, self.lower_scalar(lane))
         return reg
 
+    def _try_masked_prefix_load(self, lanes: tuple[Term, ...]) -> str | None:
+        """Get-run-then-zeros lanes as one prefix-masked load."""
+        active = masked_prefix_split(
+            [lane.op for lane in lanes],
+            [lane.payload for lane in lanes],
+        )
+        if active is None:
+            return None
+        array, start = lanes[0].payload
+        padded = _padded_len(self._array_len(array), self._width)
+        if not (0 <= start and start + active <= padded):
+            return None
+        return self._builder.v_load_m(
+            array, start, self._prefix_mask(active)
+        )
+
     def _try_loads_and_shuffle(self, lanes: tuple[Term, ...]) -> str | None:
         """Cover all-Get lanes with <=2 aligned vector loads + shuffle."""
         width = self._width
@@ -155,6 +243,8 @@ class _Lowerer:
             if indices == list(range(start, start + width)):
                 padded = _padded_len(self._array_len(array), width)
                 if 0 <= start and start + width <= padded:
+                    if self._spec.models_alignment and start % width:
+                        return self._builder.v_loadu(array, start)
                     return self._builder.v_load(array, start)
 
         windows: list[tuple[str, int]] = []
@@ -239,11 +329,18 @@ def lower_program(
     spec: IsaSpec,
     arrays: dict,
     output: str = "out",
+    output_len: int | None = None,
 ) -> Program:
     """Lower a compiled ``(List ...)`` term to a machine program.
 
     ``arrays`` maps input array names to their (unpadded) lengths; the
     machine memory must be padded to the vector width (the kernel
     harness does this), since vector loads read whole aligned windows.
+
+    ``output_len`` is the *unpadded* output length; on a masked ISA
+    (``spec.masked``) a non-lane-multiple length makes the final chunk
+    store under a prefix mask instead of writing padding lanes.
     """
-    return _Lowerer(spec, arrays, output).lower_program(program)
+    return _Lowerer(
+        spec, arrays, output, output_len=output_len
+    ).lower_program(program)

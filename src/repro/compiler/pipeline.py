@@ -849,9 +849,17 @@ class LowerPass(Pass):
 
         program = ctx.program
         ctx.machine = lower_program(
-            ctx.compiled, ctx.spec, program.arrays, output=program.output
+            ctx.compiled,
+            ctx.spec,
+            program.arrays,
+            output=program.output,
+            output_len=program.output_len,
         )
-        return {"n_instructions": len(ctx.machine.instrs)}
+        detail = {"n_instructions": len(ctx.machine.instrs)}
+        masked_stores = ctx.machine.count("v.store.m")
+        if masked_stores:
+            detail["masked_stores"] = masked_stores
+        return detail
 
 
 class SchedulePass(Pass):

@@ -112,6 +112,12 @@ def spec_semantics_hash(spec: IsaSpec) -> str:
         str(spec.vec_contiguous_cost),
         str(spec.concat_cost),
     ]
+    # Family extensions join the hash only when switched on, so every
+    # pre-existing fusion-g3 artifact keeps its fingerprint.
+    if spec.masked:
+        parts.append(f"masked/{spec.mask_cost}")
+    if spec.vec_unaligned_cost is not None:
+        parts.append(f"unaligned/{spec.vec_unaligned_cost}")
     for instr in sorted(spec.instructions, key=lambda i: i.name):
         parts.append(
             f"{instr.name}/{instr.arity}/{instr.kind.value}/"

@@ -86,10 +86,16 @@ class CompiledKernel:
         n_stores = sum(
             1
             for instr in self.machine_program.instrs
-            if instr.opcode == "v.store" and instr.array == self.output
+            if instr.opcode in ("v.store", "v.store.m")
+            and instr.array == self.output
         )
         memory[self.output] = [0.0] * max(n_stores * width, width)
-        return machine.run(program, memory)
+        result = machine.run(program, memory)
+        # Surface the machine's lane-utilization counters on the
+        # compile report (the per-program metric the ISA sweep reads).
+        self.report.lanes_issued = result.lanes_issued
+        self.report.lanes_active = result.lanes_active
+        return result
 
 
 @dataclass

@@ -61,3 +61,55 @@ def default_compiler(
         ruleset=ruleset,
         options=compile_options or CompileOptions(),
     )
+
+
+def single_lane_rules(path: Path = DEFAULT_RULES_FILE) -> list[Rewrite]:
+    """The width-independent single-lane algebra of the shipped set.
+
+    The ``scal-*`` rules relate scalar expressions only — no ``Vec``
+    terms — so they are valid at every vector width and can be
+    re-generalized (paper §3.1) for any ISA family sharing the
+    fusion-g3 lane semantics.  The ``lift``/``vect``/``pad`` forms in
+    the file are width-4-specific and are excluded here.
+    """
+    return [
+        rule
+        for rule in load_pregenerated_rules(path)
+        if rule.name.startswith("scal-")
+    ]
+
+
+def family_compiler(
+    spec: IsaSpec,
+    phase_params: PhaseParams | None = None,
+    compile_options: CompileOptions | None = None,
+    rules: "list[Rewrite] | None" = None,
+) -> GeneratedCompiler:
+    """A compiler for any bundled ISA family at any width.
+
+    The width-4 fusion-g3 spec loads the shipped full-width rules
+    directly (byte-identical to :func:`default_compiler`); every other
+    spec re-generalizes the shipped *single-lane* algebra at its own
+    width — the canonical lift rules come from the spec's vector
+    instructions, padding identities and vector forms are re-derived
+    and re-verified at the target width (mask-aware on masked specs).
+
+    ``rules`` overrides the single-lane seed set (tests pass ``[]``
+    for a lean lift-rules-only compiler).
+    """
+    if spec.name == "fusion-g3" and spec.vector_width == 4:
+        return default_compiler(spec, phase_params, compile_options)
+    from repro.ruler.lanes import generalize_rules
+
+    seed = single_lane_rules() if rules is None else rules
+    generalized, _report = generalize_rules(seed, spec)
+    cost_model = CostModel(spec)
+    ruleset = assign_phases(
+        cost_model, generalized, phase_params or default_params(spec)
+    )
+    return GeneratedCompiler(
+        spec=spec,
+        cost_model=cost_model,
+        ruleset=ruleset,
+        options=compile_options or CompileOptions(),
+    )

@@ -9,11 +9,23 @@ rule synthesis, and verifying candidate rules.
 
 The base target is a Tensilica-Fusion-G3-like DSP
 (:func:`fusion_g3_spec`), and §5.4's customization workflow is
-reproduced by :mod:`repro.isa.custom`.
+reproduced by :mod:`repro.isa.custom`.  Width-parametric *families*
+(the AVX-like wide ISA, the masked/predicated ISA) live in
+:mod:`repro.isa.families`.
 """
 
 from repro.isa.spec import Instruction, IsaSpec
 from repro.isa.fusion_g3 import fusion_g3_spec
+from repro.isa.avx_like import avx_like_spec
+from repro.isa.masked import masked_spec
+from repro.isa.families import (
+    BUNDLED_FAMILIES,
+    IsaFamily,
+    bundled_spec_factories,
+    family_of,
+    isa_family,
+    spec_by_name,
+)
 from repro.isa.custom import (
     make_mulsub_instructions,
     make_sqrtsgn_instructions,
@@ -23,7 +35,15 @@ from repro.isa.custom import (
 __all__ = [
     "Instruction",
     "IsaSpec",
+    "IsaFamily",
+    "BUNDLED_FAMILIES",
     "fusion_g3_spec",
+    "avx_like_spec",
+    "masked_spec",
+    "bundled_spec_factories",
+    "family_of",
+    "isa_family",
+    "spec_by_name",
     "make_mulsub_instructions",
     "make_sqrtsgn_instructions",
     "customized_spec",

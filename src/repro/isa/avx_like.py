@@ -1,0 +1,50 @@
+"""An AVX-like wide ISA family (8/16 float lanes, alignment-aware).
+
+The paper's §5.4 claim is that the generator adapts to ISA
+customization; this family stresses the *width* axis the way AVX /
+AVX-512 stress real compilers.  It reuses the fusion-g3 lane
+semantics (the DSL algebra is width-independent) but differs in the
+machine-facing contract:
+
+- the natural widths are 8 and 16 lanes instead of 4;
+- contiguous vector loads are only cheap when **aligned** to the
+  register width — a contiguous-but-misaligned run of ``Get`` lanes
+  costs ``vec_unaligned_cost`` and lowers to the dedicated ``v.loadu``
+  opcode, whose latency grows with register width in the simulator
+  (wider registers cross more alignment boundaries).
+
+Everything upstream of lowering (rule synthesis, lane generalization,
+phase assignment) is shared with fusion-g3 via
+:func:`repro.core.pregen.family_compiler`, which re-generalizes the
+width-independent single-lane algebra at this spec's width.
+"""
+
+from __future__ import annotations
+
+from repro.isa.fusion_g3 import fusion_g3_spec
+from repro.isa.spec import IsaSpec
+
+#: Cost of a contiguous-but-misaligned vector load (an aligned one
+#: costs ``vec_contiguous_cost`` = 1.0).  Calibrated between the
+#: aligned load and a two-load+shuffle expansion so extraction prefers
+#: aligned access but still vectorizes misaligned runs.
+UNALIGNED_LOAD_COST = 4.0
+
+
+def avx_like_spec(vector_width: int = 8) -> IsaSpec:
+    """The AVX-like wide ISA at ``vector_width`` lanes (default 8).
+
+    Widths 8 and 16 are the family's natural sizes (the AVX/AVX-512
+    analogy); 4 is accepted for sweep baselines.
+    """
+    if vector_width not in (4, 8, 16):
+        raise ValueError(
+            f"avx-like supports widths 4/8/16, not {vector_width}"
+        )
+    base = fusion_g3_spec(vector_width)
+    return IsaSpec(
+        name=f"avx-like-w{vector_width}",
+        vector_width=vector_width,
+        instructions=base.instructions,
+        vec_unaligned_cost=UNALIGNED_LOAD_COST,
+    )

@@ -1,0 +1,42 @@
+"""A masked/predicated ISA family (mask registers, no scalar tails).
+
+Real DSP and vector ISAs (AVX-512, SVE, RVV) carry per-lane predicate
+registers so loops whose trip counts are not lane multiples run
+entirely in the vector unit.  This family adds that contract to the
+repro: the machine model gains a mask register file (``m<N>``) and
+masked variants of load/store/arith (``v.load.m`` / ``v.store.m`` /
+``v.op.m``), and the lowering pass turns a kernel's tail chunk into a
+prefix-masked store instead of per-lane scalar inserts.
+
+Compiling for this family, a kernel with e.g. 11 outputs at width 8
+emits one full-width chunk plus one chunk under the 3-lane prefix
+mask — **zero scalar-tail instructions** — and the simulator's
+lane-utilization counters report 11/16 active lanes instead of the
+pessimistic scalar fallback.
+
+Lane semantics are shared with fusion-g3; only the structural costs
+(``mask_cost``) and the ``masked`` capability flag differ, so rule
+generalization reuses the same width-independent algebra via
+:func:`repro.core.pregen.family_compiler`.
+"""
+
+from __future__ import annotations
+
+from repro.isa.fusion_g3 import fusion_g3_spec
+from repro.isa.spec import IsaSpec
+
+
+def masked_spec(vector_width: int = 8) -> IsaSpec:
+    """The masked/predicated ISA at ``vector_width`` lanes (default 8)."""
+    if vector_width not in (4, 8, 16):
+        raise ValueError(
+            f"masked supports widths 4/8/16, not {vector_width}"
+        )
+    base = fusion_g3_spec(vector_width)
+    return IsaSpec(
+        name=f"masked-w{vector_width}",
+        vector_width=vector_width,
+        instructions=base.instructions,
+        masked=True,
+        mask_cost=1.0,
+    )

@@ -75,6 +75,14 @@ class IsaSpec:
     vec_lane_compute_cost: float = 1000.0  # lane holding a computation
     vec_contiguous_cost: float = 1.0  # whole Vec is one aligned load
     concat_cost: float = 10.0
+    # Family extensions (all default-off so fusion-g3 fingerprints are
+    # untouched; see repro.core.artifact.spec_semantics_hash).
+    masked: bool = False  # mask registers + masked load/store/arith
+    mask_cost: float = 1.0  # structural cost of materializing a mask
+    # Cost of a contiguous-but-misaligned vector load.  ``None`` means
+    # the ISA does not distinguish alignment (the fusion-g3 model);
+    # AVX-like specs set it above ``vec_contiguous_cost``.
+    vec_unaligned_cost: float | None = None
 
     def __post_init__(self):
         if self.vector_width < 2:
@@ -82,6 +90,18 @@ class IsaSpec:
         names = [instr.name for instr in self.instructions]
         if len(names) != len(set(names)):
             raise ValueError("duplicate instruction names in ISA spec")
+        if self.mask_cost <= 0:
+            raise ValueError("mask_cost must be positive (Definition 2)")
+        if (
+            self.vec_unaligned_cost is not None
+            and self.vec_unaligned_cost <= 0
+        ):
+            raise ValueError("vec_unaligned_cost must be positive")
+
+    @property
+    def models_alignment(self) -> bool:
+        """True when aligned and unaligned loads cost differently."""
+        return self.vec_unaligned_cost is not None
 
     # -- lookups ---------------------------------------------------------
 
@@ -161,4 +181,7 @@ class IsaSpec:
             vec_lane_compute_cost=self.vec_lane_compute_cost,
             vec_contiguous_cost=self.vec_contiguous_cost,
             concat_cost=self.concat_cost,
+            masked=self.masked,
+            mask_cost=self.mask_cost,
+            vec_unaligned_cost=self.vec_unaligned_cost,
         )

@@ -13,6 +13,7 @@ experimental *comparison* survives the scaling.
 
 from repro.kernels.specs import (
     KernelInstance,
+    default_vector_width,
     kernel_spec_hash,
     padded_memory,
     run_reference,
@@ -25,6 +26,7 @@ from repro.kernels.suite import default_suite, suite_by_key
 
 __all__ = [
     "KernelInstance",
+    "default_vector_width",
     "kernel_spec_hash",
     "padded_memory",
     "run_reference",

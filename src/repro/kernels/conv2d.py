@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compiler.frontend import trace_kernel
-from repro.kernels.specs import KernelInstance
+from repro.kernels.specs import KernelInstance, default_vector_width
 
 
 def _trace_conv2d(rows: int, cols: int, frows: int, fcols: int):
@@ -52,14 +52,18 @@ def _reference(rows: int, cols: int, frows: int, fcols: int):
 
 
 def conv2d_kernel(
-    rows: int, cols: int, frows: int, fcols: int, width: int = 4
+    rows: int, cols: int, frows: int, fcols: int,
+    width: int | None = None,
 ) -> KernelInstance:
-    """A 2DConv instance: ``rows x cols`` image, ``frows x fcols`` filter."""
+    """A 2DConv instance: ``rows x cols`` image, ``frows x fcols`` filter.
+
+    ``width`` defaults to :func:`~repro.kernels.specs.default_vector_width`.
+    """
     program = trace_kernel(
         f"conv2d-{rows}x{cols}-{frows}x{fcols}",
         _trace_conv2d(rows, cols, frows, fcols),
         {"I": rows * cols, "F": frows * fcols},
-        width,
+        width if width is not None else default_vector_width(),
     )
     return KernelInstance(
         key=f"2dconv-{rows}x{cols}-{frows}x{fcols}",

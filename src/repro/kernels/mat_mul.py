@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compiler.frontend import trace_kernel
-from repro.kernels.specs import KernelInstance
+from repro.kernels.specs import KernelInstance, default_vector_width
 
 
 def _trace_matmul(m: int, k: int, n: int):
@@ -22,13 +22,18 @@ def _trace_matmul(m: int, k: int, n: int):
     return kernel
 
 
-def matmul_kernel(m: int, k: int, n: int, width: int = 4) -> KernelInstance:
-    """An ``m x k`` by ``k x n`` matrix multiplication instance."""
+def matmul_kernel(
+    m: int, k: int, n: int, width: int | None = None
+) -> KernelInstance:
+    """An ``m x k`` by ``k x n`` matrix multiplication instance.
+
+    ``width`` defaults to :func:`~repro.kernels.specs.default_vector_width`.
+    """
     program = trace_kernel(
         f"matmul-{m}x{k}-{k}x{n}",
         _trace_matmul(m, k, n),
         {"A": m * k, "B": k * n},
-        width,
+        width if width is not None else default_vector_width(),
     )
 
     def reference(inputs: dict) -> np.ndarray:

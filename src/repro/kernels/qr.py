@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compiler.frontend import sym_sgn, sym_sqrt, trace_kernel
-from repro.kernels.specs import KernelInstance
+from repro.kernels.specs import KernelInstance, default_vector_width
 
 
 def _trace_qr(n: int):
@@ -69,10 +69,16 @@ def qr_reference(matrix: np.ndarray) -> np.ndarray:
     return r
 
 
-def qr_kernel(n: int, width: int = 4) -> KernelInstance:
-    """QR decomposition (R factor) of an ``n x n`` matrix."""
+def qr_kernel(n: int, width: int | None = None) -> KernelInstance:
+    """QR decomposition (R factor) of an ``n x n`` matrix.
+
+    ``width`` defaults to :func:`~repro.kernels.specs.default_vector_width`.
+    """
     program = trace_kernel(
-        f"qr-{n}x{n}", _trace_qr(n), {"A": n * n}, width
+        f"qr-{n}x{n}",
+        _trace_qr(n),
+        {"A": n * n},
+        width if width is not None else default_vector_width(),
     )
 
     def reference(inputs: dict) -> np.ndarray:

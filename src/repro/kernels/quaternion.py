@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compiler.frontend import trace_kernel
-from repro.kernels.specs import KernelInstance
+from repro.kernels.specs import KernelInstance, default_vector_width
 
 
 def _trace_qprod():
@@ -28,10 +28,16 @@ def _trace_qprod():
     return kernel
 
 
-def quaternion_product_kernel(width: int = 4) -> KernelInstance:
-    """The fixed-size Hamilton-product kernel (paper's QP)."""
+def quaternion_product_kernel(width: int | None = None) -> KernelInstance:
+    """The fixed-size Hamilton-product kernel (paper's QP).
+
+    ``width`` defaults to :func:`~repro.kernels.specs.default_vector_width`.
+    """
     program = trace_kernel(
-        "qprod", _trace_qprod(), {"p": 4, "q": 4}, width
+        "qprod",
+        _trace_qprod(),
+        {"p": 4, "q": 4},
+        width if width is not None else default_vector_width(),
     )
 
     def reference(inputs: dict) -> np.ndarray:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import hashlib
+import os
 import random
 from dataclasses import dataclass
 from typing import Callable
@@ -10,6 +11,29 @@ from typing import Callable
 import numpy as np
 
 from repro.compiler.frontend import KernelProgram
+
+
+def default_vector_width() -> int:
+    """The vector width kernels trace at when none is given.
+
+    Reads ``REPRO_VECTOR_WIDTH`` (default 4, the base fusion-g3
+    width), so a whole suite can be re-traced for a wider ISA family
+    without threading a width argument through every call site.
+    """
+    raw = os.environ.get("REPRO_VECTOR_WIDTH", "")
+    if not raw:
+        return 4
+    try:
+        width = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_VECTOR_WIDTH={raw!r} is not an integer"
+        ) from exc
+    if width < 2:
+        raise ValueError(
+            f"REPRO_VECTOR_WIDTH={width} must be at least 2"
+        )
+    return width
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ from repro.kernels.conv2d import conv2d_kernel
 from repro.kernels.mat_mul import matmul_kernel
 from repro.kernels.qr import qr_kernel
 from repro.kernels.quaternion import quaternion_product_kernel
-from repro.kernels.specs import KernelInstance
+from repro.kernels.specs import KernelInstance, default_vector_width
 from repro.obs import current_tracer
 
 # (rows, cols, frows, fcols) — paper label "r² x f²" style.
@@ -40,19 +40,34 @@ QR_SIZES = [3, 4]
 
 
 def default_suite(
-    width: int = 4,
+    width: int | None = None,
     conv2d_sizes=None,
     matmul_sizes=None,
     qr_sizes=None,
     include_qprod: bool = True,
+    spec=None,
 ) -> list[KernelInstance]:
     """The full benchmark suite in Fig. 4 display order.
 
-    Building an instance traces its kernel through the front end, so
-    this is the first pipeline stage of a suite run; when tracing is
-    enabled (see :mod:`repro.obs`) it emits a ``suite.build`` span
-    with the family breakdown.
+    Kernels trace at ``spec.vector_width`` when an
+    :class:`~repro.isa.spec.IsaSpec` is given, else at ``width``, else
+    at :func:`~repro.kernels.specs.default_vector_width` — so the same
+    suite retargets to any ISA family without per-kernel width
+    plumbing.  Building an instance traces its kernel through the
+    front end, so this is the first pipeline stage of a suite run;
+    when tracing is enabled (see :mod:`repro.obs`) it emits a
+    ``suite.build`` span with the family breakdown.
     """
+    if width is None:
+        width = (
+            spec.vector_width if spec is not None
+            else default_vector_width()
+        )
+    elif spec is not None and spec.vector_width != width:
+        raise ValueError(
+            f"width={width} conflicts with spec {spec.name!r} "
+            f"(vector_width={spec.vector_width})"
+        )
     with current_tracer().span("suite.build", width=width) as span:
         instances: list[KernelInstance] = []
         n_conv = n_matmul = n_qr = 0
@@ -79,6 +94,11 @@ def default_suite(
     return instances
 
 
-def suite_by_key(width: int = 4) -> dict:
-    """The default suite indexed by kernel key."""
-    return {inst.key: inst for inst in default_suite(width)}
+def suite_by_key(width: int | None = None, spec=None) -> dict:
+    """The default suite indexed by kernel key.
+
+    ``width``/``spec`` resolve exactly as in :func:`default_suite`.
+    """
+    return {
+        inst.key: inst for inst in default_suite(width, spec=spec)
+    }

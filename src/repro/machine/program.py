@@ -22,6 +22,11 @@ opcode                meaning                                  unit
 ``v.insert``          dst <- src_vec with lane imm = scalar    vector
 ``v.extract``         dst scalar <- src_vec lane imm           vector
 ``v.shuffle``         dst lanes <- concat(a, b)[pattern]       vector
+``v.loadu``           unaligned vector load (slower)           mem
+``m.const``           mask dst <- imm (tuple of 0/1 lanes)     vector
+``v.load.m``          masked load: active lanes only           mem
+``v.store.m``         masked store: active lanes only          mem
+``v.op.m``            masked lanewise op (inactive -> 0.0)     vector
 ``label``             branch target marker                     —
 ``jump``              unconditional branch                     control
 ``bnez``              branch if src != 0                       control
@@ -84,6 +89,11 @@ UNITS: dict[str, str] = {
     "v.insert": "vector",
     "v.extract": "vector",
     "v.shuffle": "vector",
+    "v.loadu": "mem",
+    "m.const": "vector",
+    "v.load.m": "mem",
+    "v.store.m": "mem",
+    "v.op.m": "vector",
     "jump": "control",
     "bnez": "control",
     "blt": "control",
@@ -144,6 +154,7 @@ class ProgramBuilder:
         self.program = Program()
         self._next_scalar = 0
         self._next_vector = 0
+        self._next_mask = 0
         self._next_label = 0
 
     # -- registers and labels ------------------------------------------------
@@ -158,6 +169,12 @@ class ProgramBuilder:
         """Allocate a fresh virtual vector register name."""
         reg = f"v{self._next_vector}"
         self._next_vector += 1
+        return reg
+
+    def mask_reg(self) -> str:
+        """Allocate a fresh virtual mask register name."""
+        reg = f"m{self._next_mask}"
+        self._next_mask += 1
         return reg
 
     def fresh_label(self, hint: str = "L") -> str:
@@ -258,6 +275,44 @@ class ProgramBuilder:
         dst = self.vector_reg()
         self.emit(Instr("v.shuffle", dst=dst, srcs=(a, b),
                         imm=tuple(pattern)))
+        return dst
+
+    def v_loadu(self, array: str, offset: int,
+                index: str | None = None) -> str:
+        """Unaligned vector load (alignment-modeling ISAs only)."""
+        dst = self.vector_reg()
+        srcs = (index,) if index else ()
+        self.emit(Instr("v.loadu", dst=dst, srcs=srcs, array=array,
+                        offset=offset))
+        return dst
+
+    def m_const(self, lanes: tuple) -> str:
+        """``dst <- lanes`` (mask immediate of 0/1s); returns the reg."""
+        dst = self.mask_reg()
+        self.emit(Instr("m.const", dst=dst, imm=tuple(lanes)))
+        return dst
+
+    def v_load_m(self, array: str, offset: int, mask: str,
+                 index: str | None = None) -> str:
+        """Masked vector load: inactive lanes read as 0.0."""
+        dst = self.vector_reg()
+        srcs = (mask, index) if index else (mask,)
+        self.emit(Instr("v.load.m", dst=dst, srcs=srcs, array=array,
+                        offset=offset))
+        return dst
+
+    def v_store_m(self, array: str, offset: int, src: str, mask: str,
+                  index: str | None = None) -> None:
+        """Masked vector store: only active lanes touch memory."""
+        srcs = (src, mask, index) if index else (src, mask)
+        self.emit(Instr("v.store.m", srcs=srcs, array=array,
+                        offset=offset))
+
+    def v_op_m(self, op: str, mask: str, *srcs: str) -> str:
+        """Masked lane-wise op: inactive lanes produce 0.0."""
+        dst = self.vector_reg()
+        self.emit(Instr("v.op.m", dst=dst, srcs=(mask,) + tuple(srcs),
+                        op=op))
         return dst
 
     def label(self, name: str) -> None:

@@ -45,9 +45,9 @@ def _blocks(program: Program):
 
 
 def _memory_key(instr: Instr):
-    if instr.opcode in ("s.load", "v.load"):
+    if instr.opcode in ("s.load", "v.load", "v.loadu", "v.load.m"):
         return ("r", instr.array)
-    if instr.opcode in ("s.store", "v.store"):
+    if instr.opcode in ("s.store", "v.store", "v.store.m"):
         return ("w", instr.array)
     return None
 

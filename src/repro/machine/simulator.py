@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.isa.spec import IsaSpec
 from repro.machine.program import Instr, Program, UNITS
+from repro.obs import current_tracer
 
 # Machine-level latencies for non-ALU opcodes (cycles).
 _STRUCTURAL_LATENCY = {
@@ -38,6 +39,11 @@ _STRUCTURAL_LATENCY = {
     "v.insert": 2,
     "v.extract": 1,
     "v.shuffle": 1,
+    # v.loadu is per-width (set in Machine.__init__): wider registers
+    # cross more alignment boundaries, so unaligned access slows down.
+    "m.const": 1,
+    "v.load.m": 2,
+    "v.store.m": 1,
     "jump": 1,
     "bnez": 1,
     "blt": 1,
@@ -63,6 +69,28 @@ class SimResult:
     memory: dict
     opcode_counts: dict = field(default_factory=dict)
     trace: list | None = None  # (issue cycle, Instr) when tracing
+    # Lane-utilization counters over every vector (``v.*``) instruction:
+    # issued = executed vector ops × register width; active = lanes that
+    # did real work (popcount of the mask for masked ops, 1 for
+    # insert/extract, the full width otherwise).
+    lanes_issued: int = 0
+    lanes_active: int = 0
+    masked_ops: int = 0
+    vector_ops: int = 0
+
+    @property
+    def lane_utilization(self) -> float:
+        """Active/issued lane ratio (1.0 for all-scalar programs)."""
+        if self.lanes_issued == 0:
+            return 1.0
+        return self.lanes_active / self.lanes_issued
+
+    @property
+    def masked_op_share(self) -> float:
+        """Fraction of vector instructions that ran under a mask."""
+        if self.vector_ops == 0:
+            return 0.0
+        return self.masked_ops / self.vector_ops
 
     def array(self, name: str) -> list:
         """A copy of array ``name``'s final contents."""
@@ -88,6 +116,12 @@ class Machine:
         self._max_instructions = max_instructions
         self._lane_fns = {i.name: i.lane_fn for i in spec.instructions}
         self._latency = dict(_STRUCTURAL_LATENCY)
+        # Per-width register modeling: an unaligned load touches
+        # ceil(W/8)+1 aligned blocks' worth of machinery — one extra
+        # cycle at narrow widths, two on 16-lane registers.
+        self._latency["v.loadu"] = _STRUCTURAL_LATENCY["v.load"] + (
+            1 if spec.vector_width <= 8 else 2
+        )
         for instr in spec.instructions:
             self._latency[("op", instr.name)] = instr.latency
 
@@ -107,7 +141,7 @@ class Machine:
         return 0.0 if result is None else float(result)
 
     def _instr_latency(self, instr: Instr) -> int:
-        if instr.opcode in ("s.op", "v.op"):
+        if instr.opcode in ("s.op", "v.op", "v.op.m"):
             latency = self._latency.get(("op", instr.op))
             if latency is None:
                 raise SimulationError(f"no latency for op {instr.op!r}")
@@ -140,6 +174,10 @@ class Machine:
         regs: dict[str, object] = {}
         ready: dict[str, int] = {}
         opcode_counts: dict[str, int] = {}
+        lanes_issued = 0
+        lanes_active = 0
+        masked_ops = 0
+        vector_ops = 0
 
         pc = 0
         cycle = 0
@@ -164,6 +202,23 @@ class Machine:
             opcode_counts[instr.opcode] = (
                 opcode_counts.get(instr.opcode, 0) + 1
             )
+
+            # --- lane-utilization accounting -----------------------------
+            if instr.opcode.startswith("v."):
+                vector_ops += 1
+                lanes_issued += self._width
+                mask = None
+                if instr.opcode in ("v.op.m", "v.load.m"):
+                    mask = regs.get(instr.srcs[0])
+                elif instr.opcode == "v.store.m":
+                    mask = regs.get(instr.srcs[1])
+                if mask is not None:
+                    masked_ops += 1
+                    lanes_active += sum(1 for bit in mask if bit)
+                elif instr.opcode in ("v.insert", "v.extract"):
+                    lanes_active += 1  # one lane crosses the file
+                else:
+                    lanes_active += self._width
 
             # --- timing: find the issue cycle -------------------------------
             operands_ready = cycle
@@ -225,13 +280,30 @@ class Machine:
         final = cycle + 1
         for reg_ready in ready.values():
             final = max(final, reg_ready)
-        return SimResult(
+        result = SimResult(
             cycles=final,
             n_instructions=executed,
             memory=mem,
             opcode_counts=opcode_counts,
             trace=issue_log,
+            lanes_issued=lanes_issued,
+            lanes_active=lanes_active,
+            masked_ops=masked_ops,
+            vector_ops=vector_ops,
         )
+        current_tracer().record(
+            "machine.run",
+            0.0,
+            isa=self._spec.name,
+            width=self._width,
+            cycles=final,
+            n_instructions=executed,
+            lanes_issued=lanes_issued,
+            lanes_active=lanes_active,
+            masked_ops=masked_ops,
+            vector_ops=vector_ops,
+        )
+        return result
 
     def _execute(self, instr, regs, mem, labels):
         """Apply one instruction; returns a new pc if a branch is taken."""
@@ -273,6 +345,42 @@ class Machine:
                 self._alu(instr.op, tuple(v[i] for v in vecs))
                 for i in range(width)
             )
+        elif opcode == "v.loadu":
+            base = instr.offset + self._index_of(instr.srcs, 0, regs)
+            regs[instr.dst] = tuple(
+                self._mem_read(mem, instr.array, base + i)
+                for i in range(width)
+            )
+        elif opcode == "m.const":
+            mask = tuple(1 if x else 0 for x in instr.imm)
+            if len(mask) != width:
+                raise SimulationError("m.const width mismatch")
+            regs[instr.dst] = mask
+        elif opcode == "v.load.m":
+            mask = self._mask_of(regs, instr.srcs[0], width)
+            base = instr.offset + self._index_of(instr.srcs, 1, regs)
+            regs[instr.dst] = tuple(
+                self._mem_read(mem, instr.array, base + i)
+                if mask[i]
+                else 0.0
+                for i in range(width)
+            )
+        elif opcode == "v.store.m":
+            mask = self._mask_of(regs, instr.srcs[1], width)
+            base = instr.offset + self._index_of(instr.srcs, 2, regs)
+            vec = regs[instr.srcs[0]]
+            for i in range(width):
+                if mask[i]:
+                    self._mem_write(mem, instr.array, base + i, vec[i])
+        elif opcode == "v.op.m":
+            mask = self._mask_of(regs, instr.srcs[0], width)
+            vecs = tuple(regs[s] for s in instr.srcs[1:])
+            regs[instr.dst] = tuple(
+                self._alu(instr.op, tuple(v[i] for v in vecs))
+                if mask[i]
+                else 0.0
+                for i in range(width)
+            )
         elif opcode == "v.insert":
             vec = list(regs[instr.srcs[0]])
             vec[instr.imm] = regs[instr.srcs[1]]
@@ -295,6 +403,14 @@ class Machine:
         else:
             raise SimulationError(f"unknown opcode {opcode!r}")
         return None
+
+    @staticmethod
+    def _mask_of(regs: dict, reg: str, width: int) -> tuple:
+        """The mask register's 0/1 lanes (validated against width)."""
+        mask = regs.get(reg)
+        if not isinstance(mask, tuple) or len(mask) != width:
+            raise SimulationError(f"{reg!r} does not hold a {width}-lane mask")
+        return mask
 
     @staticmethod
     def _index_of(srcs: tuple, position: int, regs: dict) -> int:

@@ -35,6 +35,11 @@ class CostModel:
         self.vec_contiguous_cost = spec.vec_contiguous_cost
         self.concat_cost = spec.concat_cost
         self.list_cost = 1.0
+        # Family extensions (default-off; see repro.isa.spec).
+        self.masked = spec.masked
+        self.mask_cost = spec.mask_cost
+        self.vec_unaligned_cost = spec.vec_unaligned_cost
+        self._width = spec.vector_width
 
     # -- the extraction interface (repro.egraph.extract.CostFunction) ----
 
@@ -85,7 +90,9 @@ class CostModel:
             if all(op == "Const" for op, _ in lane_heads):
                 return self.vec_contiguous_cost
             if self._heads_contiguous(lane_heads):
-                return self.vec_contiguous_cost
+                return self._load_cost(lane_heads[0][1][1])
+            if self.masked and self._heads_masked_prefix(lane_heads):
+                return self.vec_contiguous_cost + self.mask_cost
             return self.vec_lane_literal_cost * len(lane_heads)
         cost = 0.0
         for op, _payload in lane_heads:
@@ -106,6 +113,24 @@ class CostModel:
         return indices == list(
             range(indices[0], indices[0] + len(indices))
         )
+
+    def _load_cost(self, start: int) -> float:
+        """Cost of one contiguous load starting at array index ``start``.
+
+        Alignment-blind ISAs charge ``vec_contiguous_cost`` regardless;
+        alignment-modeling ones (``vec_unaligned_cost`` set) charge
+        more when the run does not start on a register-width boundary.
+        """
+        if self.vec_unaligned_cost is not None and start % self._width:
+            return self.vec_unaligned_cost
+        return self.vec_contiguous_cost
+
+    def _heads_masked_prefix(self, lane_heads) -> bool:
+        split = masked_prefix_split(
+            [op for op, _ in lane_heads],
+            [payload for _, payload in lane_heads],
+        )
+        return split is not None
 
     # -- Definition 1 ------------------------------------------------------
 
@@ -132,7 +157,9 @@ class CostModel:
             if all(T.is_const(lane) for lane in lanes):
                 return self.vec_contiguous_cost
             if self._is_contiguous_load(lanes):
-                return self.vec_contiguous_cost
+                return self._load_cost(lanes[0].payload[1])
+            if self.masked and self._is_masked_prefix(lanes):
+                return self.vec_contiguous_cost + self.mask_cost
             return self.vec_lane_literal_cost * len(lanes)
         cost = 0.0
         for lane in lanes:
@@ -152,6 +179,38 @@ class CostModel:
             return False
         indices = [lane.payload[1] for lane in lanes]
         return indices == list(range(indices[0], indices[0] + len(indices)))
+
+    def _is_masked_prefix(self, lanes: tuple[Term, ...]) -> bool:
+        split = masked_prefix_split(
+            [lane.op for lane in lanes],
+            [lane.payload for lane in lanes],
+        )
+        return split is not None
+
+
+def masked_prefix_split(ops: list, payloads: list):
+    """Lane count of a ``Get``-run-then-zero-``Const``-tail pattern.
+
+    This is the shape a masked ISA serves with one prefix-masked load
+    (``v.load.m``): a contiguous ascending run of one array's ``Get``s
+    in lanes ``0..k-1`` and literal-zero padding in lanes ``k..W-1``.
+    Returns ``k``, or ``None`` when the lanes are not that shape.
+    """
+    k = 0
+    while k < len(ops) and ops[k] == "Get":
+        k += 1
+    if k == 0 or k == len(ops):
+        return None
+    if any(op != "Const" or payload != 0 for op, payload in
+           zip(ops[k:], payloads[k:])):
+        return None
+    arrays = {payload[0] for payload in payloads[:k]}
+    if len(arrays) != 1:
+        return None
+    indices = [payload[1] for payload in payloads[:k]]
+    if indices != list(range(indices[0], indices[0] + k)):
+        return None
+    return k
 
 
 def check_strict_monotonicity(

@@ -446,7 +446,76 @@ def verify_vector_rule(
                 "fuzz",
                 f"vector counterexample {env}: {left!r} != {right!r}",
             )
+    if spec.masked:
+        failure = _verify_masked_projection(
+            lhs_term, rhs_term, interpreter, names, kinds, width, seed
+        )
+        if failure is not None:
+            return failure
     return VerifyResult(True, "fuzz")
+
+
+def _verify_masked_projection(
+    lhs_term: Term,
+    rhs_term: Term,
+    interpreter: Interpreter,
+    names: list,
+    kinds: dict,
+    width: int,
+    seed: int,
+    n_envs: int = 4,
+) -> VerifyResult | None:
+    """Masked re-check for predicated ISAs; None means it passed.
+
+    Under tail-masking only a prefix of each vector's lanes is
+    observed, and the inactive tail may hold anything the rest of the
+    program left there.  For each prefix mask we scramble the inactive
+    lanes with out-of-distribution junk and require both sides to
+    still agree on the *active* prefix — catching any generalized rule
+    that would smuggle inactive-lane data into active lanes.  Lane-wise
+    rules pass trivially; the check exists for cross-lane custom
+    instructions.
+    """
+    from random import Random
+
+    rng = Random(seed ^ 0x6D61736B)  # "mask"
+    for active in sorted({1, max(1, width - 1)}):
+        for _ in range(n_envs):
+            env = {}
+            for name in names:
+                if kinds.get(name) == "vector":
+                    lanes = [
+                        Fraction(rng.randint(-6, 6), rng.choice((1, 2, 3)))
+                        for _ in range(width)
+                    ]
+                    for lane in range(active, width):
+                        lanes[lane] = Fraction(rng.randint(-97, 97))
+                    env[name] = tuple(lanes)
+                else:
+                    env[name] = Fraction(
+                        rng.randint(-6, 6), rng.choice((1, 2, 3))
+                    )
+            left = interpreter.evaluate(lhs_term, env)
+            right = interpreter.evaluate(rhs_term, env)
+            if left is UNDEFINED or right is UNDEFINED:
+                # Junk in an inactive lane made a side undefined; a
+                # masked machine would not execute that lane, so this
+                # environment proves nothing either way.
+                continue
+            left_prefix = (
+                left[:active] if isinstance(left, tuple) else left
+            )
+            right_prefix = (
+                right[:active] if isinstance(right, tuple) else right
+            )
+            if not values_equal(left_prefix, right_prefix):
+                return VerifyResult(
+                    False,
+                    "fuzz",
+                    f"masked (active={active}) counterexample {env}: "
+                    f"{left!r} != {right!r}",
+                )
+    return None
 
 
 def _wildcard_kinds(pattern: Term, spec: IsaSpec) -> dict:

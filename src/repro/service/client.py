@@ -267,10 +267,10 @@ class AsyncCompileClient:
         return await self.request(message)
 
 
-def _suite_kernel(key: str):
+def _suite_kernel(key: str, width: int | None = None):
     from repro.kernels.suite import default_suite
 
-    suite = default_suite()
+    suite = default_suite(width)
     for instance in suite:
         if instance.key == key:
             return instance
@@ -297,6 +297,11 @@ def main(argv=None) -> int:
         "--isa", default="fusion-g3", help="registry ISA name"
     )
     parser.add_argument(
+        "--width", type=int, default=None,
+        help="vector width to trace the suite kernel at (must match "
+        "the --isa spec's width; default REPRO_VECTOR_WIDTH or 4)",
+    )
+    parser.add_argument(
         "--ping", action="store_true", help="just check the server is up"
     )
     parser.add_argument(
@@ -314,7 +319,7 @@ def main(argv=None) -> int:
             print(f"server up (protocol v{response['protocol']})")
             did_something = True
         if args.kernel:
-            instance = _suite_kernel(args.kernel)
+            instance = _suite_kernel(args.kernel, args.width)
             response = client.compile(instance, isa=args.isa)
             result = response["result"]
             source = "cache" if response["cached"] else (

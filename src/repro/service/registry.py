@@ -44,6 +44,7 @@ from repro.core.artifact import (
 )
 from repro.core.cache import ExpansionCache, corrupt_entry_miss
 from repro.isa import customized_spec, fusion_g3_spec
+from repro.isa.families import bundled_spec_factories
 from repro.isa.spec import IsaSpec
 from repro.obs import current_tracer
 
@@ -65,11 +66,15 @@ def _fusion_g3_full():
 
 
 #: ISA names the service resolves out of the box, each mapping to a
-#: zero-argument spec factory.  Extend per-process via
+#: zero-argument spec factory: the two historical fusion-g3 variants
+#: plus every bundled ISA-family/width combination
+#: (:func:`repro.isa.families.bundled_spec_factories` — ``avx-like-w8``,
+#: ``masked-w16``, ...).  Extend per-process via
 #: ``ArtifactRegistry(..., specs={...})`` for custom ISAs.
 KNOWN_SPECS = {
     "fusion-g3": fusion_g3_spec,
     "fusion-g3+mulsub+sqrtsgn": _fusion_g3_full,
+    **bundled_spec_factories(),
 }
 
 
@@ -210,11 +215,16 @@ class ArtifactRegistry:
         """The warm :class:`RegistryEntry` for an ISA name.
 
         Resolution order: in-memory memo → published artifact whose
-        semantics hash matches the named spec → (for the base ISA
-        only) a compiler bootstrapped from the shipped pregenerated
-        rules, which is immediately published so the next process
-        finds it as an artifact.  No path runs rule synthesis.
+        semantics hash matches the named spec → (for bundled
+        family/width names only) a compiler bootstrapped from the
+        shipped pregenerated rules — loaded directly for the base ISA,
+        re-generalized at the target width for every other family
+        (:func:`~repro.core.pregen.family_compiler`) — which is
+        immediately published so the next process finds it as an
+        artifact.  No path runs rule synthesis.
         """
+        from repro.isa.families import bundled_spec_factories
+
         spec = self.spec_for(isa)
         memo_key = spec_semantics_hash(spec)
         if memo_key in self._compilers:
@@ -226,10 +236,10 @@ class ArtifactRegistry:
                 "registry.artifact_hit", 0.0,
                 isa=isa, fingerprint=artifact.fingerprint,
             )
-        elif isa == "fusion-g3":
-            from repro.core.pregen import default_compiler
+        elif isa in bundled_spec_factories():
+            from repro.core.pregen import family_compiler
 
-            compiler = default_compiler(spec)
+            compiler = family_compiler(spec)
             artifact = compiler.to_artifact()
             self.publish(artifact)
             current_tracer().record(

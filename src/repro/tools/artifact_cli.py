@@ -193,7 +193,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         artifact, spec, options=options
     )
 
-    suite = default_suite(width=spec.vector_width)
+    suite = default_suite(spec=spec)
     if args.kernel:
         wanted = set(args.kernel)
         suite = [inst for inst in suite if inst.key in wanted]

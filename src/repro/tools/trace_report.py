@@ -21,12 +21,15 @@ tree, and prints:
 5. a **service rollup**: compile-server health from ``service.*``
    records — queue wait, batch size, and the result-cache / in-flight
    dedupe hit rates (see ``docs/service.md``);
-6. a **synthesis rollup**: per-term-size enumeration timings and the
+6. an **isa rollup**: per-ISA-family cycles, lane utilization, and
+   masked-op share from the ``machine.run`` records every simulator
+   run emits;
+7. a **synthesis rollup**: per-term-size enumeration timings and the
    verify batching counters carried by ``synthesize.*`` spans (the
    span-level view of ``SynthesisPerf``);
-7. the **top-N hottest rules** by cumulative e-match time, aggregated
+8. the **top-N hottest rules** by cumulative e-match time, aggregated
    from the ``SaturationPerf`` payloads of every ``eqsat`` span;
-8. a **scheduling rollup**: every rule's match-time share next to the
+9. a **scheduling rollup**: every rule's match-time share next to the
    merges it bought, flagging zero-merge rules as disable candidates
    for ``repro-autotune`` (see :mod:`repro.tools.autotune`).
 """
@@ -458,6 +461,68 @@ def service_rollup(events: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def isa_rollup(events: list[dict]) -> str:
+    """Per-ISA-family machine-run rollup from ``machine.run`` records.
+
+    Every simulator run records its ISA name, cycle count, and
+    lane-utilization counters (see
+    :class:`repro.machine.simulator.SimResult`); this section groups
+    them by family (``masked-w8`` and ``masked-w16`` both roll up
+    under ``masked`` via :func:`repro.isa.families.family_of`) and
+    reports total cycles, the active/issued lane-utilization ratio,
+    and what share of vector instructions were masked — the
+    at-a-glance view of how well each family's compiled code fills its
+    lanes.
+    """
+    from repro.isa.families import family_of
+
+    runs: dict[str, dict] = {}
+    for event in events:
+        if event.get("name") != "machine.run":
+            continue
+        attrs = event.get("attrs", {})
+        family = family_of(str(attrs.get("isa", "?")))
+        agg = runs.setdefault(
+            family,
+            {
+                "runs": 0, "cycles": 0, "issued": 0, "active": 0,
+                "masked": 0, "vector": 0, "widths": set(),
+            },
+        )
+        agg["runs"] += 1
+        agg["cycles"] += attrs.get("cycles", 0)
+        agg["issued"] += attrs.get("lanes_issued", 0)
+        agg["active"] += attrs.get("lanes_active", 0)
+        agg["masked"] += attrs.get("masked_ops", 0)
+        agg["vector"] += attrs.get("vector_ops", 0)
+        if "width" in attrs:
+            agg["widths"].add(attrs["width"])
+    if not runs:
+        return "(no machine.run records in this trace)"
+    lines = [
+        f"{'runs':>6}  {'cycles':>10}  {'util':>6}  {'masked':>7}"
+        "  family (widths)"
+    ]
+    lines.append("-" * 56)
+    for family, agg in sorted(
+        runs.items(), key=lambda kv: -kv[1]["cycles"]
+    ):
+        util = (
+            f"{agg['active'] / agg['issued']:.3f}"
+            if agg["issued"] else "  -"
+        )
+        masked_share = (
+            f"{agg['masked'] / agg['vector']:.1%}"
+            if agg["vector"] else "  -"
+        )
+        widths = ",".join(str(w) for w in sorted(agg["widths"]))
+        lines.append(
+            f"{agg['runs']:>6}  {agg['cycles']:>10}  {util:>6}"
+            f"  {masked_share:>7}  {family} ({widths})"
+        )
+    return "\n".join(lines)
+
+
 def render_report(
     events: list[dict], top: int = 10, max_depth: int | None = None
 ) -> str:
@@ -477,6 +542,9 @@ def render_report(
         "",
         "== service ==",
         service_rollup(events),
+        "",
+        "== isa ==",
+        isa_rollup(events),
         "",
         "== synthesis ==",
         synthesis_rollup(events),

@@ -31,6 +31,7 @@ _SPEEDUP_PATHS = {
     ],
     "compile-pipeline": lambda r, key: r[key]["speedup"],
     "compile-service": lambda r, key: r[key],
+    "isa-families": lambda r, key: r[key],
 }
 
 
@@ -46,6 +47,7 @@ def test_bench_corpus_is_present():
         "BENCH_schedule.json",
         "BENCH_pipeline.json",
         "BENCH_service.json",
+        "BENCH_isa.json",
     } <= names, names
 
 
@@ -101,6 +103,24 @@ def test_schedule_bench_records_parity_evidence():
 
     spec = ScheduleSpec.from_dict(results["schedule"]["spec"])
     assert spec.disabled_rules()
+
+
+def test_isa_bench_sweeps_widths_and_families():
+    doc = _load(_REPO_ROOT / "BENCH_isa.json")
+    results = doc["results"]
+    assert set(results["widths"]) == {4, 8, 16}
+    assert len(results["families"]) >= 2
+    covered = {(r["family"], r["width"]) for r in results["rows"]}
+    for family in results["families"]:
+        for width in results["widths"]:
+            assert (family, width) in covered, (family, width)
+    for row in results["rows"]:
+        assert row["correct"], row["isa"]
+        # The tentpole claim the baseline must document: masked-family
+        # tails carry no scalar epilogue.
+        if row["masked_family"] and row["length"] % row["width"]:
+            assert row["scalar_instructions"] == 0, row["isa"]
+            assert row["masked_ops"] > 0, row["isa"]
 
 
 def test_write_bench_json_envelope(tmp_path):

@@ -6,6 +6,7 @@ import pytest
 
 from repro.tools.trace_report import (
     hottest_rules,
+    isa_rollup,
     load_events,
     main,
     phase_rollup,
@@ -91,9 +92,43 @@ class TestRendering:
         assert "== timeline ==" in report
         assert "== per-phase rollup ==" in report
         assert "== service ==" in report
+        assert "== isa ==" in report
         assert "== synthesis ==" in report
         assert "hottest rules" in report
         assert "== scheduling ==" in report
+
+
+class TestIsaRollup:
+    def _run(self, isa, width, cycles, issued, active, masked, vector):
+        return {
+            "name": "machine.run", "dur": 0.0,
+            "attrs": {
+                "isa": isa, "width": width, "cycles": cycles,
+                "lanes_issued": issued, "lanes_active": active,
+                "masked_ops": masked, "vector_ops": vector,
+            },
+        }
+
+    def test_groups_by_family_across_widths(self):
+        report = isa_rollup([
+            self._run("masked-w8", 8, 10, 16, 11, 2, 4),
+            self._run("masked-w16", 16, 8, 32, 27, 2, 4),
+            self._run("fusion-g3", 4, 20, 8, 8, 0, 2),
+        ])
+        lines = report.splitlines()
+        masked_line = next(l for l in lines if "masked (" in l)
+        assert "8,16" in masked_line
+        # 38 active over 48 issued lanes across both masked runs.
+        assert f"{38 / 48:.3f}" in masked_line
+        fusion_line = next(l for l in lines if "fusion-g3" in l)
+        assert "1.000" in fusion_line
+
+    def test_masked_share_column(self):
+        report = isa_rollup([self._run("masked-w8", 8, 10, 16, 11, 2, 4)])
+        assert "50.0%" in report
+
+    def test_placeholder_without_machine_runs(self):
+        assert "no machine.run" in isa_rollup(_synthetic_events())
 
 
 class TestSchedulingRollup:
