@@ -149,6 +149,11 @@ def spec_fingerprint(spec: IsaSpec, config: SynthesisConfig) -> str:
             config.op_allowlist,
         )
     )
+    # cost_prune joins the key only when switched *off*, so every
+    # pre-existing artifact (written before the knob existed, default
+    # True) keeps its fingerprint.
+    if not config.cost_prune:
+        parts.append("cost_prune=False")
     return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
 
 
@@ -275,6 +280,10 @@ class CompilerArtifact:
     cost_params: dict = field(default_factory=dict)
     synthesis_config: dict = field(default_factory=dict)
     provenance: dict = field(default_factory=dict)
+    # Dominance-pruning provenance (repro.ruler.cost_prune): kept /
+    # dropped counts and the cost-model digest pruning ran under.
+    # None for unpruned rulesets and every pre-existing artifact.
+    pruning: dict | None = None
     # Tuned saturation schedule (its own versioned document; see
     # repro.egraph.scheduling).  None — including every pre-v3
     # artifact — compiles with the default backoff scheduler.
@@ -300,11 +309,14 @@ class CompilerArtifact:
         """
         spec = compiler.spec
         config = config or SynthesisConfig()
+        pruning = None
         if provenance is None:
             if compiler.synthesis is not None:
                 provenance = provenance_from_synthesis(compiler.synthesis)
             else:
                 provenance = {"source": "unknown"}
+        if compiler.synthesis is not None:
+            pruning = getattr(compiler.synthesis, "pruning", None)
         return cls(
             isa_name=spec.name,
             vector_width=spec.vector_width,
@@ -323,6 +335,7 @@ class CompilerArtifact:
             },
             synthesis_config=_config_to_dict(config),
             provenance=provenance,
+            pruning=pruning,
             schedule=compiler.schedule,
             created=time.time(),
         )
@@ -348,6 +361,9 @@ class CompilerArtifact:
             "cost_params": dict(self.cost_params),
             "synthesis_config": dict(self.synthesis_config),
             "provenance": dict(self.provenance),
+            "pruning": (
+                dict(self.pruning) if self.pruning is not None else None
+            ),
             "schedule": (
                 self.schedule.to_dict() if self.schedule else None
             ),
@@ -392,6 +408,11 @@ class CompilerArtifact:
                 cost_params=dict(doc.get("cost_params", {})),
                 synthesis_config=dict(doc.get("synthesis_config", {})),
                 provenance=dict(doc.get("provenance", {})),
+                pruning=(
+                    dict(doc["pruning"])
+                    if isinstance(doc.get("pruning"), dict)
+                    else None
+                ),
                 schedule=schedule,
                 created=float(doc.get("created", 0.0)),
                 version=version,
@@ -464,6 +485,20 @@ class CompilerArtifact:
                 else "default (backoff scheduler)"
             ),
         ]
+        if self.pruning is not None:
+            # One line per pruning stage (single_lane / full_width),
+            # or the flat kept/dropped form the pregen path records.
+            for stage, info in sorted(self.pruning.items()):
+                if not isinstance(info, dict):
+                    continue
+                lines.append(
+                    f"  pruning:      {stage}: "
+                    f"kept {info.get('n_kept', '?')}"
+                    f"/{info.get('n_in', '?')} "
+                    f"({info.get('n_dominated', '?')} dominated, "
+                    f"{info.get('n_rescued', '?')} rescued; "
+                    f"cost model {info.get('cost_model_digest', '?')})"
+                )
         source = prov.get("source", "unknown")
         if source == "synthesized":
             lines.append(

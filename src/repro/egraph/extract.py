@@ -7,6 +7,15 @@ cost function (Definition 2) the fixpoint converges to the true
 minimum per class, and the chosen-node pointers are acyclic so the
 final term can be materialized by walking them.
 
+Cost ties are broken *canonically*: a second fixpoint picks, among
+each class's minimum-cost nodes, the one whose materialized term is
+lexicographically least.  The extracted program is therefore a
+function of the e-graph's term sets alone — not of rule application
+order or node insertion order — so two saturations that discover the
+same equalities extract byte-identical programs.  (Strict
+monotonicity makes the equal-cost term set of every class finite,
+which is what guarantees the tie-break fixpoint terminates.)
+
 The cost function is *structural*: choosing an e-node costs
 
     node_cost(op, payload, chosen_children) + sum(child costs)
@@ -133,6 +142,91 @@ class Extractor:
                 if current is None or total < current:
                     current = total
                     best[class_id] = (total, node)
+                    improved = True
+            if improved:
+                for parent in parents.get(class_id, ()):
+                    parent = find(parent)
+                    if parent not in in_list:
+                        worklist.append(parent)
+                        in_list.add(parent)
+
+        self._break_ties(parents)
+
+    def _break_ties(self, parents: dict[int, set[int]]) -> None:
+        """Canonicalize the chosen node of every cost-tied class.
+
+        Second fixpoint over final costs: each class's *canon key* is
+        a nested ``(op, repr(payload), child keys...)`` tuple — the
+        structure of its chosen term — and among nodes achieving the
+        class's minimum cost the lexicographically least key wins.
+        Keys nest by reference, so building one is O(arity); the
+        fixpoint computes the unique least solution, making the chosen
+        term independent of e-graph iteration order.  A cost-tied
+        cyclic choice would need two zero-cost nodes, which strict
+        monotonicity rules out, so the canonical pointers stay acyclic.
+        """
+        egraph = self._egraph
+        best = self._best
+        node_cost = self._node_cost
+        find = egraph.find
+
+        # Initial canon keys from the (acyclic) phase-1 pointers.
+        canon: dict[int, tuple] = {}
+        stack = list(best)
+        while stack:
+            cid = stack[-1]
+            if cid in canon:
+                stack.pop()
+                continue
+            op, payload, children = best[cid][1]
+            missing = [
+                find(c) for c in children if find(c) not in canon
+            ]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
+            canon[cid] = (op, repr(payload)) + tuple(
+                canon[find(c)] for c in children
+            )
+
+        worklist = list(best)
+        in_list = set(worklist)
+        while worklist:
+            class_id = worklist.pop()
+            in_list.discard(class_id)
+            entry = best.get(class_id)
+            if entry is None:
+                continue
+            target, chosen = entry
+            current = canon[class_id]
+            improved = False
+            for node in egraph.eclass(class_id).nodes:
+                children = node[2]
+                total = 0.0
+                heads = []
+                keys = []
+                ok = True
+                for child in children:
+                    child_id = find(child)
+                    child_entry = best.get(child_id)
+                    if child_entry is None:
+                        ok = False
+                        break
+                    total += child_entry[0]
+                    chosen_child = child_entry[1]
+                    heads.append((chosen_child[0], chosen_child[1]))
+                    keys.append(canon[child_id])
+                if not ok:
+                    continue
+                total += node_cost(node[0], node[1], heads)
+                if total != target:
+                    continue
+                key = (node[0], repr(node[1])) + tuple(keys)
+                if key < current:
+                    current = key
+                    canon[class_id] = key
+                    best[class_id] = (target, node)
                     improved = True
             if improved:
                 for parent in parents.get(class_id, ()):

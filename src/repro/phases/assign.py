@@ -93,6 +93,14 @@ def assign_phases(
 ) -> PhasedRuleSet:
     """Split candidate rules into the three phases.
 
+    Within each phase, rules are emitted in canonical order: highest
+    cost differential first (most general LHS, then name, on ties).
+    The saturation runner applies rules in list order, and under
+    budget-capped regimes the e-graph's growth trajectory — and so the
+    wall-clock to close — depends on that order; making it a function
+    of the cost model alone keeps compile behaviour independent of the
+    accidental order synthesis or pruning produced the rules in.
+
     When tracing is enabled (see :mod:`repro.obs`) emits an
     ``assign_phases`` span with the α/β thresholds and the rule count
     that landed in each phase.
@@ -117,9 +125,22 @@ def assign_phases(
             n_compilation=len(compilation),
             n_optimization=len(optimization),
         )
+
+    def canonical(phase_rules: list[Rewrite]) -> tuple[Rewrite, ...]:
+        from repro.lang.term import term_size
+
+        return tuple(sorted(
+            phase_rules,
+            key=lambda r: (
+                -cost_differential(model, r),
+                term_size(r.lhs),
+                r.name,
+            ),
+        ))
+
     return PhasedRuleSet(
-        expansion=tuple(expansion),
-        compilation=tuple(compilation),
-        optimization=tuple(optimization),
+        expansion=canonical(expansion),
+        compilation=canonical(compilation),
+        optimization=canonical(optimization),
         params=params,
     )

@@ -14,14 +14,18 @@ builds on, plus Isaria's vector-lane extension:
    rational-function normalization for the polynomial fragment, and
    high-volume fuzzing (undefinedness-exact) for the rest — our
    offline substitute for Ruler's SMT backend;
-5. :mod:`repro.ruler.minimize` — shrink the rule set by dropping
+5. :mod:`repro.ruler.cost_prune` — cost-aware dominated-rule pruning
+   (Daly et al.): drop rules an equal-or-more-general kept rule
+   already beats on cost delta, with a derivability rescue so the
+   survivors still derive everything dropped;
+6. :mod:`repro.ruler.minimize` — shrink the rule set by dropping
    candidates derivable from already-accepted rules via bounded
    equality saturation;
-6. :mod:`repro.ruler.lanes` — Isaria's vector lane generalization:
+7. :mod:`repro.ruler.lanes` — Isaria's vector lane generalization:
    re-expand single-lane rules to full width as scalar rules,
    vector↔vector rules, Vec *lift* (compilation) rules, and
    lane-restricted padding rules, each re-verified at full width;
-7. :mod:`repro.ruler.synthesize` — the budgeted end-to-end pipeline.
+8. :mod:`repro.ruler.synthesize` — the budgeted end-to-end pipeline.
 
 The hot path computes cvecs with the batched, caching
 :class:`~repro.ruler.cvec.CvecEvaluator`; ``REPRO_LEGACY_CVEC=1``
@@ -37,6 +41,14 @@ from repro.ruler.cvec import (
 )
 from repro.ruler.enumerate import enumerate_terms, EnumerationResult
 from repro.ruler.candidates import candidate_rules, orient_pair
+from repro.ruler.cost_prune import (
+    CostPruneReport,
+    cost_model_digest,
+    cost_prune_rules,
+    legacy_costprune_requested,
+    lhs_subsumes,
+    rule_delta,
+)
 from repro.ruler.verify import verify_rule, VerifyResult
 from repro.ruler.minimize import minimize_rules
 from repro.ruler.stats import SynthesisPerf
@@ -58,6 +70,12 @@ __all__ = [
     "orient_pair",
     "verify_rule",
     "VerifyResult",
+    "CostPruneReport",
+    "cost_model_digest",
+    "cost_prune_rules",
+    "legacy_costprune_requested",
+    "lhs_subsumes",
+    "rule_delta",
     "minimize_rules",
     "SynthesisPerf",
     "generalize_rules",

@@ -36,11 +36,11 @@ from repro.ruler.verify import pattern_to_term
 
 # Filter passes are bounded by iteration/node/match-work budgets (all
 # deterministic) rather than wall-clock, so the kept rule set does not
-# depend on machine load.
+# depend on machine load — time_limit is explicitly infinite.
 _FILTER_LIMITS = RunnerLimits(
     max_iterations=3,
     max_nodes=40_000,
-    time_limit=30.0,
+    time_limit=float("inf"),
     match_limit=4000,
     ban_length=1,
     match_work=400_000,
@@ -95,14 +95,27 @@ def _cvec_screen(
 
     One cached DAG walk per rule side — far cheaper than the
     saturation pass each surviving candidate costs downstream.
+    Evaluators (and their sample environments) are cached per
+    wildcard-name signature: most rules share ``(?a, ?b)``-style
+    signatures, so the cache also pools cvec rows across rules.
     """
     kept: list[Rewrite] = []
+    evaluators: dict[tuple[str, ...], CvecEvaluator] = {}
     for rule in candidates:
-        names = sorted(
-            set(wildcards_of(rule.lhs)) | set(wildcards_of(rule.rhs))
+        names = tuple(
+            sorted(
+                set(wildcards_of(rule.lhs)) | set(wildcards_of(rule.rhs))
+            )
         )
-        envs = sample_envs(tuple(names), n_random=n_samples, seed=seed)
-        evaluator = CvecEvaluator(interpreter, envs, perf=perf)
+        evaluator = evaluators.get(names)
+        if evaluator is None:
+            envs = sample_envs(names, n_random=n_samples, seed=seed)
+            evaluator = CvecEvaluator(interpreter, envs, perf=perf)
+            evaluators[names] = evaluator
+            if perf is not None:
+                perf.screen_env_cache_misses += 1
+        elif perf is not None:
+            perf.screen_env_cache_hits += 1
         try:
             left = evaluator.fingerprint_of(
                 evaluator.row_of(pattern_to_term(rule.lhs))

@@ -45,6 +45,10 @@ class SynthesisPerf:
     verify_batched_terms: int = 0  # rule sides evaluated batched
     verify_legacy_terms: int = 0   # rule sides evaluated per-env
     minimize_screened: int = 0     # rules dropped by the cvec screen
+    screen_env_cache_hits: int = 0   # cvec screens reusing a cached evaluator
+    screen_env_cache_misses: int = 0  # wildcard signatures needing fresh envs
+    costprune_dominated: int = 0   # rules dropped as cost-dominated
+    costprune_rescued: int = 0     # dominated instsel rules rescued back
     # Per-term-size enumeration breakdown (size -> value).
     per_size_times: dict = field(default_factory=dict)
     per_size_terms: dict = field(default_factory=dict)
@@ -66,6 +70,10 @@ class SynthesisPerf:
         self.verify_batched_terms += other.verify_batched_terms
         self.verify_legacy_terms += other.verify_legacy_terms
         self.minimize_screened += other.minimize_screened
+        self.screen_env_cache_hits += other.screen_env_cache_hits
+        self.screen_env_cache_misses += other.screen_env_cache_misses
+        self.costprune_dominated += other.costprune_dominated
+        self.costprune_rescued += other.costprune_rescued
         for ours, theirs in (
             (self.per_size_times, other.per_size_times),
             (self.per_size_terms, other.per_size_terms),
@@ -89,6 +97,10 @@ class SynthesisPerf:
             "verify_batched_terms": self.verify_batched_terms,
             "verify_legacy_terms": self.verify_legacy_terms,
             "minimize_screened": self.minimize_screened,
+            "screen_env_cache_hits": self.screen_env_cache_hits,
+            "screen_env_cache_misses": self.screen_env_cache_misses,
+            "costprune_dominated": self.costprune_dominated,
+            "costprune_rescued": self.costprune_rescued,
             "per_size_times": {
                 str(k): v for k, v in sorted(self.per_size_times.items())
             },

@@ -17,6 +17,10 @@ from repro.egraph.rewrite import Rewrite
 from repro.isa.spec import IsaSpec
 from repro.obs import current_tracer
 from repro.ruler.candidates import candidate_rules
+from repro.ruler.cost_prune import (
+    cost_prune_rules,
+    legacy_costprune_requested,
+)
 from repro.ruler.cvec import CvecSpec
 from repro.ruler.enumerate import enumerate_terms
 from repro.ruler.lanes import GeneralizationReport, generalize_rules
@@ -76,6 +80,11 @@ class SynthesisConfig:
     verify_seed: int = 12345
     time_budget: float | None = None  # seconds; None = unbounded
     minimize: bool = True
+    # Cost-aware dominated-rule pruning (repro.ruler.cost_prune): drop
+    # verified candidates an equal-or-more-general kept rule already
+    # beats on cost delta, before and after lane generalization.
+    # ``REPRO_LEGACY_COSTPRUNE=1`` overrides this to the unpruned path.
+    cost_prune: bool = True
     # Restrict enumeration to these operators (None = all).  Used for
     # focused incremental synthesis around custom instructions, where
     # the interesting rules need size-6 terms that are intractable to
@@ -115,6 +124,10 @@ class SynthesisResult:
     n_verified: int = 0
     n_unsound: int = 0
     generalization: GeneralizationReport | None = None
+    # Dominance-pruning provenance: {"single_lane": {...},
+    # "full_width": {...}} CostPruneReport dicts, or None when the
+    # stage was disabled (config or REPRO_LEGACY_COSTPRUNE=1).
+    pruning: dict | None = None
     elapsed: float = 0.0
     aborted: bool = False
     stage_times: dict = field(default_factory=dict)
@@ -273,29 +286,59 @@ def _synthesize_rules(
             legacy_terms=perf.verify_legacy_terms,
         )
 
-    # 4. Shrink by derivability.
+    # 4. Cost-aware dominated-rule pruning (Daly et al.), then the
+    # derivability shrink.  Pruning is a stable filter: survivors keep
+    # candidate order so orientation pairs (L => R next to R => L)
+    # stay adjacent — minimize's greedy batches only spare rules that
+    # share a batch, and splitting a pair lets the equivalence-based
+    # derivability check drop the generative orientation.
+    pruning_enabled = config.cost_prune and not legacy_costprune_requested()
+    pruning: dict | None = None
+    if pruning_enabled:
+        t0 = time.monotonic()
+        pruned, prune_report = cost_prune_rules(verified, spec, perf=perf)
+        pruning = {"single_lane": prune_report.as_dict()}
+        stage_times["cost_prune"] = time.monotonic() - t0
+        if tracer.enabled:
+            tracer.record(
+                "synthesize.cost_prune", stage_times["cost_prune"],
+                n_in=prune_report.n_in, n_kept=prune_report.n_kept,
+                n_dominated=prune_report.n_dominated,
+                n_rescued=prune_report.n_rescued,
+            )
+    else:
+        pruned = verified
+
     t0 = time.monotonic()
     if config.minimize:
         kept, min_aborted = minimize_rules(
-            verified,
+            pruned,
             deadline=deadline,
             interpreter=spec.interpreter(),
             perf=perf,
         )
         aborted = aborted or min_aborted
     else:
-        kept = verified
+        kept = pruned
     stage_times["minimize"] = time.monotonic() - t0
     if tracer.enabled:
         tracer.record(
             "synthesize.minimize", stage_times["minimize"],
-            n_in=len(verified), n_kept=len(kept),
+            n_in=len(pruned), n_kept=len(kept),
             n_screened=perf.minimize_screened,
         )
 
-    # 5. Lane generalization to full vector width.
+    # 5. Lane generalization to full vector width.  Generalization
+    # re-stamps lane-count variants of every kept rule, recreating
+    # dominated patterns at full width, so the pruned path prunes
+    # again after it.
     t0 = time.monotonic()
     full_width, gen_report = generalize_rules(kept, spec, perf=perf)
+    if pruning_enabled:
+        full_width, full_report = cost_prune_rules(
+            full_width, spec, perf=perf
+        )
+        pruning["full_width"] = full_report.as_dict()
     stage_times["generalize"] = time.monotonic() - t0
     if tracer.enabled:
         tracer.record(
@@ -313,6 +356,7 @@ def _synthesize_rules(
         n_verified=len(verified),
         n_unsound=n_unsound,
         generalization=gen_report,
+        pruning=pruning,
         elapsed=time.monotonic() - start,
         aborted=aborted,
         stage_times=stage_times,

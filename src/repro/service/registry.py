@@ -32,6 +32,7 @@ factory with the server process (see ``docs/service.md``).
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 from pathlib import Path
@@ -89,6 +90,20 @@ def service_cache_dir() -> Path:
     if env:
         return Path(env)
     return default_cache_dir() / "service"
+
+
+_tmp_counter = itertools.count()
+
+
+def _tmp_suffix() -> str:
+    """A per-call-unique temp suffix for atomic writes.
+
+    The pid alone is not enough: two executor threads publishing the
+    same fingerprint concurrently would share one temp path, and the
+    loser's ``os.replace`` raises ``FileNotFoundError`` after the
+    winner renames it away.
+    """
+    return ".tmp-%d-%d" % (os.getpid(), next(_tmp_counter))
 
 
 class RegistryEntry:
@@ -178,7 +193,7 @@ class ArtifactRegistry:
         """
         self.artifacts_dir.mkdir(parents=True, exist_ok=True)
         path = self.artifact_path(artifact.fingerprint)
-        tmp = path.with_suffix(".tmp-%d" % os.getpid())
+        tmp = path.with_suffix(_tmp_suffix())
         tmp.write_text(artifact.to_json())
         os.replace(tmp, path)
         current_tracer().record(
@@ -290,7 +305,7 @@ class ArtifactRegistry:
         self.results_dir.mkdir(parents=True, exist_ok=True)
         path = self.result_path(key)
         doc = {"key": key, "payload": payload}
-        tmp = path.with_suffix(".tmp-%d" % os.getpid())
+        tmp = path.with_suffix(_tmp_suffix())
         tmp.write_text(json.dumps(doc, sort_keys=True) + "\n")
         os.replace(tmp, path)
         return path

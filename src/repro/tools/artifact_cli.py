@@ -52,7 +52,18 @@ def _cmd_build(args: argparse.Namespace) -> int:
     if args.pregen:
         # The shipped rule set: phase assignment still runs (cheap),
         # synthesis does not — the CI fast path.
-        from repro.core.pregen import default_compiler
+        import dataclasses as _dc
+
+        from repro.core.pregen import (
+            DEFAULT_RULES_FILE,
+            FULL_RULES_FILE,
+            default_compiler,
+            load_pregenerated_rules,
+        )
+        from repro.ruler.cost_prune import (
+            cost_model_digest,
+            legacy_costprune_requested,
+        )
 
         compiler = default_compiler(spec=spec)
         artifact = CompilerArtifact.from_compiler(
@@ -60,6 +71,28 @@ def _cmd_build(args: argparse.Namespace) -> int:
             config=config,
             provenance={"source": "pregenerated"},
         )
+        if not legacy_costprune_requested() and FULL_RULES_FILE.exists():
+            # The shipped default file is the cost-pruned derivation of
+            # the full set; record that lineage on the artifact.  The
+            # rescue count is only in the pruned file's header comment
+            # (regen_rules stamps it there), so recover it from that.
+            import re as _re
+
+            n_kept = len(load_pregenerated_rules(DEFAULT_RULES_FILE))
+            n_in = len(load_pregenerated_rules(FULL_RULES_FILE))
+            info = {
+                "n_in": n_in,
+                "n_kept": n_kept,
+                "n_dominated": n_in - n_kept,
+                "cost_model_digest": cost_model_digest(spec),
+            }
+            header = DEFAULT_RULES_FILE.read_text().split("\n", 8)[:8]
+            for line in header:
+                match = _re.search(r"(\d+) rescued", line)
+                if match:
+                    info["n_rescued"] = int(match.group(1))
+                    break
+            artifact = _dc.replace(artifact, pruning={"pregen": info})
     else:
         from repro.core.framework import IsariaFramework
 

@@ -27,9 +27,13 @@ tree, and prints:
 7. a **synthesis rollup**: per-term-size enumeration timings and the
    verify batching counters carried by ``synthesize.*`` spans (the
    span-level view of ``SynthesisPerf``);
-8. the **top-N hottest rules** by cumulative e-match time, aggregated
+8. a **minimize rollup**: the rule-count funnel of the minimization
+   stages — dominated-rule cost pruning and the derivability shrink —
+   from the ``synthesize.cost_prune`` / ``synthesize.minimize``
+   records;
+9. the **top-N hottest rules** by cumulative e-match time, aggregated
    from the ``SaturationPerf`` payloads of every ``eqsat`` span;
-9. a **scheduling rollup**: every rule's match-time share next to the
+10. a **scheduling rollup**: every rule's match-time share next to the
    merges it bought, flagging zero-merge rules as disable candidates
    for ``repro-autotune`` (see :mod:`repro.tools.autotune`).
 """
@@ -254,6 +258,54 @@ def synthesis_rollup(events: list[dict]) -> str:
         f"; minimize screened: {screened}"
     )
     return "\n".join(lines)
+
+
+def minimize_rollup(events: list[dict]) -> str:
+    """Ruleset-shrinking summary from the minimization-stage spans.
+
+    Aggregates the ``synthesize.cost_prune`` records (dominated-rule
+    pruning: rules in/kept, dominated drops, derivability rescues) and
+    the ``synthesize.minimize`` records (derivability shrink: rules
+    in/kept, unsound candidates screened) across every synthesis run
+    in the trace — the span-level view of the rule-count funnel the
+    offline stage applies before anything ships to a compiler.
+    """
+    prune_in = prune_kept = dominated = rescued = 0
+    prune_time = 0.0
+    min_in = min_kept = screened = 0
+    min_time = 0.0
+    seen = False
+    for event in events:
+        name = event.get("name", "")
+        attrs = event.get("attrs", {})
+        if name == "synthesize.cost_prune":
+            seen = True
+            prune_in += attrs.get("n_in", 0)
+            prune_kept += attrs.get("n_kept", 0)
+            dominated += attrs.get("n_dominated", 0)
+            rescued += attrs.get("n_rescued", 0)
+            prune_time += event.get("dur", 0.0)
+        elif name == "synthesize.minimize":
+            seen = True
+            min_in += attrs.get("n_in", 0)
+            min_kept += attrs.get("n_kept", 0)
+            screened += attrs.get("n_screened", 0)
+            min_time += event.get("dur", 0.0)
+    if not seen:
+        return "(no minimization spans in this trace)"
+    lines = []
+    if prune_in:
+        lines.append(
+            f"cost prune: {prune_in} -> {prune_kept} rules "
+            f"({dominated} dominated, {rescued} rescued, "
+            f"{prune_time * 1e3:.1f}ms)"
+        )
+    if min_in:
+        lines.append(
+            f"derivability shrink: {min_in} -> {min_kept} rules "
+            f"({screened} screened unsound, {min_time * 1e3:.1f}ms)"
+        )
+    return "\n".join(lines) or "(no minimization spans in this trace)"
 
 
 def hottest_rules(events: list[dict], top: int = 10) -> str:
@@ -548,6 +600,9 @@ def render_report(
         "",
         "== synthesis ==",
         synthesis_rollup(events),
+        "",
+        "== minimize ==",
+        minimize_rollup(events),
         "",
         f"== hottest rules (top {top} by match time) ==",
         hottest_rules(events, top=top),

@@ -337,3 +337,48 @@ class TestLoadedCompilerSkipsOfflineStage:
             artifact, mutated, check=False
         )
         assert len(forced.ruleset) == len(compiler.ruleset)
+
+
+class TestPruningProvenance:
+    def test_pruning_round_trips(self, spec):
+        compiler = _handmade_compiler(spec)
+        artifact = dataclasses.replace(
+            compiler.to_artifact(),
+            pruning={
+                "single_lane": {
+                    "n_in": 184, "n_kept": 97, "n_dominated": 87,
+                    "n_rescued": 17,
+                    "cost_model_digest": "2a68e38910dddbc4",
+                },
+            },
+        )
+        restored = CompilerArtifact.from_json(artifact.to_json())
+        assert restored.pruning == artifact.pruning
+        assert "pruning:" in restored.summary()
+        assert "kept 97/184" in restored.summary()
+
+    def test_absent_pruning_tolerated(self, spec):
+        # Artifacts written before the pruning stage existed (or on
+        # the legacy path) carry no pruning key; loading must not
+        # care, and the fingerprint must not move.
+        compiler = _handmade_compiler(spec)
+        artifact = compiler.to_artifact()
+        doc = json.loads(artifact.to_json())
+        doc.pop("pruning", None)
+        restored = CompilerArtifact.from_json(json.dumps(doc))
+        assert restored.pruning is None
+        assert "pruning:" not in restored.summary()
+
+    def test_cost_prune_default_keeps_fingerprints(self, spec):
+        # The pruning stage defaults on without invalidating every
+        # pre-existing artifact: the config only joins the cache key
+        # when it deviates from the default.
+        default = spec_fingerprint(spec, SynthesisConfig())
+        explicit = spec_fingerprint(
+            spec, SynthesisConfig(cost_prune=True)
+        )
+        legacy = spec_fingerprint(
+            spec, SynthesisConfig(cost_prune=False)
+        )
+        assert default == explicit
+        assert legacy != default

@@ -32,6 +32,7 @@ _SPEEDUP_PATHS = {
     "compile-pipeline": lambda r, key: r[key]["speedup"],
     "compile-service": lambda r, key: r[key],
     "isa-families": lambda r, key: r[key],
+    "rule-minimization": lambda r, key: r[key],
 }
 
 
@@ -48,6 +49,7 @@ def test_bench_corpus_is_present():
         "BENCH_pipeline.json",
         "BENCH_service.json",
         "BENCH_isa.json",
+        "BENCH_minimize.json",
     } <= names, names
 
 
@@ -121,6 +123,31 @@ def test_isa_bench_sweeps_widths_and_families():
         if row["masked_family"] and row["length"] % row["width"]:
             assert row["scalar_instructions"] == 0, row["isa"]
             assert row["masked_ops"] > 0, row["isa"]
+
+
+def test_minimize_bench_records_parity_evidence():
+    doc = _load(_REPO_ROOT / "BENCH_minimize.json")
+    results = doc["results"]
+    # The floors the perf job re-asserts live in the committed file.
+    assert doc["floors"]["ruleset_reduction_rate"] == 0.2
+    assert doc["floors"]["saturation_speedup"] == 1.2
+    # Size: every matrix cell shrinks, at least one by >= 20 %.
+    assert results["cells"]
+    for cell in results["cells"]:
+        assert 0 < cell["rules_pruned"] <= cell["rules_full"], cell
+    assert max(
+        c["reduction_rate"] for c in results["cells"]
+    ) >= 0.2
+    assert (
+        results["shipped_rules_pruned"] < results["shipped_rules_full"]
+    )
+    # Parity: no kernel got costlier, and non-identical outputs must
+    # have paid for themselves.
+    assert results["total_kernels"] == len(results["kernels"])
+    for row in results["kernels"]:
+        assert row["pruned_cost"] <= row["full_cost"], row
+        assert row["identical"] or row["pruned_cost"] < row["full_cost"]
+    assert 0 < results["identical_kernels"] <= results["total_kernels"]
 
 
 def test_write_bench_json_envelope(tmp_path):

@@ -68,3 +68,45 @@ class TestBatching:
         # with batch_size=1 the second is filtered
         kept, _ = minimize_rules(candidates, batch_size=1)
         assert len(kept) == 1
+
+
+class TestScreenEnvCache:
+    def test_evaluator_cached_per_wildcard_signature(self):
+        from repro.isa import fusion_g3_spec
+        from repro.ruler.stats import SynthesisPerf
+
+        interpreter = fusion_g3_spec().interpreter()
+        candidates = [
+            # three rules over {?w0, ?w1}, one over {?w0}: two distinct
+            # signatures, so exactly two evaluator builds.
+            parse_rewrite("comm", "(+ ?w0 ?w1) => (+ ?w1 ?w0)"),
+            parse_rewrite("mcomm", "(* ?w0 ?w1) => (* ?w1 ?w0)"),
+            parse_rewrite("sub", "(- ?w0 ?w1) => (+ ?w0 (neg ?w1))"),
+            parse_rewrite("zero", "(+ ?w0 0) => ?w0"),
+        ]
+        perf = SynthesisPerf()
+        kept, aborted = minimize_rules(
+            candidates, interpreter=interpreter, perf=perf
+        )
+        assert not aborted
+        assert perf.screen_env_cache_misses == 2
+        assert perf.screen_env_cache_hits == 2
+        assert len(kept) == len(candidates)  # all sound, none derivable
+
+    def test_unsound_candidates_still_screened_through_cache(self):
+        from repro.isa import fusion_g3_spec
+        from repro.ruler.stats import SynthesisPerf
+
+        interpreter = fusion_g3_spec().interpreter()
+        candidates = [
+            parse_rewrite("good", "(+ ?w0 ?w1) => (+ ?w1 ?w0)"),
+            parse_rewrite("bad", "(+ ?w0 ?w1) => (- ?w0 ?w1)"),
+        ]
+        perf = SynthesisPerf()
+        kept, _ = minimize_rules(
+            candidates, interpreter=interpreter, perf=perf
+        )
+        assert [r.name for r in kept] == ["good"]
+        assert perf.minimize_screened == 1
+        assert perf.screen_env_cache_misses == 1
+        assert perf.screen_env_cache_hits == 1

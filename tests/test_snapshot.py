@@ -466,7 +466,9 @@ class TestPhaseCheckpointFiles:
                 g2, rules, "expansion", _limits(4), None, label="vadd"
             )
         assert "checkpoint.resume" in [e["name"] for e in sink.events]
-        assert second.n_iterations == 2  # 4 total, 2 from the checkpoint
+        # Only the iterations past the checkpoint are paid for: at most
+        # 2 more here (it may saturate sooner), never the 2 replayed.
+        assert 1 <= second.n_iterations <= 2
 
         monkeypatch.delenv("REPRO_CHECKPOINT_DIR")
         g3 = EGraph()

@@ -58,8 +58,8 @@ class TestSynthesisDeterminism:
     def test_stage_times_recorded(self, synthesis_size3):
         stages = synthesis_size3.stage_times
         assert set(stages) == {
-            "enumerate", "candidates", "verify", "minimize",
-            "generalize",
+            "enumerate", "candidates", "verify", "cost_prune",
+            "minimize", "generalize",
         }
         assert all(t >= 0 for t in stages.values())
 
@@ -71,4 +71,9 @@ class TestGeneralizationReport:
         assert report.n_input_rules == len(
             synthesis_size3.single_lane_rules
         )
-        assert report.n_generated == len(synthesis_size3.rules)
+        # The full-width dominance prune runs after generalization, so
+        # result.rules is the generalized set minus dominated rules.
+        full_prune = (synthesis_size3.pruning or {}).get("full_width")
+        assert full_prune is not None
+        assert report.n_generated == full_prune["n_in"]
+        assert len(synthesis_size3.rules) == full_prune["n_kept"]

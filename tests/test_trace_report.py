@@ -9,6 +9,7 @@ from repro.tools.trace_report import (
     isa_rollup,
     load_events,
     main,
+    minimize_rollup,
     phase_rollup,
     render_report,
     scheduling_rollup,
@@ -94,6 +95,7 @@ class TestRendering:
         assert "== service ==" in report
         assert "== isa ==" in report
         assert "== synthesis ==" in report
+        assert "== minimize ==" in report
         assert "hottest rules" in report
         assert "== scheduling ==" in report
 
@@ -323,3 +325,31 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert "eqsat" in out
         assert "comm-add" in out  # rule-level counters made it through
+
+
+class TestMinimizeRollup:
+    def _events(self):
+        return [
+            {"name": "synthesize.cost_prune", "dur": 0.2,
+             "attrs": {"n_in": 184, "n_kept": 97, "n_dominated": 87,
+                       "n_rescued": 17}},
+            {"name": "synthesize.cost_prune", "dur": 0.1,
+             "attrs": {"n_in": 84, "n_kept": 73, "n_dominated": 11,
+                       "n_rescued": 2}},
+            {"name": "synthesize.minimize", "dur": 0.5,
+             "attrs": {"n_in": 97, "n_kept": 60, "n_screened": 4}},
+        ]
+
+    def test_aggregates_prune_and_shrink_spans(self):
+        rollup = minimize_rollup(self._events())
+        assert "cost prune: 268 -> 170 rules" in rollup
+        assert "98 dominated" in rollup
+        assert "19 rescued" in rollup
+        assert "derivability shrink: 97 -> 60 rules" in rollup
+        assert "4 screened unsound" in rollup
+
+    def test_empty_trace_notes_absence(self):
+        assert "no minimization spans" in minimize_rollup([])
+        assert "no minimization spans" in minimize_rollup(
+            [{"name": "compile", "attrs": {}}]
+        )
